@@ -1,0 +1,35 @@
+//! Bench + regeneration for Fig. 6: iteration time vs communication power.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dhl_core::DhlConfig;
+use dhl_mlsim::{fig6, DlrmWorkload};
+use dhl_net::route::RouteId;
+use dhl_units::{Metres, MetresPerSecond, Watts};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", dhl_bench::render_fig6());
+    let workload = DlrmWorkload::paper_dlrm();
+    let configs = [
+        DhlConfig::with_ssd_count(MetresPerSecond::new(100.0), Metres::new(500.0), 16),
+        DhlConfig::paper_default(),
+        DhlConfig::with_ssd_count(MetresPerSecond::new(300.0), Metres::new(500.0), 64),
+    ];
+    let grid: Vec<Watts> = (1..=64).map(|i| Watts::new(f64::from(i) * 500.0)).collect();
+
+    c.bench_function("fig6/full_sweep", |b| {
+        b.iter(|| {
+            fig6(
+                &workload,
+                &configs,
+                &[RouteId::A0, RouteId::A1, RouteId::A2, RouteId::B, RouteId::C],
+                &grid,
+                16,
+            )
+            .len()
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

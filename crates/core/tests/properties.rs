@@ -1,0 +1,133 @@
+//! Property-based tests for the analytical model's invariants.
+
+use dhl_core::{
+    crossover, BulkComparison, BulkTransfer, CostModel, DhlConfig, LaunchMetrics,
+};
+use dhl_units::{Bytes, Kilograms, Metres, MetresPerSecond};
+use proptest::prelude::*;
+
+/// Valid (speed, length) pairs: the track must fit both LIM ramps.
+fn valid_config() -> impl Strategy<Value = DhlConfig> {
+    (30.0..400.0f64, 1u32..200)
+        .prop_flat_map(|(speed, ssds)| {
+            let min_len = speed * speed / 1000.0;
+            (
+                Just(speed),
+                (min_len * 1.01)..10_000.0f64,
+                Just(ssds),
+            )
+        })
+        .prop_map(|(speed, length, ssds)| {
+            DhlConfig::with_ssd_count(
+                MetresPerSecond::new(speed),
+                Metres::new(length),
+                ssds,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn launch_metrics_are_internally_consistent(cfg in valid_config()) {
+        let m = LaunchMetrics::evaluate(&cfg);
+        // Bandwidth × time = capacity.
+        let recovered = m.bandwidth.value() * m.trip_time.seconds();
+        prop_assert!((recovered - cfg.cart_capacity.as_f64()).abs() < 1e-6 * cfg.cart_capacity.as_f64());
+        // Efficiency × energy = capacity (in GB).
+        let gb = m.efficiency.value() * m.energy.value();
+        prop_assert!((gb - cfg.cart_capacity.gigabytes()).abs() < 1e-6 * cfg.cart_capacity.gigabytes());
+        // All metrics positive and finite.
+        for v in [m.energy.value(), m.trip_time.seconds(), m.bandwidth.value(), m.peak_power.value(), m.efficiency.value()] {
+            prop_assert!(v > 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn energy_is_exactly_mass_speed_squared_over_eta(cfg in valid_config()) {
+        let m = LaunchMetrics::evaluate(&cfg);
+        let expect = cfg.cart_mass.value() * cfg.max_speed.value().powi(2) / 0.75;
+        prop_assert!((m.energy.value() - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn bulk_transfer_is_monotone_in_dataset(cfg in valid_config(), a in 0u64..1u64<<55, b in 0u64..1u64<<55) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t_lo = BulkTransfer::evaluate(&cfg, Bytes::new(lo));
+        let t_hi = BulkTransfer::evaluate(&cfg, Bytes::new(hi));
+        prop_assert!(t_lo.deliveries <= t_hi.deliveries);
+        prop_assert!(t_lo.time.seconds() <= t_hi.time.seconds());
+        prop_assert!(t_lo.energy.value() <= t_hi.energy.value());
+    }
+
+    #[test]
+    fn energy_reductions_are_route_ordered(cfg in valid_config()) {
+        let cmp = BulkComparison::evaluate(&cfg, Bytes::from_petabytes(29.0));
+        let vals: Vec<f64> = cmp.energy_reduction.iter().map(|(_, x)| *x).collect();
+        for pair in vals.windows(2) {
+            prop_assert!(pair[0] < pair[1], "reductions must grow with route cost");
+        }
+        prop_assert!(cmp.time_speedup > 0.0);
+    }
+
+    #[test]
+    fn movements_always_double_deliveries(cfg in valid_config(), pb in 0.001..100.0f64) {
+        let t = BulkTransfer::evaluate(&cfg, Bytes::from_petabytes(pb));
+        prop_assert_eq!(t.movements, 2 * t.deliveries);
+        prop_assert!(t.deliveries >= 1);
+    }
+
+    #[test]
+    fn cost_grows_with_distance_and_speed(
+        d1 in 50.0..2_000.0f64, d2 in 50.0..2_000.0f64,
+        v1 in 100.0..300.0f64, v2 in 100.0..300.0f64,
+    ) {
+        let m = CostModel::paper();
+        let (dlo, dhi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let (vlo, vhi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let base = m.total_cost(Metres::new(dlo), MetresPerSecond::new(vlo));
+        let more_d = m.total_cost(Metres::new(dhi), MetresPerSecond::new(vlo));
+        let more_v = m.total_cost(Metres::new(dlo), MetresPerSecond::new(vhi));
+        prop_assert!(more_d.value() >= base.value());
+        prop_assert!(more_v.value() >= base.value());
+    }
+
+    #[test]
+    fn crossover_breakeven_scales_with_trip_time(extra_dock in 0.0..10.0f64) {
+        let mut cfg = dhl_core::paper_minimal_dhl();
+        cfg.dock_time = cfg.dock_time + dhl_units::Seconds::new(extra_dock);
+        let base = crossover(&dhl_core::paper_minimal_dhl());
+        let slower = crossover(&cfg);
+        prop_assert!(slower.breakeven_dataset >= base.breakeven_dataset);
+        // Breakeven = line rate × trip time exactly.
+        let expect = 50e9 * slower.dhl_time.seconds();
+        prop_assert!((slower.breakeven_dataset.as_f64() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn dse_point_is_deterministic(cfg in valid_config()) {
+        let a = dhl_core::DsePoint::evaluate(cfg.clone(), Bytes::from_petabytes(29.0));
+        let b = dhl_core::DsePoint::evaluate(cfg, Bytes::from_petabytes(29.0));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_cart_masses_scale_energy_linearly(grams in 1.0..10_000.0f64) {
+        let base = DhlConfig::with_custom_cart(
+            MetresPerSecond::new(200.0),
+            Metres::new(500.0),
+            Bytes::from_terabytes(256.0),
+            Kilograms::from_grams(grams),
+        );
+        let double = DhlConfig::with_custom_cart(
+            MetresPerSecond::new(200.0),
+            Metres::new(500.0),
+            Bytes::from_terabytes(256.0),
+            Kilograms::from_grams(2.0 * grams),
+        );
+        let e1 = LaunchMetrics::evaluate(&base).energy.value();
+        let e2 = LaunchMetrics::evaluate(&double).energy.value();
+        prop_assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,294 @@
+//! Pluggable communication fabrics: parallel optical links or DHL tracks.
+//!
+//! The paper "simulate\[s\] the DHL as a high-bandwidth, high-latency network
+//! layer" (§IV-E). [`DhlFabric`] implements exactly that: deliveries are
+//! quantised into cart trips launched back-to-back at the trip cadence
+//! (embodied bandwidth), while energy still pays for the return movements —
+//! the source of its 1.75 kW average power anchor. [`DesDhlFabric`] is the
+//! ablation variant that gets the delivery time from the discrete-event
+//! simulator (track contention, direction switches and all) instead of the
+//! closed form.
+
+use dhl_core::{DhlConfig, LaunchMetrics};
+use dhl_net::route::Route;
+use dhl_net::transfer::ParallelLinks;
+use dhl_sim::{DhlSystem, SimConfig};
+use dhl_units::{Bytes, Seconds, Watts};
+
+/// A communication substrate that can deliver a dataset to the compute
+/// nodes and has a steady power draw.
+pub trait CommFabric {
+    /// Human-readable scheme name ("A0", "DHL-200-500-256", …).
+    fn name(&self) -> String;
+    /// Time to deliver `data` to the training nodes.
+    fn delivery_time(&self, data: Bytes) -> Seconds;
+    /// Average power attributable to the fabric while delivering.
+    fn power(&self) -> Watts;
+}
+
+/// A bundle of parallel optical links of one route.
+#[derive(Clone, Debug)]
+pub struct OpticalFabric {
+    links: ParallelLinks,
+}
+
+impl OpticalFabric {
+    /// The largest (continuous) bundle of `route` affordable at `budget`
+    /// (§V-C's iso-power construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is not positive.
+    #[must_use]
+    pub fn max_for_power(route: Route, budget: Watts) -> Self {
+        Self {
+            links: ParallelLinks::max_for_power(route, budget)
+                .expect("budget must be positive"),
+        }
+    }
+
+    /// An exact link count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is not positive and finite.
+    #[must_use]
+    pub fn with_links(route: Route, count: f64) -> Self {
+        Self {
+            links: ParallelLinks::new(route, count).expect("count must be positive"),
+        }
+    }
+
+    /// The underlying bundle.
+    #[must_use]
+    pub fn links(&self) -> &ParallelLinks {
+        &self.links
+    }
+}
+
+impl CommFabric for OpticalFabric {
+    fn name(&self) -> String {
+        format!("{}×{:.1}", self.links.route().name(), self.links.link_count())
+    }
+
+    fn delivery_time(&self, data: Bytes) -> Seconds {
+        self.links.transfer_time(data)
+    }
+
+    fn power(&self) -> Watts {
+        self.links.power()
+    }
+}
+
+/// One or more parallel DHL tracks, modelled as the paper's
+/// high-bandwidth, high-latency link.
+///
+/// - **Delivery**: `ceil(trips / tracks) × trip_time` — carts stream
+///   one-way at the trip cadence (returns are hidden behind the endpoint's
+///   cart processing, §V-B's pipelining argument).
+/// - **Power**: each track averages `round-trip energy / round-trip time
+///   = launch_energy / trip_time` ≈ 1.75 kW for the default configuration —
+///   the returns are paid for in energy even though they are off the
+///   delivery critical path.
+#[derive(Clone, Debug)]
+pub struct DhlFabric {
+    config: DhlConfig,
+    launch: LaunchMetrics,
+    tracks: u32,
+}
+
+impl DhlFabric {
+    /// A single default (200 m/s, 500 m, 256 TB) DHL.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(DhlConfig::paper_default(), 1)
+    }
+
+    /// `tracks` parallel DHLs of the given design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tracks` is zero or the configuration is invalid.
+    #[must_use]
+    pub fn new(config: DhlConfig, tracks: u32) -> Self {
+        assert!(tracks > 0, "at least one track");
+        let launch = LaunchMetrics::evaluate(&config);
+        Self {
+            config,
+            launch,
+            tracks,
+        }
+    }
+
+    /// Number of parallel tracks.
+    #[must_use]
+    pub fn tracks(&self) -> u32 {
+        self.tracks
+    }
+
+    /// Average power of one track (≈ 1.75 kW for the paper default).
+    #[must_use]
+    pub fn track_power(&self) -> Watts {
+        self.launch.energy / self.launch.trip_time
+    }
+
+    /// The largest number of tracks affordable at `budget` (at least 1 —
+    /// the paper's leftmost Fig. 6 point is always a single DHL).
+    #[must_use]
+    pub fn max_for_power(config: DhlConfig, budget: Watts) -> Self {
+        let single = Self::new(config.clone(), 1);
+        let affordable = (budget.value() / single.track_power().value()).floor() as u32;
+        Self::new(config, affordable.max(1))
+    }
+}
+
+impl CommFabric for DhlFabric {
+    fn name(&self) -> String {
+        format!(
+            "DHL-{:.0}-{:.0}-{:.0}×{}",
+            self.config.max_speed.value(),
+            self.config.track_length.value(),
+            self.config.cart_capacity.terabytes(),
+            self.tracks
+        )
+    }
+
+    fn delivery_time(&self, data: Bytes) -> Seconds {
+        if data.is_zero() {
+            return Seconds::ZERO;
+        }
+        let trips = data.div_ceil(self.config.cart_capacity);
+        let per_track = trips.div_ceil(u64::from(self.tracks));
+        self.launch.trip_time * per_track as f64
+    }
+
+    fn power(&self) -> Watts {
+        self.track_power() * f64::from(self.tracks)
+    }
+}
+
+/// The DES-backed DHL fabric: delivery time measured by running the full
+/// system simulation (single bidirectional track with contention, forced
+/// returns and direction switches). Strictly slower than [`DhlFabric`]'s
+/// idealised pipeline — the ablation quantifies by how much.
+#[derive(Clone, Debug)]
+pub struct DesDhlFabric {
+    sim_config: SimConfig,
+}
+
+impl DesDhlFabric {
+    /// Wraps a validated simulator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    #[must_use]
+    pub fn new(sim_config: SimConfig) -> Self {
+        sim_config.validate().expect("invalid SimConfig");
+        Self { sim_config }
+    }
+
+    /// The paper-default simulator configuration (8 carts, 4 rack docks).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(SimConfig::paper_default())
+    }
+}
+
+impl CommFabric for DesDhlFabric {
+    fn name(&self) -> String {
+        format!(
+            "DHL-DES-{:.0}m-{}carts",
+            self.sim_config.track_length().value(),
+            self.sim_config.num_carts
+        )
+    }
+
+    fn delivery_time(&self, data: Bytes) -> Seconds {
+        DhlSystem::new(self.sim_config.clone())
+            .expect("validated at construction")
+            .run_bulk_transfer(data)
+            .expect("bulk transfer converges")
+            .completion_time
+    }
+
+    fn power(&self) -> Watts {
+        // Average over a representative bulk run.
+        let report = DhlSystem::new(self.sim_config.clone())
+            .expect("validated at construction")
+            .run_bulk_transfer(Bytes::from_petabytes(29.0))
+            .expect("bulk transfer converges");
+        report.average_power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dhl_track_power_is_paper_anchor() {
+        // 15.04 kJ / 8.6 s = 1.749 kW — §V-C's fixed budget.
+        let fabric = DhlFabric::paper_default();
+        assert!((fabric.track_power().kilowatts() - 1.749).abs() < 0.005);
+    }
+
+    #[test]
+    fn dhl_delivery_streams_one_way_trips() {
+        let fabric = DhlFabric::paper_default();
+        let t = fabric.delivery_time(Bytes::from_petabytes(29.0));
+        // 114 trips × 8.6 s = 980.4 s.
+        assert!((t.seconds() - 980.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn parallel_tracks_divide_delivery_and_multiply_power() {
+        let one = DhlFabric::new(DhlConfig::paper_default(), 1);
+        let four = DhlFabric::new(DhlConfig::paper_default(), 4);
+        let data = Bytes::from_petabytes(29.0);
+        // 114 trips over 4 tracks = 29 per track (ceil).
+        let expected = one.launch.trip_time * 29.0;
+        assert!((four.delivery_time(data).seconds() - expected.seconds()).abs() < 1e-9);
+        assert!((four.power().value() - 4.0 * one.power().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_for_power_floors_but_keeps_one() {
+        let cfg = DhlConfig::paper_default;
+        assert_eq!(DhlFabric::max_for_power(cfg(), Watts::new(1_750.0)).tracks(), 1);
+        assert_eq!(DhlFabric::max_for_power(cfg(), Watts::new(3_600.0)).tracks(), 2);
+        assert_eq!(DhlFabric::max_for_power(cfg(), Watts::new(100.0)).tracks(), 1);
+    }
+
+    #[test]
+    fn optical_fabric_fills_budget() {
+        let fabric = OpticalFabric::max_for_power(Route::a0(), Watts::new(1_750.0));
+        assert!((fabric.power().value() - 1_750.0).abs() < 1e-9);
+        let t = fabric.delivery_time(Bytes::from_petabytes(29.0));
+        assert!((t.seconds() - 7_954.3).abs() < 1.0);
+    }
+
+    #[test]
+    fn des_fabric_is_slower_than_idealised_pipeline() {
+        let ideal = DhlFabric::paper_default();
+        let des = DesDhlFabric::paper_default();
+        let data = Bytes::from_petabytes(2.0);
+        assert!(des.delivery_time(data) > ideal.delivery_time(data));
+    }
+
+    #[test]
+    fn zero_data_is_instant() {
+        assert_eq!(
+            DhlFabric::paper_default().delivery_time(Bytes::ZERO),
+            Seconds::ZERO
+        );
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(DhlFabric::paper_default().name(), "DHL-200-500-256×1");
+        let optical = OpticalFabric::with_links(Route::c(), 2.0);
+        assert!(optical.name().starts_with("C×2.0"));
+        assert!(DesDhlFabric::paper_default().name().contains("DES"));
+    }
+}

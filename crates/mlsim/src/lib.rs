@@ -1,0 +1,45 @@
+//! Distributed ML-training simulator — the ASTRA-sim substitute (§IV-E,
+//! §V-C).
+//!
+//! The paper models the DHL inside ASTRA-sim as a high-bandwidth,
+//! high-latency network layer and reports the time and power to train one
+//! DLRM iteration over Meta's 29 PB dataset. ASTRA-sim itself is not
+//! reproducible from the paper, so this crate implements the same
+//! experiment with an explicit, documented model:
+//!
+//! - [`DlrmWorkload`]: iteration time as an affine function of dataset
+//!   delivery time, calibrated **only** against the five published optical
+//!   points of Table VII(a) — every DHL result is derived, never fitted;
+//! - [`fabric`]: pluggable [`CommFabric`]s — parallel optical links
+//!   ([`OpticalFabric`]), the paper's idealised DHL link ([`DhlFabric`]),
+//!   and a DES-backed variant ([`DesDhlFabric`]) that gets delivery times
+//!   from the full `dhl-sim` system simulation;
+//! - [`experiment`]: [`iso_power`] (Table VII a), [`iso_time`]
+//!   (Table VII b) and [`fig6`] (the power-vs-time sweep).
+//!
+//! # Example
+//!
+//! ```rust
+//! use dhl_core::DhlConfig;
+//! use dhl_mlsim::{iso_power, DhlFabric, DlrmWorkload};
+//!
+//! let workload = DlrmWorkload::paper_dlrm();
+//! let dhl = DhlConfig::paper_default();
+//! let budget = DhlFabric::new(dhl.clone(), 1).track_power(); // ≈ 1.75 kW
+//! let table = iso_power(&workload, &dhl, budget);
+//! // DHL leads every optical scheme at the same power.
+//! assert!(table.rows[1..].iter().all(|r| r.factor_vs_dhl > 1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod fabric;
+pub mod training;
+pub mod workload;
+
+pub use experiment::{fig6, iso_power, iso_time, Fig6Series, IsoPowerTable, IsoTimeTable, SchemeResult};
+pub use fabric::{CommFabric, DesDhlFabric, DhlFabric, OpticalFabric};
+pub use training::{CampaignCost, TrainingCampaign};
+pub use workload::DlrmWorkload;

@@ -1,0 +1,139 @@
+//! Bulk-transfer impact on the shared network (§II-D.2).
+//!
+//! "Bulk backups consume tremendous bandwidth and cause traffic spikes that
+//! lower the efficiency of networking in the data centre … any long term
+//! data transfer means blocking a base amount of network bandwidth for the
+//! whole duration." This module quantifies that opportunity cost: the
+//! bandwidth-seconds a bulk flow steals from the data centre's bisection —
+//! which a DHL moves off-network entirely.
+
+use serde::{Deserialize, Serialize};
+
+use dhl_units::{Bytes, GigabitsPerSecond, Seconds};
+
+/// The data centre's shared network capacity.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SharedNetwork {
+    bisection: GigabitsPerSecond,
+}
+
+/// The footprint one bulk transfer leaves on the shared network.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TrafficImpact {
+    /// Fraction of the bisection occupied while the transfer runs.
+    pub bisection_fraction: f64,
+    /// How long the occupation lasts.
+    pub duration: Seconds,
+    /// Integrated cost: occupied bandwidth × duration, in gigabit-seconds.
+    pub gigabit_seconds: f64,
+}
+
+impl SharedNetwork {
+    /// A network with the given bisection bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bisection is not positive.
+    #[must_use]
+    pub fn new(bisection: GigabitsPerSecond) -> Self {
+        assert!(bisection.value() > 0.0, "bisection must be positive");
+        Self { bisection }
+    }
+
+    /// The Fig. 2 pod: 8 ToR switches × 32 × 400 Gb/s ≈ a 51.2 Tb/s
+    /// aggregation layer; we take half as the usable bisection.
+    #[must_use]
+    pub fn figure_2_pod() -> Self {
+        Self::new(GigabitsPerSecond::new(8.0 * 32.0 * 400.0 / 2.0))
+    }
+
+    /// The bisection bandwidth.
+    #[must_use]
+    pub fn bisection(&self) -> GigabitsPerSecond {
+        self.bisection
+    }
+
+    /// Impact of striping `data` over `links` × 400 Gb/s flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is not positive.
+    #[must_use]
+    pub fn bulk_transfer_impact(&self, data: Bytes, links: f64) -> TrafficImpact {
+        assert!(links > 0.0, "link count must be positive");
+        let flow = GigabitsPerSecond::new(400.0 * links);
+        let duration = flow.transfer_time(data);
+        let occupied = flow.value().min(self.bisection.value());
+        TrafficImpact {
+            bisection_fraction: occupied / self.bisection.value(),
+            duration,
+            gigabit_seconds: occupied * duration.seconds(),
+        }
+    }
+
+    /// Headroom left for other tenants while the transfer runs (0 = fully
+    /// starved).
+    #[must_use]
+    pub fn remaining_fraction(&self, impact: &TrafficImpact) -> f64 {
+        (1.0 - impact.bisection_fraction).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATASET: Bytes = Bytes::new(29_000_000_000_000_000);
+
+    #[test]
+    fn single_link_occupies_one_share_for_a_week() {
+        let net = SharedNetwork::figure_2_pod();
+        let impact = net.bulk_transfer_impact(DATASET, 1.0);
+        assert!((impact.duration.seconds() - 580_000.0).abs() < 1e-6);
+        assert!((impact.bisection_fraction - 400.0 / 51_200.0).abs() < 1e-12);
+        // 0.78% of the fabric held hostage for 6.7 days.
+        assert!((impact.gigabit_seconds - 400.0 * 580_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gigabit_seconds_invariant_under_striping() {
+        // More links finish sooner but hold more bandwidth: the integrated
+        // theft is constant (until the bisection saturates).
+        let net = SharedNetwork::figure_2_pod();
+        let one = net.bulk_transfer_impact(DATASET, 1.0);
+        let fifty = net.bulk_transfer_impact(DATASET, 50.0);
+        assert!((one.gigabit_seconds - fifty.gigabit_seconds).abs() < 1.0);
+        assert!(fifty.duration.seconds() < one.duration.seconds());
+        assert!(fifty.bisection_fraction > one.bisection_fraction);
+    }
+
+    #[test]
+    fn one_hour_transfer_starves_the_pod() {
+        // §I: the 1-hour 29 PB transfer needs >64 Tb/s — more than the
+        // whole 25.6 Tb/s usable bisection of the Fig. 2 pod.
+        let net = SharedNetwork::figure_2_pod();
+        let links_needed = 580_000.0 / 3_600.0; // 161 links
+        let impact = net.bulk_transfer_impact(DATASET, links_needed);
+        assert!((impact.bisection_fraction - 1.0).abs() < 1e-12, "saturated");
+        assert_eq!(net.remaining_fraction(&impact), 0.0);
+    }
+
+    #[test]
+    fn modest_transfers_leave_headroom() {
+        let net = SharedNetwork::figure_2_pod();
+        let impact = net.bulk_transfer_impact(Bytes::from_terabytes(250.0), 4.0);
+        assert!(net.remaining_fraction(&impact) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bisection must be positive")]
+    fn zero_bisection_rejected() {
+        let _ = SharedNetwork::new(GigabitsPerSecond::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "link count must be positive")]
+    fn zero_links_rejected() {
+        let _ = SharedNetwork::figure_2_pod().bulk_transfer_impact(DATASET, 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Data-availability tracking (§III-D).
+//!
+//! "Scheduling must also account for the fact that data stored on a cart is
+//! inaccessible during transit." The tracker records every transit window
+//! per dataset so clients can ask whether (and when) data is readable.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dhl_units::Seconds;
+
+use crate::placement::DatasetId;
+
+/// Whether a dataset's bytes are reachable at an instant.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DataState {
+    /// Docked somewhere — readable at local bandwidth.
+    AtRest,
+    /// At least one of its carts is moving — that shard is unreachable.
+    InTransit,
+}
+
+/// Per-dataset transit-window log.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct AvailabilityTracker {
+    windows: HashMap<DatasetId, Vec<(f64, f64)>>,
+}
+
+impl AvailabilityTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that part of `dataset` is in transit during `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < from` or either bound is non-finite.
+    pub fn record_transit(&mut self, dataset: DatasetId, from: Seconds, to: Seconds) {
+        assert!(
+            from.is_finite() && to.is_finite() && to.seconds() >= from.seconds(),
+            "transit window must be a finite, ordered interval"
+        );
+        self.windows
+            .entry(dataset)
+            .or_default()
+            .push((from.seconds(), to.seconds()));
+    }
+
+    /// The dataset's state at an instant.
+    #[must_use]
+    pub fn state_at(&self, dataset: DatasetId, at: Seconds) -> DataState {
+        let t = at.seconds();
+        let moving = self
+            .windows
+            .get(&dataset)
+            .is_some_and(|ws| ws.iter().any(|(a, b)| t >= *a && t < *b));
+        if moving {
+            DataState::InTransit
+        } else {
+            DataState::AtRest
+        }
+    }
+
+    /// Earliest time ≥ `at` when the dataset is fully at rest.
+    #[must_use]
+    pub fn next_at_rest(&self, dataset: DatasetId, at: Seconds) -> Seconds {
+        let Some(ws) = self.windows.get(&dataset) else {
+            return at;
+        };
+        let mut t = at.seconds();
+        // Advance past every overlapping window until stable (windows may
+        // be unsorted and overlapping).
+        loop {
+            let mut advanced = false;
+            for (a, b) in ws {
+                if t >= *a && t < *b {
+                    t = *b;
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                return Seconds::new(t);
+            }
+        }
+    }
+
+    /// Total time the dataset spent (partially) in transit, merging
+    /// overlapping windows.
+    #[must_use]
+    pub fn total_transit_time(&self, dataset: DatasetId) -> Seconds {
+        let Some(ws) = self.windows.get(&dataset) else {
+            return Seconds::ZERO;
+        };
+        let mut sorted = ws.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut total = 0.0;
+        let mut cur: Option<(f64, f64)> = None;
+        for (a, b) in sorted {
+            match cur {
+                Some((ca, cb)) if a <= cb => cur = Some((ca, cb.max(b))),
+                Some((ca, cb)) => {
+                    total += cb - ca;
+                    cur = Some((a, b));
+                }
+                None => cur = Some((a, b)),
+            }
+        }
+        if let Some((ca, cb)) = cur {
+            total += cb - ca;
+        }
+        Seconds::new(total)
+    }
+
+    /// Number of datasets with any recorded transit.
+    #[must_use]
+    pub fn tracked_datasets(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: DatasetId = DatasetId(7);
+
+    #[test]
+    fn untracked_data_is_at_rest() {
+        let t = AvailabilityTracker::new();
+        assert_eq!(t.state_at(D, Seconds::new(5.0)), DataState::AtRest);
+        assert_eq!(t.next_at_rest(D, Seconds::new(5.0)).seconds(), 5.0);
+        assert_eq!(t.total_transit_time(D), Seconds::ZERO);
+    }
+
+    #[test]
+    fn state_within_and_outside_windows() {
+        let mut t = AvailabilityTracker::new();
+        t.record_transit(D, Seconds::new(10.0), Seconds::new(20.0));
+        assert_eq!(t.state_at(D, Seconds::new(9.99)), DataState::AtRest);
+        assert_eq!(t.state_at(D, Seconds::new(10.0)), DataState::InTransit);
+        assert_eq!(t.state_at(D, Seconds::new(19.99)), DataState::InTransit);
+        // Half-open interval: at-rest exactly at the end.
+        assert_eq!(t.state_at(D, Seconds::new(20.0)), DataState::AtRest);
+    }
+
+    #[test]
+    fn next_at_rest_chains_overlapping_windows() {
+        let mut t = AvailabilityTracker::new();
+        t.record_transit(D, Seconds::new(10.0), Seconds::new(20.0));
+        t.record_transit(D, Seconds::new(15.0), Seconds::new(30.0));
+        t.record_transit(D, Seconds::new(40.0), Seconds::new(50.0));
+        assert_eq!(t.next_at_rest(D, Seconds::new(12.0)).seconds(), 30.0);
+        assert_eq!(t.next_at_rest(D, Seconds::new(35.0)).seconds(), 35.0);
+        assert_eq!(t.next_at_rest(D, Seconds::new(45.0)).seconds(), 50.0);
+    }
+
+    #[test]
+    fn total_transit_merges_overlaps() {
+        let mut t = AvailabilityTracker::new();
+        t.record_transit(D, Seconds::new(0.0), Seconds::new(10.0));
+        t.record_transit(D, Seconds::new(5.0), Seconds::new(15.0)); // overlap
+        t.record_transit(D, Seconds::new(20.0), Seconds::new(25.0)); // disjoint
+        assert_eq!(t.total_transit_time(D).seconds(), 20.0);
+        assert_eq!(t.tracked_datasets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered interval")]
+    fn reversed_window_panics() {
+        let mut t = AvailabilityTracker::new();
+        t.record_transit(D, Seconds::new(5.0), Seconds::new(1.0));
+    }
+
+    #[test]
+    fn datasets_are_tracked_independently() {
+        let mut t = AvailabilityTracker::new();
+        t.record_transit(DatasetId(1), Seconds::new(0.0), Seconds::new(10.0));
+        assert_eq!(t.state_at(DatasetId(2), Seconds::new(5.0)), DataState::AtRest);
+        assert_eq!(
+            t.state_at(DatasetId(1), Seconds::new(5.0)),
+            DataState::InTransit
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! The DHL management-software layer (§III-D).
+//!
+//! "Adopting a DHL in a data centre also relies on management software to
+//! coordinate SSDs' movement. Software controls access through an API that
+//! is accessed through the standard network. It then schedules the shuttling
+//! of the carts between the library and the endpoints if the state of the
+//! system permits such an operation."
+//!
+//! Three concerns, three modules:
+//!
+//! - [`placement`]: which carts hold which dataset shards (the data map the
+//!   §III-D API consults on **Open**);
+//! - [`scheduler`]: ordering concurrent transfer requests onto the shared
+//!   track and finite docking stations — "the fact that a cart can only be
+//!   in one place at a time needs to be considered";
+//! - [`availability`]: tracking that "data stored on a cart is inaccessible
+//!   during transit".
+//!
+//! # Example
+//!
+//! ```rust
+//! use dhl_sched::placement::Placement;
+//! use dhl_sched::scheduler::{Priority, Scheduler, TransferRequest};
+//! use dhl_sim::SimConfig;
+//! use dhl_storage::datasets;
+//! use dhl_units::Seconds;
+//!
+//! let mut placement = Placement::new(dhl_units::Bytes::from_terabytes(256.0));
+//! let laion = placement.store(datasets::laion_5b());
+//!
+//! let mut sched = Scheduler::new(SimConfig::paper_default(), placement).unwrap();
+//! sched.submit(TransferRequest::new(laion, 1, Priority::Normal, Seconds::ZERO));
+//! let outcome = sched.run();
+//! assert_eq!(outcome.completed.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod placement;
+pub mod scheduler;
+
+pub use availability::{AvailabilityTracker, DataState};
+pub use placement::{CartContents, DatasetId, Placement};
+pub use scheduler::{
+    Policy, Priority, RequestId, RequestOutcome, ScheduleOutcome, Scheduler, TransferRequest,
+};

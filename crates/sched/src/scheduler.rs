@@ -1,0 +1,602 @@
+//! Transfer-request scheduling onto the shared track (§III-D).
+//!
+//! "To avoid delays, the fact that a cart can only be in one place at a
+//! time needs to be considered." The scheduler is a conservative list
+//! scheduler: requests are ordered by priority then arrival; each request's
+//! cart movements are serialised onto the single track (matching the
+//! analytical model's accounting) with docking-station limits at the
+//! destination, and every cart returns to the library after its dwell.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dhl_sim::{ConfigError, EndpointKind, MovementCost, SimConfig};
+use dhl_units::{Joules, Seconds};
+
+use crate::availability::AvailabilityTracker;
+use crate::placement::{DatasetId, Placement};
+
+/// Request priority classes.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Priority {
+    /// Background work (bulk backups).
+    Background,
+    /// Default.
+    Normal,
+    /// Latency-sensitive (a training job blocked on data).
+    Urgent,
+}
+
+/// Ordering discipline within a priority class.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Policy {
+    /// First come, first served (the default).
+    #[default]
+    PriorityFifo,
+    /// Shortest job (fewest carts) first — minimises mean delivery latency
+    /// at the cost of starving large transfers behind a stream of small
+    /// ones.
+    ShortestJobFirst,
+}
+
+/// Opaque handle for a submitted request.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// A client's request to materialise a dataset at a rack endpoint.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TransferRequest {
+    /// The dataset to move.
+    pub dataset: DatasetId,
+    /// Destination endpoint index (must be a rack).
+    pub destination: usize,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// When the request arrives.
+    pub arrival: Seconds,
+    /// How long each cart dwells docked before returning (read time).
+    pub dwell: Seconds,
+}
+
+impl TransferRequest {
+    /// A request with zero dwell (pure transfer).
+    #[must_use]
+    pub fn new(dataset: DatasetId, destination: usize, priority: Priority, arrival: Seconds) -> Self {
+        Self {
+            dataset,
+            destination,
+            priority,
+            arrival,
+            dwell: Seconds::ZERO,
+        }
+    }
+
+    /// Sets the per-cart docked dwell time.
+    #[must_use]
+    pub fn with_dwell(mut self, dwell: Seconds) -> Self {
+        self.dwell = dwell;
+        self
+    }
+}
+
+/// Per-request outcome.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// The request's handle.
+    pub id: RequestId,
+    /// When its first cart began undocking.
+    pub started: Seconds,
+    /// When its last shard finished docking at the destination.
+    pub delivered: Seconds,
+    /// When all its carts were back in the library.
+    pub completed: Seconds,
+    /// Cart deliveries performed.
+    pub deliveries: u64,
+    /// Electrical energy across all its movements.
+    pub energy: Joules,
+}
+
+impl RequestOutcome {
+    /// Queueing + service latency from arrival to full delivery.
+    #[must_use]
+    pub fn delivery_latency(&self, arrival: Seconds) -> Seconds {
+        self.delivered - arrival
+    }
+}
+
+/// Result of running the scheduler to completion.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Outcomes in completion order.
+    pub completed: Vec<RequestOutcome>,
+    /// Total time until the last cart was home.
+    pub makespan: Seconds,
+    /// Total energy across all requests.
+    pub total_energy: Joules,
+    /// Fraction of the makespan the track spent occupied.
+    pub track_utilisation: f64,
+}
+
+/// Errors from submitting or running the scheduler.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum SchedulerError {
+    /// The simulator configuration was invalid.
+    Config(ConfigError),
+    /// A request referenced an unknown dataset.
+    UnknownDataset(DatasetId),
+    /// A request targeted a non-rack endpoint.
+    InvalidDestination(usize),
+}
+
+impl core::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+            Self::UnknownDataset(id) => write!(f, "unknown dataset {id:?}"),
+            Self::InvalidDestination(ep) => {
+                write!(f, "endpoint {ep} is not a rack endpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+impl From<ConfigError> for SchedulerError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+/// The conservative list scheduler over one DHL.
+pub struct Scheduler {
+    cfg: SimConfig,
+    placement: Placement,
+    queue: Vec<(RequestId, TransferRequest)>,
+    next_id: u64,
+    availability: AvailabilityTracker,
+    policy: Policy,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over a validated system configuration and a data
+    /// placement.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError::Config`] if the configuration is invalid.
+    pub fn new(cfg: SimConfig, placement: Placement) -> Result<Self, SchedulerError> {
+        cfg.validate()?;
+        Ok(Self {
+            cfg,
+            placement,
+            queue: Vec::new(),
+            next_id: 0,
+            availability: AvailabilityTracker::new(),
+            policy: Policy::PriorityFifo,
+        })
+    }
+
+    /// Sets the within-class ordering discipline.
+    #[must_use]
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The ordering discipline in effect.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The data placement being scheduled over.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The availability tracker, populated by [`Scheduler::run`].
+    #[must_use]
+    pub fn availability(&self) -> &AvailabilityTracker {
+        &self.availability
+    }
+
+    /// Enqueues a request and returns its handle.
+    pub fn submit(&mut self, request: TransferRequest) -> RequestId {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.queue.push((id, request));
+        id
+    }
+
+    /// Validates a request against the placement and topology.
+    fn check(&self, request: &TransferRequest) -> Result<(), SchedulerError> {
+        if self.placement.carts_of(request.dataset).is_none() {
+            return Err(SchedulerError::UnknownDataset(request.dataset));
+        }
+        match self.cfg.endpoints.get(request.destination) {
+            Some(ep) if ep.kind == EndpointKind::Rack => Ok(()),
+            _ => Err(SchedulerError::InvalidDestination(request.destination)),
+        }
+    }
+
+    /// Runs all queued requests to completion and returns the schedule.
+    ///
+    /// Scheduling policy: higher [`Priority`] first, FIFO within a class;
+    /// cart movements serialise on the single track; each destination
+    /// admits at most `docks` simultaneously dwelling carts.
+    ///
+    /// # Errors
+    ///
+    /// The first invalid request ([`SchedulerError::UnknownDataset`] or
+    /// [`SchedulerError::InvalidDestination`]); no movements are scheduled
+    /// in that case.
+    pub fn run(&mut self) -> ScheduleOutcome {
+        self.try_run().expect("submitted requests were validated")
+    }
+
+    /// Like [`Scheduler::run`] but surfacing validation errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::run`].
+    pub fn try_run(&mut self) -> Result<ScheduleOutcome, SchedulerError> {
+        for (_, req) in &self.queue {
+            self.check(req)?;
+        }
+        // Priority first; within a class, FIFO by arrival or shortest job
+        // (fewest carts) depending on the policy; submission order breaks
+        // remaining ties (stable sort).
+        let job_size = |req: &TransferRequest| {
+            self.placement
+                .carts_of(req.dataset)
+                .map(<[usize]>::len)
+                .unwrap_or(usize::MAX)
+        };
+        let policy = self.policy;
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (_, ra) = &self.queue[a];
+            let (_, rb) = &self.queue[b];
+            let class = rb.priority.cmp(&ra.priority);
+            let within = match policy {
+                Policy::PriorityFifo => {
+                    ra.arrival.partial_cmp(&rb.arrival).expect("finite")
+                }
+                Policy::ShortestJobFirst => job_size(ra).cmp(&job_size(rb)),
+            };
+            class.then(within)
+        });
+
+        let mut track_free = 0.0f64;
+        let mut track_busy = 0.0f64;
+        // Destination docks: earliest-free times per endpoint.
+        let mut dock_free: HashMap<usize, Vec<f64>> = HashMap::new();
+        let mut outcomes = Vec::new();
+        let mut total_energy = Joules::ZERO;
+
+        for idx in order {
+            let (id, req) = self.queue[idx].clone();
+            let carts = self
+                .placement
+                .carts_of(req.dataset)
+                .expect("validated")
+                .to_vec();
+            let distance =
+                self.cfg.endpoints[req.destination].position - self.cfg.endpoints[0].position;
+            let cost = MovementCost::for_distance(&self.cfg, distance);
+            let docks = dock_free
+                .entry(req.destination)
+                .or_insert_with(|| vec![0.0; self.cfg.endpoints[req.destination].docks as usize]);
+
+            let mut started = f64::INFINITY;
+            let mut delivered = 0.0f64;
+            let mut completed = 0.0f64;
+            let mut energy = Joules::ZERO;
+
+            for _cart in &carts {
+                // Outbound: wait for arrival, track, and a destination dock.
+                let dock = docks
+                    .iter_mut()
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                    .expect("rack has docks");
+                let depart = req.arrival.seconds().max(track_free).max(*dock);
+                let arrive = depart + cost.total_time.seconds();
+                started = started.min(depart);
+                delivered = delivered.max(arrive);
+                track_free = arrive;
+                track_busy += cost.total_time.seconds();
+
+                // Dwell, then return (track again).
+                let ready_back = arrive + req.dwell.seconds();
+                let back_depart = ready_back.max(track_free);
+                let home = back_depart + cost.total_time.seconds();
+                track_free = home;
+                track_busy += cost.total_time.seconds();
+                *dock = back_depart + self.cfg.undock_time.seconds();
+                completed = completed.max(home);
+
+                energy += cost.energy + cost.energy;
+                self.availability.record_transit(
+                    req.dataset,
+                    Seconds::new(depart),
+                    Seconds::new(arrive),
+                );
+                self.availability.record_transit(
+                    req.dataset,
+                    Seconds::new(back_depart),
+                    Seconds::new(home),
+                );
+            }
+
+            total_energy += energy;
+            outcomes.push(RequestOutcome {
+                id,
+                started: Seconds::new(started),
+                delivered: Seconds::new(delivered),
+                completed: Seconds::new(completed),
+                deliveries: carts.len() as u64,
+                energy,
+            });
+        }
+
+        self.queue.clear();
+        outcomes.sort_by(|a, b| a.completed.partial_cmp(&b.completed).expect("finite"));
+        let makespan = outcomes
+            .last()
+            .map(|o| o.completed)
+            .unwrap_or(Seconds::ZERO);
+        Ok(ScheduleOutcome {
+            track_utilisation: if makespan.seconds() > 0.0 {
+                track_busy / makespan.seconds()
+            } else {
+                0.0
+            },
+            completed: outcomes,
+            makespan,
+            total_energy,
+        })
+    }
+}
+
+impl core::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("queued", &self.queue.len())
+            .field("datasets", &self.placement.dataset_ids().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhl_storage::datasets;
+    use dhl_units::Bytes;
+
+    fn setup() -> (Scheduler, DatasetId, DatasetId) {
+        let mut placement = Placement::new(Bytes::from_terabytes(256.0));
+        let small = placement.store(datasets::laion_5b()); // 1 cart
+        let big = placement.store(datasets::common_crawl()); // 36 carts
+        let sched = Scheduler::new(SimConfig::paper_default(), placement).unwrap();
+        (sched, small, big)
+    }
+
+    #[test]
+    fn single_request_round_trip_accounting() {
+        let (mut sched, small, _) = setup();
+        sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO));
+        let out = sched.run();
+        assert_eq!(out.completed.len(), 1);
+        let r = &out.completed[0];
+        assert_eq!(r.deliveries, 1);
+        // Out 8.6 s + back 8.6 s.
+        assert!((r.delivered.seconds() - 8.6).abs() < 1e-9);
+        assert!((r.completed.seconds() - 17.2).abs() < 1e-9);
+        assert!((out.makespan.seconds() - 17.2).abs() < 1e-9);
+        assert!((out.track_utilisation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn urgent_requests_jump_the_queue() {
+        let (mut sched, small, big) = setup();
+        let slow = sched.submit(
+            TransferRequest::new(big, 1, Priority::Background, Seconds::ZERO),
+        );
+        let fast = sched.submit(TransferRequest::new(small, 1, Priority::Urgent, Seconds::ZERO));
+        let out = sched.run();
+        let by_id: HashMap<RequestId, &RequestOutcome> =
+            out.completed.iter().map(|o| (o.id, o)).collect();
+        // The urgent single-cart request starts first and finishes first.
+        assert!(by_id[&fast].completed < by_id[&slow].started + Seconds::new(1.0));
+        assert!(by_id[&fast].delivered.seconds() < 10.0);
+    }
+
+    #[test]
+    fn fifo_within_a_priority_class() {
+        let (mut sched, small, _) = setup();
+        let first = sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO));
+        let second =
+            sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::new(1.0)));
+        let out = sched.run();
+        assert_eq!(out.completed[0].id, first);
+        assert_eq!(out.completed[1].id, second);
+        // Second serialises behind the first on the track.
+        assert!(out.completed[1].started >= out.completed[0].completed - Seconds::new(8.7));
+    }
+
+    #[test]
+    fn makespan_scales_with_cart_count() {
+        let (mut sched, _, big) = setup();
+        sched.submit(TransferRequest::new(big, 1, Priority::Normal, Seconds::ZERO));
+        let out = sched.run();
+        // 36 carts × (out + back) = 72 × 8.6 s on a serial track.
+        assert!((out.makespan.seconds() - 72.0 * 8.6).abs() < 1.0);
+        assert_eq!(out.completed[0].deliveries, 36);
+    }
+
+    #[test]
+    fn dwell_extends_completion_not_delivery() {
+        let (mut sched, small, _) = setup();
+        sched.submit(
+            TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO)
+                .with_dwell(Seconds::new(100.0)),
+        );
+        let out = sched.run();
+        let r = &out.completed[0];
+        assert!((r.delivered.seconds() - 8.6).abs() < 1e-9);
+        assert!((r.completed.seconds() - 117.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_before_any_scheduling() {
+        let (mut sched, small, _) = setup();
+        sched.submit(TransferRequest::new(DatasetId(999), 1, Priority::Normal, Seconds::ZERO));
+        assert!(matches!(
+            sched.try_run(),
+            Err(SchedulerError::UnknownDataset(DatasetId(999)))
+        ));
+        // Library (endpoint 0) is not a valid destination.
+        let mut placement = Placement::new(Bytes::from_terabytes(256.0));
+        let _ = placement.store(datasets::laion_5b());
+        let mut sched2 = Scheduler::new(SimConfig::paper_default(), placement).unwrap();
+        sched2.submit(TransferRequest::new(small, 0, Priority::Normal, Seconds::ZERO));
+        assert!(matches!(
+            sched2.try_run(),
+            Err(SchedulerError::InvalidDestination(0))
+        ));
+    }
+
+    #[test]
+    fn empty_schedule_is_trivial() {
+        let (mut sched, _, _) = setup();
+        let out = sched.run();
+        assert!(out.completed.is_empty());
+        assert_eq!(out.makespan, Seconds::ZERO);
+        assert_eq!(out.track_utilisation, 0.0);
+    }
+
+    #[test]
+    fn energy_matches_movement_count() {
+        let (mut sched, _, big) = setup();
+        sched.submit(TransferRequest::new(big, 1, Priority::Normal, Seconds::ZERO));
+        let out = sched.run();
+        let per_movement = out.total_energy.value() / 72.0;
+        assert!((per_movement - 15_191.0).abs() < 100.0, "{per_movement}");
+    }
+
+    #[test]
+    fn availability_reflects_transit_windows() {
+        let (mut sched, small, _) = setup();
+        sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO));
+        let _ = sched.run();
+        let tracker = sched.availability();
+        use crate::availability::DataState;
+        assert_eq!(tracker.state_at(small, Seconds::new(4.0)), DataState::InTransit);
+        assert_eq!(tracker.state_at(small, Seconds::new(100.0)), DataState::AtRest);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use dhl_storage::datasets::{Dataset, DatasetKind};
+    use dhl_units::Bytes;
+
+    fn dataset(tb: f64) -> Dataset {
+        Dataset {
+            name: "policy".into(),
+            size: Bytes::from_terabytes(tb),
+            kind: DatasetKind::BigData,
+        }
+    }
+
+    fn build(policy: Policy) -> (Scheduler, Vec<RequestId>) {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        // One huge job submitted first, three small ones after.
+        let big = p.store(dataset(10_000.0)); // 40 carts
+        let smalls: Vec<_> = (0..3).map(|_| p.store(dataset(100.0))).collect();
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_policy(policy);
+        let mut ids = vec![sched.submit(TransferRequest::new(
+            big,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ))];
+        for s in smalls {
+            ids.push(sched.submit(TransferRequest::new(s, 1, Priority::Normal, Seconds::ZERO)));
+        }
+        (sched, ids)
+    }
+
+    fn mean_delivery(out: &ScheduleOutcome) -> f64 {
+        out.completed.iter().map(|o| o.delivered.seconds()).sum::<f64>()
+            / out.completed.len() as f64
+    }
+
+    #[test]
+    fn sjf_cuts_mean_latency_without_changing_makespan() {
+        let (mut fifo, _) = build(Policy::PriorityFifo);
+        let (mut sjf, _) = build(Policy::ShortestJobFirst);
+        let out_fifo = fifo.run();
+        let out_sjf = sjf.run();
+        assert!(
+            mean_delivery(&out_sjf) < mean_delivery(&out_fifo) / 2.0,
+            "sjf {} vs fifo {}",
+            mean_delivery(&out_sjf),
+            mean_delivery(&out_fifo)
+        );
+        // Same total work: identical makespan and energy.
+        assert!((out_sjf.makespan.seconds() - out_fifo.makespan.seconds()).abs() < 1e-6);
+        assert!((out_sjf.total_energy.value() - out_fifo.total_energy.value()).abs() < 1.0);
+    }
+
+    #[test]
+    fn sjf_runs_small_jobs_first() {
+        let (mut sjf, ids) = build(Policy::ShortestJobFirst);
+        let out = sjf.run();
+        let big = out.completed.iter().find(|o| o.id == ids[0]).unwrap();
+        for small_id in &ids[1..] {
+            let small = out.completed.iter().find(|o| o.id == *small_id).unwrap();
+            assert!(small.completed < big.started + Seconds::new(1.0));
+        }
+    }
+
+    #[test]
+    fn priority_still_trumps_job_size_under_sjf() {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let big_urgent = p.store(dataset(5_000.0));
+        let tiny_background = p.store(dataset(10.0));
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_policy(Policy::ShortestJobFirst);
+        let t = sched.submit(TransferRequest::new(
+            tiny_background,
+            1,
+            Priority::Background,
+            Seconds::ZERO,
+        ));
+        let b = sched.submit(TransferRequest::new(
+            big_urgent,
+            1,
+            Priority::Urgent,
+            Seconds::ZERO,
+        ));
+        let out = sched.run();
+        let urgent = out.completed.iter().find(|o| o.id == b).unwrap();
+        let tiny = out.completed.iter().find(|o| o.id == t).unwrap();
+        assert!(urgent.started < tiny.started);
+    }
+
+    #[test]
+    fn default_policy_is_fifo() {
+        let p = Placement::new(Bytes::from_terabytes(256.0));
+        let sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
+        assert_eq!(sched.policy(), Policy::PriorityFifo);
+    }
+}

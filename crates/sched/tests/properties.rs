@@ -1,0 +1,107 @@
+//! Property-based tests for the management-software layer.
+
+use dhl_sched::placement::Placement;
+use dhl_sched::scheduler::{Priority, Scheduler, TransferRequest};
+use dhl_sim::SimConfig;
+use dhl_storage::datasets::{Dataset, DatasetKind};
+use dhl_units::{Bytes, Seconds};
+use proptest::prelude::*;
+
+fn dataset(tb: f64) -> Dataset {
+    Dataset {
+        name: "prop".into(),
+        size: Bytes::from_terabytes(tb),
+        kind: DatasetKind::BigData,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn placement_carts_cover_any_dataset(tb in 1.0..50_000.0f64) {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let id = p.store(dataset(tb));
+        let carts = p.carts_of(id).unwrap();
+        let total: Bytes = carts.iter().map(|c| p.contents_of(*c).unwrap().bytes).sum();
+        prop_assert_eq!(total, Bytes::from_terabytes(tb));
+        prop_assert_eq!(carts.len() as u64, Bytes::from_terabytes(tb).div_ceil(Bytes::from_terabytes(256.0)));
+    }
+
+    #[test]
+    fn store_evict_store_reuses_slots(sizes in prop::collection::vec(1.0..5_000.0f64, 1..8)) {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ids: Vec<_> = sizes.iter().map(|&tb| p.store(dataset(tb))).collect();
+        let peak = p.cart_count();
+        for id in &ids {
+            prop_assert!(p.evict(*id));
+        }
+        prop_assert_eq!(p.occupied_carts(), 0);
+        // Restoring the same datasets never grows the pool.
+        for &tb in &sizes {
+            let _ = p.store(dataset(tb));
+        }
+        prop_assert_eq!(p.cart_count(), peak);
+    }
+
+    #[test]
+    fn schedule_serialises_without_overlap(sizes in prop::collection::vec(1.0..2_000.0f64, 1..5)) {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ids: Vec<_> = sizes.iter().map(|&tb| p.store(dataset(tb))).collect();
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
+        for id in &ids {
+            sched.submit(TransferRequest::new(*id, 1, Priority::Normal, Seconds::ZERO));
+        }
+        let out = sched.run();
+        prop_assert_eq!(out.completed.len(), ids.len());
+        // Total track time equals movements × trip time (serial track, no
+        // dwell): utilisation is 100 % and makespan = Σ movements × 8.6 s.
+        let total_movements: u64 = out.completed.iter().map(|o| 2 * o.deliveries).sum();
+        prop_assert!((out.makespan.seconds() - total_movements as f64 * 8.6).abs() < 1e-6);
+        prop_assert!((out.track_utilisation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priorities_always_finish_urgent_first(
+        urgent_tb in 1.0..500.0f64, background_tb in 1.0..500.0f64,
+    ) {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let u = p.store(dataset(urgent_tb));
+        let b = p.store(dataset(background_tb));
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
+        let bid = sched.submit(TransferRequest::new(b, 1, Priority::Background, Seconds::ZERO));
+        let uid = sched.submit(TransferRequest::new(u, 1, Priority::Urgent, Seconds::ZERO));
+        let out = sched.run();
+        let pos = |id| out.completed.iter().position(|o| o.id == id).unwrap();
+        prop_assert!(out.completed[pos(uid)].started <= out.completed[pos(bid)].started);
+    }
+
+    #[test]
+    fn makespan_is_at_least_the_largest_request(sizes in prop::collection::vec(1.0..3_000.0f64, 1..6)) {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ids: Vec<_> = sizes.iter().map(|&tb| p.store(dataset(tb))).collect();
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
+        for id in ids {
+            sched.submit(TransferRequest::new(id, 1, Priority::Normal, Seconds::ZERO));
+        }
+        let out = sched.run();
+        let max_single = sizes
+            .iter()
+            .map(|&tb| Bytes::from_terabytes(tb).div_ceil(Bytes::from_terabytes(256.0)))
+            .max()
+            .unwrap();
+        prop_assert!(out.makespan.seconds() >= (2 * max_single) as f64 * 8.6 - 1e-6);
+    }
+
+    #[test]
+    fn transit_time_is_bounded_by_makespan(tb in 1.0..3_000.0f64) {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let id = p.store(dataset(tb));
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
+        sched.submit(TransferRequest::new(id, 1, Priority::Normal, Seconds::ZERO));
+        let out = sched.run();
+        let transit = sched.availability().total_transit_time(id);
+        prop_assert!(transit.seconds() <= out.makespan.seconds() + 1e-6);
+        prop_assert!(transit.seconds() > 0.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Simulation configuration (Table V parameters + system layout).
+
+use serde::{Deserialize, Serialize};
+
+use dhl_physics::{
+    ActiveStabilisation, BrakingSystem, CartMassModel, LevitationModel, LinearInductionMotor,
+    PhysicsError, TimeModel,
+};
+use dhl_storage::failure::{FailureModel, RaidConfig};
+use dhl_units::{Bytes, Kilograms, Metres, Seconds};
+
+/// Stochastic SSD-failure injection for the system simulator (§III-D:
+/// "if an SSD fails in-flight, the endpoint's DHL API will report the
+/// error, and RAID and backups can ameliorate the issue").
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ReliabilitySpec {
+    /// Per-SSD failure model.
+    pub failure: FailureModel,
+    /// RAID layout across each cart's SSDs.
+    pub raid: RaidConfig,
+    /// SSDs per cart.
+    pub ssds_per_cart: u32,
+    /// RNG seed (simulations stay deterministic).
+    pub seed: u64,
+}
+
+impl ReliabilitySpec {
+    /// Typical enterprise drives (1 % AFR) under 28+4 RAID on a 32-SSD cart.
+    #[must_use]
+    pub fn typical() -> Self {
+        Self {
+            failure: FailureModel::typical_enterprise_ssd(),
+            raid: RaidConfig::new(28, 4).expect("valid layout"),
+            ssds_per_cart: 32,
+            seed: 0xD41,
+        }
+    }
+}
+
+/// What an endpoint is for.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum EndpointKind {
+    /// The cart library: cold storage at one end of the track (§III-B.6).
+    Library,
+    /// A rack endpoint with server-connected docking stations (§III-B.5).
+    Rack,
+}
+
+/// One endpoint along the track.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EndpointSpec {
+    /// Position along the track, measured from the library.
+    pub position: Metres,
+    /// Number of docking stations (concurrent carts it can hold).
+    pub docks: u32,
+    /// Role of the endpoint.
+    pub kind: EndpointKind,
+}
+
+/// Error validating a [`SimConfig`].
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Fewer than two endpoints, or the first is not a library.
+    BadEndpoints(String),
+    /// Endpoint positions must be strictly increasing from the library at 0.
+    NonMonotonicPositions,
+    /// No carts configured, or the library cannot hold the fleet.
+    BadFleet(String),
+    /// An embedded physics parameter was invalid.
+    Physics(PhysicsError),
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BadEndpoints(msg) | Self::BadFleet(msg) => f.write_str(msg),
+            Self::NonMonotonicPositions => {
+                f.write_str("endpoint positions must be strictly increasing")
+            }
+            Self::Physics(e) => write!(f, "invalid physics parameter: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Physics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PhysicsError> for ConfigError {
+    fn from(e: PhysicsError) -> Self {
+        Self::Physics(e)
+    }
+}
+
+/// How long a cart spends docked at a rack before it may return.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ProcessingModel {
+    /// Released immediately after docking — the pure-transfer accounting of
+    /// Table VI.
+    Instant,
+    /// The rack reads the full cart through its PCIe docking link first;
+    /// duration = capacity ÷ bandwidth (bytes/s).
+    PcieRead {
+        /// Effective docked read bandwidth in bytes per second.
+        bandwidth_bytes_per_second: f64,
+    },
+    /// A fixed dwell time.
+    Fixed(Seconds),
+}
+
+/// Full configuration of a DHL system simulation.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Endpoints in track order; `endpoints[0]` must be the library at 0 m.
+    pub endpoints: Vec<EndpointSpec>,
+    /// Maximum cruise speed (Table V: 100/**200**/300 m/s).
+    pub max_speed: dhl_units::MetresPerSecond,
+    /// The LIM (efficiency + acceleration, Table V: 75 %, 1000 m/s²).
+    pub lim: LinearInductionMotor,
+    /// Trip-time accounting (default: paper-matching single ramp).
+    pub time_model: TimeModel,
+    /// Time to dock (Table V pessimistic: 3 s).
+    pub dock_time: Seconds,
+    /// Time to undock (Table V pessimistic: 3 s).
+    pub undock_time: Seconds,
+    /// Data capacity of each cart (Table V: 128/**256**/512 TB).
+    pub cart_capacity: Bytes,
+    /// Mass of each loaded cart (Table V: 161/**282**/524 g).
+    pub cart_mass: Kilograms,
+    /// Fleet size (carts stored in the library).
+    pub num_carts: u32,
+    /// Dual unidirectional tracks instead of one bidirectional track (§VI).
+    pub dual_track: bool,
+    /// Braking system at the receiving end (§VI alternatives).
+    pub braking: BrakingSystem,
+    /// Levitation/drag model.
+    pub levitation: LevitationModel,
+    /// Active-stabilisation power model.
+    pub stabilisation: ActiveStabilisation,
+    /// Rack-side dwell model.
+    pub processing: ProcessingModel,
+    /// Optional in-flight SSD failure injection.
+    pub reliability: Option<ReliabilitySpec>,
+}
+
+impl SimConfig {
+    /// The paper's default system: library at 0 m (fleet-sized docks), one
+    /// rack at 500 m with 4 docking stations, 200 m/s, 256 TB / 282 g carts,
+    /// 8-cart fleet, single track, LIM braking, instant processing.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let num_carts = 8;
+        Self {
+            endpoints: vec![
+                EndpointSpec {
+                    position: Metres::ZERO,
+                    docks: num_carts,
+                    kind: EndpointKind::Library,
+                },
+                EndpointSpec {
+                    position: Metres::new(500.0),
+                    docks: 4,
+                    kind: EndpointKind::Rack,
+                },
+            ],
+            max_speed: dhl_units::MetresPerSecond::new(200.0),
+            lim: LinearInductionMotor::paper_default(),
+            time_model: TimeModel::PaperSingleRamp,
+            dock_time: Seconds::new(3.0),
+            undock_time: Seconds::new(3.0),
+            cart_capacity: Bytes::from_terabytes(256.0),
+            cart_mass: CartMassModel::paper_default().budget(32).total,
+            num_carts,
+            dual_track: false,
+            braking: BrakingSystem::paper_default(),
+            levitation: LevitationModel::paper_default(),
+            stabilisation: ActiveStabilisation::paper_default(),
+            processing: ProcessingModel::Instant,
+            reliability: None,
+        }
+    }
+
+    /// A strictly serial configuration — one cart, one rack dock — whose
+    /// bulk-transfer behaviour matches the paper's analytical "doubled
+    /// trips" accounting exactly.
+    #[must_use]
+    pub fn paper_serial() -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.num_carts = 1;
+        cfg.endpoints[0].docks = 1;
+        cfg.endpoints[1].docks = 1;
+        cfg
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] describing the first violated constraint: endpoint
+    /// layout, fleet sizing, or embedded physics parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.endpoints.len() < 2 {
+            return Err(ConfigError::BadEndpoints(
+                "a DHL needs at least a library and one rack endpoint".into(),
+            ));
+        }
+        if self.endpoints[0].kind != EndpointKind::Library
+            || self.endpoints[0].position.value() != 0.0
+        {
+            return Err(ConfigError::BadEndpoints(
+                "endpoint 0 must be the library at position 0".into(),
+            ));
+        }
+        for pair in self.endpoints.windows(2) {
+            if pair[1].position.value() <= pair[0].position.value() {
+                return Err(ConfigError::NonMonotonicPositions);
+            }
+        }
+        if self.num_carts == 0 {
+            return Err(ConfigError::BadFleet("fleet must contain at least one cart".into()));
+        }
+        if self.endpoints[0].docks < self.num_carts {
+            return Err(ConfigError::BadFleet(format!(
+                "library has {} docks but the fleet holds {} carts",
+                self.endpoints[0].docks, self.num_carts
+            )));
+        }
+        for ep in &self.endpoints {
+            if ep.docks == 0 {
+                return Err(ConfigError::BadEndpoints(
+                    "every endpoint needs at least one docking station".into(),
+                ));
+            }
+        }
+        if !(self.max_speed.value() > 0.0) {
+            return Err(ConfigError::Physics(PhysicsError::NonPositive {
+                what: "max speed",
+                value: self.max_speed.value(),
+            }));
+        }
+        if self.dock_time.seconds() < 0.0 || self.undock_time.seconds() < 0.0 {
+            return Err(ConfigError::BadEndpoints(
+                "dock/undock times must be non-negative".into(),
+            ));
+        }
+        if !(self.cart_mass.value() > 0.0) {
+            return Err(ConfigError::Physics(PhysicsError::NonPositive {
+                what: "cart mass",
+                value: self.cart_mass.value(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Track length: the position of the farthest endpoint.
+    #[must_use]
+    pub fn track_length(&self) -> Metres {
+        self.endpoints
+            .last()
+            .map(|e| e.position)
+            .unwrap_or(Metres::ZERO)
+    }
+
+    /// The minimum launch headway between same-direction carts: successive
+    /// arrivals must be spaced by at least the docking time so the previous
+    /// cart has been lifted clear (§III-B.5).
+    #[must_use]
+    pub fn launch_headway(&self) -> Seconds {
+        self.dock_time.max(self.undock_time)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        SimConfig::paper_default().validate().unwrap();
+        SimConfig::paper_serial().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_default_matches_table_v() {
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.max_speed.value(), 200.0);
+        assert_eq!(cfg.track_length().value(), 500.0);
+        assert_eq!(cfg.cart_capacity.terabytes(), 256.0);
+        assert!((cfg.cart_mass.grams() - 281.92).abs() < 0.01);
+        assert_eq!(cfg.dock_time.seconds(), 3.0);
+        assert_eq!(cfg.undock_time.seconds(), 3.0);
+        assert_eq!(cfg.lim.efficiency(), 0.75);
+    }
+
+    #[test]
+    fn rejects_missing_rack() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.endpoints.truncate(1);
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadEndpoints(_))));
+    }
+
+    #[test]
+    fn rejects_non_library_first_endpoint() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.endpoints[0].kind = EndpointKind::Rack;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_unordered_positions() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.endpoints.push(EndpointSpec {
+            position: Metres::new(300.0),
+            docks: 1,
+            kind: EndpointKind::Rack,
+        });
+        assert_eq!(cfg.validate(), Err(ConfigError::NonMonotonicPositions));
+    }
+
+    #[test]
+    fn rejects_undersized_library() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.endpoints[0].docks = 2; // fleet is 8
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadFleet(_))));
+    }
+
+    #[test]
+    fn rejects_zero_carts_and_zero_docks() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.num_carts = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::paper_default();
+        cfg.endpoints[1].docks = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn headway_is_dock_time() {
+        assert_eq!(SimConfig::paper_default().launch_headway().seconds(), 3.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.endpoints[0].docks = 2;
+        let msg = format!("{}", cfg.validate().unwrap_err());
+        assert!(msg.contains("library has 2 docks"));
+    }
+}

@@ -1,0 +1,247 @@
+//! A minimal, deterministic discrete-event engine.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with a monotonic clock.
+//! Ties are broken by insertion order, so simulations are fully
+//! deterministic. The simulation loop lives with the caller:
+//!
+//! ```rust
+//! use dhl_sim::engine::EventQueue;
+//! use dhl_units::Seconds;
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Seconds::new(2.0), Ev::Pong);
+//! q.schedule(Seconds::new(1.0), Ev::Ping);
+//! let mut order = Vec::new();
+//! while let Some((t, ev)) = q.pop() {
+//!     order.push((t.seconds(), ev));
+//! }
+//! assert_eq!(order, vec![(1.0, Ev::Ping), (2.0, Ev::Pong)]);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dhl_units::Seconds;
+
+/// An entry in the queue: fires at `time`, FIFO within equal times.
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are always finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, time-ordered event queue with a simulation clock.
+///
+/// The clock only moves forward: popping an event advances `now` to the
+/// event's timestamp. Scheduling into the past is rejected.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: f64,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        Seconds::new(self.now)
+    }
+
+    /// Number of events popped so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or non-finite.
+    pub fn schedule(&mut self, delay: Seconds, event: E) {
+        assert!(
+            delay.seconds() >= 0.0 && delay.is_finite(),
+            "event delay must be non-negative and finite, got {delay:?}"
+        );
+        self.schedule_at(Seconds::new(self.now + delay.seconds()), event);
+    }
+
+    /// Schedules `event` at an absolute simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past or is non-finite.
+    pub fn schedule_at(&mut self, at: Seconds, event: E) {
+        assert!(
+            at.seconds() >= self.now && at.is_finite(),
+            "cannot schedule into the past: now={}, at={at:?}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time: at.seconds(),
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Seconds, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.processed += 1;
+        Some((Seconds::new(entry.time), entry.event))
+    }
+
+    /// Peeks at the next event time without popping.
+    #[must_use]
+    pub fn next_time(&self) -> Option<Seconds> {
+        self.heap.peek().map(|e| Seconds::new(e.time))
+    }
+}
+
+impl<E> core::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(3.0), "c");
+        q.schedule(Seconds::new(1.0), "a");
+        q.schedule(Seconds::new(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Seconds::new(5.0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(1.5), ());
+        q.schedule(Seconds::new(0.5), ());
+        assert_eq!(q.now().seconds(), 0.0);
+        q.pop();
+        assert_eq!(q.now().seconds(), 0.5);
+        q.pop();
+        assert_eq!(q.now().seconds(), 1.5);
+        assert!(q.pop().is_none());
+        assert_eq!(q.events_processed(), 2);
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(10.0), "first");
+        q.pop();
+        q.schedule(Seconds::new(5.0), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.seconds(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be non-negative")]
+    fn negative_delay_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(-1.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(10.0), ());
+        q.pop();
+        q.schedule_at(Seconds::new(5.0), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(2.0), ());
+        assert_eq!(q.next_time().unwrap().seconds(), 2.0);
+        assert_eq!(q.now().seconds(), 0.0);
+        assert_eq!(q.pending(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let q: EventQueue<()> = EventQueue::new();
+        let s = format!("{q:?}");
+        assert!(s.contains("now"));
+        assert!(s.contains("pending"));
+    }
+}

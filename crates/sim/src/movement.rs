@@ -1,0 +1,109 @@
+//! Per-movement physics: time, energy, and speed for one cart hop.
+
+use serde::{Deserialize, Serialize};
+
+use dhl_units::{Joules, Metres, MetresPerSecond, Seconds};
+
+use crate::config::SimConfig;
+
+/// Precomputed cost of moving one cart over a given distance.
+///
+/// Shared by the event-driven simulator and the synchronous API facade so
+/// both account movements identically.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MovementCost {
+    /// Cruise speed actually reachable on this hop (≤ configured max; short
+    /// hops cannot fit the full ramps).
+    pub speed: MetresPerSecond,
+    /// Time from undock start to dock completion.
+    pub total_time: Seconds,
+    /// Motion time only (excludes dock/undock).
+    pub motion_time: Seconds,
+    /// Net electrical energy: acceleration + braking + levitation drag +
+    /// active stabilisation.
+    pub energy: Joules,
+}
+
+impl MovementCost {
+    /// Computes the cost of one hop of `distance` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not strictly positive (a zero-length hop is a
+    /// scheduling bug, not a physical movement).
+    #[must_use]
+    pub fn for_distance(cfg: &SimConfig, distance: Metres) -> Self {
+        assert!(
+            distance.value() > 0.0,
+            "movement distance must be positive, got {distance:?}"
+        );
+        let accel = cfg.lim.acceleration();
+        // The hop must fit both ramps: d ≥ v²/a ⇒ v ≤ √(a·d).
+        let fit_speed = MetresPerSecond::new((accel.value() * distance.value()).sqrt());
+        let speed = cfg.max_speed.min(fit_speed);
+        let kin = dhl_physics::TripKinematics::new(distance, speed, accel)
+            .expect("speed was chosen to fit the hop");
+        let motion_time = kin.motion_time(cfg.time_model);
+
+        let accel_energy = cfg.lim.accel_energy(cfg.cart_mass, speed);
+        let decel_energy = cfg.braking.decel_energy(cfg.cart_mass, speed);
+        let drag = cfg.levitation.coasting_drag_loss(cfg.cart_mass, distance);
+        let stabilisation = cfg.stabilisation.energy(motion_time);
+        let energy = accel_energy + decel_energy + drag + stabilisation;
+
+        Self {
+            speed,
+            total_time: cfg.undock_time + motion_time + cfg.dock_time,
+            motion_time,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn default_hop_matches_paper_numbers() {
+        let cfg = SimConfig::paper_default();
+        let cost = MovementCost::for_distance(&cfg, Metres::new(500.0));
+        assert_eq!(cost.speed.value(), 200.0);
+        assert!((cost.total_time.seconds() - 8.6).abs() < 1e-9);
+        assert!((cost.motion_time.seconds() - 2.6).abs() < 1e-9);
+        // Launch energy 15.04 kJ plus small drag (138 J) and stabilisation
+        // (13 J) terms the analytical model neglects.
+        assert!((cost.energy.kilojoules() - 15.04).abs() < 0.2);
+        assert!(cost.energy.kilojoules() > 15.04);
+    }
+
+    #[test]
+    fn short_hops_cap_the_speed() {
+        let cfg = SimConfig::paper_default();
+        // 10 m hop: √(1000·10) = 100 m/s < 200 m/s.
+        let cost = MovementCost::for_distance(&cfg, Metres::new(10.0));
+        assert!((cost.speed.value() - 100.0).abs() < 1e-9);
+        // Slower hop costs less energy.
+        let full = MovementCost::for_distance(&cfg, Metres::new(500.0));
+        assert!(cost.energy < full.energy);
+    }
+
+    #[test]
+    fn longer_distance_same_speed_same_launch_energy() {
+        let cfg = SimConfig::paper_default();
+        let e500 = MovementCost::for_distance(&cfg, Metres::new(500.0));
+        let e1000 = MovementCost::for_distance(&cfg, Metres::new(1000.0));
+        // Energy barely grows (drag + stabilisation only)...
+        assert!(e1000.energy.value() > e500.energy.value());
+        assert!(e1000.energy.value() - e500.energy.value() < 300.0);
+        // ...but time grows with the cruise.
+        assert!(e1000.total_time > e500.total_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "movement distance must be positive")]
+    fn zero_distance_panics() {
+        let _ = MovementCost::for_distance(&SimConfig::paper_default(), Metres::ZERO);
+    }
+}

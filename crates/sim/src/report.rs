@@ -1,0 +1,99 @@
+//! Simulation result reports.
+
+use serde::{Deserialize, Serialize};
+
+use dhl_units::{Bytes, BytesPerSecond, Joules, Seconds, Watts};
+
+/// Outcome of a bulk-transfer simulation (§V-B, via DES rather than the
+/// closed-form model).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BulkTransferReport {
+    /// Time until every shard was delivered and every cart was home.
+    pub completion_time: Seconds,
+    /// Bytes delivered to the rack.
+    pub delivered: Bytes,
+    /// Number of cart deliveries (one per shard).
+    pub deliveries: u64,
+    /// Deliveries broken down by destination rack (endpoint index, count).
+    pub deliveries_by_endpoint: Vec<(usize, u64)>,
+    /// Total cart movements, including returns.
+    pub movements: u64,
+    /// Net electrical energy across all movements.
+    pub total_energy: Joules,
+    /// `total_energy / completion_time`.
+    pub average_power: Watts,
+    /// `delivered / completion_time` — the DES analogue of Table VI's
+    /// embodied bandwidth.
+    pub embodied_bandwidth: BytesPerSecond,
+    /// Cumulative busy time per track (1 entry for single, 2 for dual).
+    pub track_busy_time: Vec<Seconds>,
+    /// Peak number of carts simultaneously in motion.
+    pub max_carts_in_flight: u32,
+    /// Events the engine processed.
+    pub events_processed: u64,
+    /// SSDs that failed in flight (0 unless failure injection is enabled).
+    pub ssd_failures: u64,
+    /// Deliveries whose failures exceeded the RAID tolerance.
+    pub data_loss_events: u64,
+}
+
+impl BulkTransferReport {
+    /// Transmission efficiency in GB/J, comparable to Table VI.
+    #[must_use]
+    pub fn efficiency(&self) -> dhl_units::GigabytesPerJoule {
+        self.delivered / self.total_energy
+    }
+
+    /// Mean utilisation of the busiest track over the run.
+    #[must_use]
+    pub fn peak_track_utilisation(&self) -> f64 {
+        if self.completion_time.seconds() <= 0.0 {
+            return 0.0;
+        }
+        self.track_busy_time
+            .iter()
+            .map(|b| b.seconds() / self.completion_time.seconds())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BulkTransferReport {
+        BulkTransferReport {
+            completion_time: Seconds::new(100.0),
+            delivered: Bytes::from_terabytes(512.0),
+            deliveries: 2,
+            deliveries_by_endpoint: vec![(1, 2)],
+            movements: 4,
+            total_energy: Joules::from_kilojoules(60.0),
+            average_power: Watts::new(600.0),
+            embodied_bandwidth: BytesPerSecond::from_terabytes_per_second(5.12),
+            track_busy_time: vec![Seconds::new(40.0), Seconds::new(80.0)],
+            max_carts_in_flight: 2,
+            events_processed: 42,
+            ssd_failures: 0,
+            data_loss_events: 0,
+        }
+    }
+
+    #[test]
+    fn efficiency_in_gb_per_joule() {
+        // 512 000 GB / 60 000 J ≈ 8.53 GB/J.
+        assert!((sample().efficiency().value() - 8.533).abs() < 0.01);
+    }
+
+    #[test]
+    fn peak_utilisation_takes_the_busiest_track() {
+        assert!((sample().peak_track_utilisation() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_has_zero_utilisation() {
+        let mut r = sample();
+        r.completion_time = Seconds::ZERO;
+        assert_eq!(r.peak_track_utilisation(), 0.0);
+    }
+}

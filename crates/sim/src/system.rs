@@ -1,0 +1,943 @@
+//! The event-driven DHL system simulator.
+//!
+//! Simulates the full §III architecture: a cart fleet stored in the library,
+//! one or more rack endpoints with docking stations, and one (or two, §VI)
+//! maglev tracks connecting them. The simulator enforces the physical
+//! constraints the analytical model elides:
+//!
+//! - carts cannot pass one another, so same-direction launches keep a
+//!   headway of one docking time;
+//! - a single bidirectional track must drain completely before reversing;
+//! - an endpoint can hold only as many carts as it has docking stations;
+//! - dock and undock each take their configured (pessimistic 3 s) time.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dhl_units::{Bytes, Joules, Seconds, Watts};
+
+use crate::config::{ConfigError, EndpointKind, ProcessingModel, SimConfig};
+use crate::engine::EventQueue;
+use crate::movement::MovementCost;
+use crate::report::BulkTransferReport;
+use crate::trace::{Trace, TraceEventKind};
+
+/// Index of a cart in the fleet.
+pub type CartId = usize;
+/// Index of an endpoint along the track.
+pub type EndpointId = usize;
+
+/// Travel direction relative to the library.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Away from the library (toward higher positions).
+    Outbound,
+    /// Back toward the library.
+    Inbound,
+}
+
+/// Where a cart currently is.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum CartLocation {
+    /// Docked (idle or processing) at an endpoint.
+    Docked(EndpointId),
+    /// Somewhere between two endpoints.
+    Moving {
+        /// Origin endpoint.
+        from: EndpointId,
+        /// Destination endpoint.
+        to: EndpointId,
+    },
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Movement {
+    cart: CartId,
+    from: EndpointId,
+    to: EndpointId,
+    payload: Bytes,
+}
+
+#[derive(Debug)]
+enum Ev {
+    TryLaunch,
+    UndockDone { cart: CartId },
+    Arrived { cart: CartId },
+    DockDone { cart: CartId },
+    ProcessingDone { cart: CartId },
+}
+
+#[derive(Clone, Debug)]
+struct CartSim {
+    location: CartLocation,
+    /// In-flight movement target (valid while moving).
+    movement: Option<(EndpointId, EndpointId, Bytes)>,
+    trips: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct TrackState {
+    direction: Option<Direction>,
+    in_flight: u32,
+    last_launch: f64,
+    busy_accum: f64,
+    last_update: f64,
+}
+
+impl TrackState {
+    fn update_busy(&mut self, now: f64) {
+        if self.in_flight > 0 {
+            self.busy_accum += now - self.last_update;
+        }
+        self.last_update = now;
+    }
+}
+
+enum LaunchCheck {
+    Free,
+    Headway(f64),
+    BusyOpposite,
+}
+
+#[derive(Debug, Default)]
+struct RackDemand {
+    endpoint: EndpointId,
+    bytes_remaining: Bytes,
+    deliveries_done: u64,
+}
+
+#[derive(Debug, Default)]
+struct Mission {
+    total_deliveries: u64,
+    scheduled: u64,
+    done: u64,
+    demands: Vec<RackDemand>,
+    delivered: Bytes,
+    completion_time: Option<f64>,
+}
+
+/// Errors from running a simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The event budget was exhausted (runaway simulation).
+    EventBudgetExhausted {
+        /// Events processed before giving up.
+        events: u64,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+            Self::EventBudgetExhausted { events } => {
+                write!(f, "simulation exceeded its event budget after {events} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::EventBudgetExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+fn cfg_reliability_rng(cfg: &SimConfig) -> Option<StdRng> {
+    cfg.reliability
+        .as_ref()
+        .map(|r| StdRng::seed_from_u64(r.seed))
+}
+
+/// The DHL system simulator.
+///
+/// # Examples
+///
+/// Reproducing the paper's doubled-trip bulk transfer with a strictly serial
+/// system (one cart, one rack dock):
+///
+/// ```rust
+/// use dhl_sim::{DhlSystem, SimConfig};
+/// use dhl_units::Bytes;
+///
+/// let report = DhlSystem::new(SimConfig::paper_serial())
+///     .unwrap()
+///     .run_bulk_transfer(Bytes::from_petabytes(29.0))
+///     .unwrap();
+/// assert_eq!(report.deliveries, 114);
+/// assert_eq!(report.movements, 228); // every delivery also returns
+/// // 228 × 8.6 s = 1960.8 s — the analytical model's doubled accounting.
+/// assert!((report.completion_time.seconds() - 1960.8).abs() < 1.0);
+/// ```
+pub struct DhlSystem {
+    cfg: SimConfig,
+    queue: EventQueue<Ev>,
+    carts: Vec<CartSim>,
+    dock_used: Vec<u32>,
+    tracks: Vec<TrackState>,
+    pending: VecDeque<Movement>,
+    mission: Mission,
+    wakeup_scheduled: bool,
+    total_energy: Joules,
+    movements: u64,
+    max_in_flight: u32,
+    event_budget: u64,
+    trace: Option<Trace>,
+    reliability_rng: Option<StdRng>,
+    ssd_failures: u64,
+    data_loss_events: u64,
+}
+
+impl DhlSystem {
+    /// Builds a simulator over a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] if the configuration is invalid.
+    pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let carts = vec![
+            CartSim {
+                location: CartLocation::Docked(0),
+                movement: None,
+                trips: 0,
+            };
+            cfg.num_carts as usize
+        ];
+        let mut dock_used = vec![0u32; cfg.endpoints.len()];
+        dock_used[0] = cfg.num_carts;
+        let tracks = if cfg.dual_track {
+            vec![TrackState::default(), TrackState::default()]
+        } else {
+            vec![TrackState::default()]
+        };
+        let reliability_rng = cfg_reliability_rng(&cfg);
+        Ok(Self {
+            cfg,
+            queue: EventQueue::new(),
+            carts,
+            dock_used,
+            tracks,
+            pending: VecDeque::new(),
+            mission: Mission::default(),
+            wakeup_scheduled: false,
+            total_energy: Joules::ZERO,
+            movements: 0,
+            max_in_flight: 0,
+            event_budget: 50_000_000,
+            reliability_rng,
+            trace: None,
+            ssd_failures: 0,
+            data_loss_events: 0,
+        })
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Enables event tracing, retaining at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::with_capacity(capacity));
+    }
+
+    /// Takes the recorded trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    fn record(&mut self, kind: TraceEventKind) {
+        let now = self.queue.now();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(now, kind);
+        }
+    }
+
+    /// Current location of a cart (for tests and live inspection).
+    #[must_use]
+    pub fn cart_location(&self, cart: CartId) -> Option<CartLocation> {
+        self.carts.get(cart).map(|c| c.location)
+    }
+
+    fn track_index(&self, dir: Direction) -> usize {
+        if self.cfg.dual_track && dir == Direction::Inbound {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn direction_of(from: EndpointId, to: EndpointId) -> Direction {
+        if to > from {
+            Direction::Outbound
+        } else {
+            Direction::Inbound
+        }
+    }
+
+    fn check_track(&self, dir: Direction, now: f64) -> LaunchCheck {
+        let track = &self.tracks[self.track_index(dir)];
+        if track.in_flight == 0 {
+            return LaunchCheck::Free;
+        }
+        if track.direction != Some(dir) {
+            return LaunchCheck::BusyOpposite;
+        }
+        let available = track.last_launch + self.cfg.launch_headway().seconds();
+        if now >= available {
+            LaunchCheck::Free
+        } else {
+            LaunchCheck::Headway(available)
+        }
+    }
+
+    fn movement_cost(&self, from: EndpointId, to: EndpointId) -> MovementCost {
+        let d = (self.cfg.endpoints[to].position - self.cfg.endpoints[from].position).abs();
+        MovementCost::for_distance(&self.cfg, d)
+    }
+
+    fn launch(&mut self, m: Movement) {
+        let now = self.queue.now().seconds();
+        let dir = Self::direction_of(m.from, m.to);
+        let idx = self.track_index(dir);
+        let cost = self.movement_cost(m.from, m.to);
+
+        self.dock_used[m.to] += 1; // reserve the destination dock now
+        let track = &mut self.tracks[idx];
+        track.update_busy(now);
+        track.direction = Some(dir);
+        track.in_flight += 1;
+        track.last_launch = now;
+        self.max_in_flight = self.max_in_flight.max(self.total_in_flight());
+
+        self.total_energy += cost.energy;
+        self.movements += 1;
+
+        let cart = &mut self.carts[m.cart];
+        cart.location = CartLocation::Moving {
+            from: m.from,
+            to: m.to,
+        };
+        cart.movement = Some((m.from, m.to, m.payload));
+        cart.trips += 1;
+
+        self.queue.schedule(self.cfg.undock_time, Ev::UndockDone { cart: m.cart });
+        self.record(TraceEventKind::Launch {
+            cart: m.cart,
+            from: m.from,
+            to: m.to,
+        });
+    }
+
+    fn total_in_flight(&self) -> u32 {
+        self.tracks.iter().map(|t| t.in_flight).sum()
+    }
+
+    fn try_launch(&mut self) {
+        let now = self.queue.now().seconds();
+        let mut wakeup: Option<f64> = None;
+        loop {
+            let mut launched = None;
+            for (i, m) in self.pending.iter().enumerate() {
+                if self.dock_used[m.to] >= self.cfg.endpoints[m.to].docks {
+                    continue; // destination full
+                }
+                match self.check_track(Self::direction_of(m.from, m.to), now) {
+                    LaunchCheck::Free => {
+                        launched = Some(i);
+                        break;
+                    }
+                    LaunchCheck::Headway(at) => {
+                        wakeup = Some(wakeup.map_or(at, |w: f64| w.min(at)));
+                    }
+                    LaunchCheck::BusyOpposite => {}
+                }
+            }
+            match launched {
+                Some(i) => {
+                    let m = self.pending.remove(i).expect("index valid");
+                    self.launch(m);
+                    // A launch we just made imposes headway on the rest;
+                    // re-scan (some may still be launchable on the other
+                    // track when dual).
+                }
+                None => break,
+            }
+        }
+        if let Some(at) = wakeup {
+            if !self.wakeup_scheduled {
+                self.wakeup_scheduled = true;
+                self.queue
+                    .schedule_at(Seconds::new(at), Ev::TryLaunch);
+            }
+        }
+    }
+
+    fn processing_time(&self) -> Seconds {
+        match self.cfg.processing {
+            ProcessingModel::Instant => Seconds::ZERO,
+            ProcessingModel::PcieRead {
+                bandwidth_bytes_per_second,
+            } => Seconds::new(self.cfg.cart_capacity.as_f64() / bandwidth_bytes_per_second),
+            ProcessingModel::Fixed(t) => t,
+        }
+    }
+
+    fn schedule_delivery_for(&mut self, cart: CartId) {
+        // Assign the next shard to this library cart, targeting the rack
+        // with the most data still owed (greedy balance across racks).
+        let Some(demand) = self
+            .mission
+            .demands
+            .iter_mut()
+            .filter(|d| !d.bytes_remaining.is_zero())
+            .max_by_key(|d| d.bytes_remaining)
+        else {
+            return;
+        };
+        let shard = demand.bytes_remaining.min(self.cfg.cart_capacity);
+        demand.bytes_remaining -= shard;
+        let rack = demand.endpoint;
+        self.mission.scheduled += 1;
+        self.pending.push_back(Movement {
+            cart,
+            from: 0,
+            to: rack,
+            payload: shard,
+        });
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::TryLaunch => {
+                self.wakeup_scheduled = false;
+                self.try_launch();
+            }
+            Ev::UndockDone { cart } => {
+                let (from, _, _) = self.carts[cart].movement.expect("moving cart");
+                self.dock_used[from] -= 1;
+                let (f, t, _) = self.carts[cart].movement.expect("moving cart");
+                let cost = self.movement_cost(f, t);
+                self.queue.schedule(cost.motion_time, Ev::Arrived { cart });
+                self.record(TraceEventKind::EnterTube { cart });
+                self.try_launch();
+            }
+            Ev::Arrived { cart } => {
+                self.queue.schedule(self.cfg.dock_time, Ev::DockDone { cart });
+                self.record(TraceEventKind::BeginDock { cart });
+            }
+            Ev::DockDone { cart } => {
+                let (from, to, payload) = self.carts[cart].movement.take().expect("moving cart");
+                let dir = Self::direction_of(from, to);
+                let idx = self.track_index(dir);
+                let now = self.queue.now().seconds();
+                let track = &mut self.tracks[idx];
+                track.update_busy(now);
+                track.in_flight -= 1;
+                if track.in_flight == 0 {
+                    track.direction = None;
+                }
+                self.carts[cart].location = CartLocation::Docked(to);
+                self.record(TraceEventKind::Docked { cart, endpoint: to });
+                self.sample_in_flight_failures(from, to);
+
+                if self.cfg.endpoints[to].kind == EndpointKind::Rack {
+                    self.mission.done += 1;
+                    self.mission.delivered += payload;
+                    if let Some(d) = self.mission.demands.iter_mut().find(|d| d.endpoint == to) {
+                        d.deliveries_done += 1;
+                    }
+                    self.queue
+                        .schedule(self.processing_time(), Ev::ProcessingDone { cart });
+                } else {
+                    // Returned to the library: reuse for the next shard, or
+                    // check completion.
+                    if self.mission.scheduled < self.mission.total_deliveries {
+                        self.schedule_delivery_for(cart);
+                    }
+                    self.check_completion();
+                }
+                self.try_launch();
+            }
+            Ev::ProcessingDone { cart } => {
+                self.record(TraceEventKind::ProcessingDone { cart });
+                let CartLocation::Docked(ep) = self.carts[cart].location else {
+                    unreachable!("processing cart is docked");
+                };
+                self.pending.push_back(Movement {
+                    cart,
+                    from: ep,
+                    to: 0,
+                    payload: Bytes::ZERO,
+                });
+                self.try_launch();
+            }
+        }
+    }
+
+    fn sample_in_flight_failures(&mut self, from: EndpointId, to: EndpointId) {
+        let Some(spec) = self.cfg.reliability.clone() else {
+            return;
+        };
+        let rng = self.reliability_rng.as_mut().expect("rng exists with spec");
+        let exposure = {
+            let d =
+                (self.cfg.endpoints[to].position - self.cfg.endpoints[from].position).abs();
+            MovementCost::for_distance(&self.cfg, d).total_time
+        };
+        let failed = spec
+            .failure
+            .sample_failures(rng, spec.ssds_per_cart, exposure);
+        self.ssd_failures += u64::from(failed);
+        if !spec.raid.tolerates(failed) {
+            self.data_loss_events += 1;
+        }
+    }
+
+    fn check_completion(&mut self) {
+        if self.mission.completion_time.is_some() {
+            return;
+        }
+        let all_home = self
+            .carts
+            .iter()
+            .all(|c| matches!(c.location, CartLocation::Docked(0)));
+        if self.mission.done >= self.mission.total_deliveries
+            && all_home
+            && self.pending.is_empty()
+        {
+            self.mission.completion_time = Some(self.queue.now().seconds());
+        }
+    }
+
+    /// Simulates delivering `dataset` from the library to the first rack
+    /// endpoint, returning every cart home afterwards (the paper's §V-B
+    /// accounting).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EventBudgetExhausted`] if the simulation fails to
+    /// converge (defensive bound; does not occur for valid configurations).
+    pub fn run_bulk_transfer(&mut self, dataset: Bytes) -> Result<BulkTransferReport, SimError> {
+        let rack = self
+            .cfg
+            .endpoints
+            .iter()
+            .position(|e| e.kind == EndpointKind::Rack)
+            .expect("validated config has a rack");
+        self.run_multi_rack(&[(rack, dataset)])
+    }
+
+    /// Simulates serving several racks at once (§VI multi-stop): each entry
+    /// is `(rack endpoint index, bytes owed to it)`. Shards are assigned
+    /// greedily to the rack with the most data outstanding.
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::Config`] if any endpoint index is out of range or not
+    ///   a rack;
+    /// - [`SimError::EventBudgetExhausted`] as for
+    ///   [`DhlSystem::run_bulk_transfer`].
+    pub fn run_multi_rack(
+        &mut self,
+        demands: &[(EndpointId, Bytes)],
+    ) -> Result<BulkTransferReport, SimError> {
+        for (ep, _) in demands {
+            match self.cfg.endpoints.get(*ep) {
+                Some(spec) if spec.kind == EndpointKind::Rack => {}
+                _ => {
+                    return Err(SimError::Config(ConfigError::BadEndpoints(format!(
+                        "endpoint {ep} is not a rack endpoint"
+                    ))))
+                }
+            }
+        }
+        let deliveries: u64 = demands
+            .iter()
+            .map(|(_, bytes)| {
+                if bytes.is_zero() {
+                    0
+                } else {
+                    bytes.div_ceil(self.cfg.cart_capacity)
+                }
+            })
+            .sum();
+        self.mission = Mission {
+            total_deliveries: deliveries,
+            scheduled: 0,
+            done: 0,
+            demands: demands
+                .iter()
+                .map(|&(endpoint, bytes_remaining)| RackDemand {
+                    endpoint,
+                    bytes_remaining,
+                    deliveries_done: 0,
+                })
+                .collect(),
+            delivered: Bytes::ZERO,
+            completion_time: (deliveries == 0).then_some(0.0),
+        };
+
+        // Seed: every library cart takes a shard (up to the delivery count).
+        for cart in 0..self.carts.len() {
+            if self.mission.scheduled < deliveries {
+                self.schedule_delivery_for(cart);
+            }
+        }
+        self.try_launch();
+
+        while let Some((_, ev)) = self.queue.pop() {
+            self.handle(ev);
+            if self.queue.events_processed() > self.event_budget {
+                return Err(SimError::EventBudgetExhausted {
+                    events: self.queue.events_processed(),
+                });
+            }
+        }
+        self.check_completion();
+
+        let completion = Seconds::new(self.mission.completion_time.unwrap_or(0.0));
+        let average_power = if completion.seconds() > 0.0 {
+            self.total_energy / completion
+        } else {
+            Watts::ZERO
+        };
+        Ok(BulkTransferReport {
+            completion_time: completion,
+            delivered: self.mission.delivered,
+            deliveries: self.mission.done,
+            deliveries_by_endpoint: self
+                .mission
+                .demands
+                .iter()
+                .map(|d| (d.endpoint, d.deliveries_done))
+                .collect(),
+            movements: self.movements,
+            total_energy: self.total_energy,
+            average_power,
+            embodied_bandwidth: self.mission.delivered / completion,
+            track_busy_time: self
+                .tracks
+                .iter()
+                .map(|t| Seconds::new(t.busy_accum))
+                .collect(),
+            max_carts_in_flight: self.max_in_flight,
+            events_processed: self.queue.events_processed(),
+            ssd_failures: self.ssd_failures,
+            data_loss_events: self.data_loss_events,
+        })
+    }
+}
+
+impl core::fmt::Debug for DhlSystem {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DhlSystem")
+            .field("now", &self.queue.now())
+            .field("carts", &self.carts.len())
+            .field("pending", &self.pending.len())
+            .field("movements", &self.movements)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EndpointSpec;
+    use dhl_units::Metres;
+
+    fn run(cfg: SimConfig, pb: f64) -> BulkTransferReport {
+        DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(pb))
+            .unwrap()
+    }
+
+    #[test]
+    fn serial_transfer_matches_analytical_doubling() {
+        let report = run(SimConfig::paper_serial(), 29.0);
+        assert_eq!(report.deliveries, 114);
+        assert_eq!(report.movements, 228);
+        assert!((report.completion_time.seconds() - 228.0 * 8.6).abs() < 1e-6);
+        // Energy: 228 launches at ≈15.19 kJ (launch + drag + stabilisation).
+        let per_movement = report.total_energy.value() / 228.0;
+        assert!((per_movement - 15_040.0).abs() < 200.0);
+        assert_eq!(report.delivered, Bytes::from_petabytes(29.0));
+    }
+
+    #[test]
+    fn pipelined_fleet_beats_serial() {
+        let serial = run(SimConfig::paper_serial(), 29.0);
+        let pipelined = run(SimConfig::paper_default(), 29.0);
+        assert!(
+            pipelined.completion_time < serial.completion_time,
+            "pipelined {} vs serial {}",
+            pipelined.completion_time.seconds(),
+            serial.completion_time.seconds()
+        );
+        // Same physical work, so same number of movements and energy.
+        assert_eq!(pipelined.movements, serial.movements);
+        assert!((pipelined.total_energy.value() - serial.total_energy.value()).abs() < 1.0);
+    }
+
+    #[test]
+    fn dual_track_beats_single_track() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.dual_track = true;
+        let dual = run(cfg, 29.0);
+        let single = run(SimConfig::paper_default(), 29.0);
+        assert!(
+            dual.completion_time < single.completion_time,
+            "dual {} vs single {}",
+            dual.completion_time.seconds(),
+            single.completion_time.seconds()
+        );
+        assert_eq!(dual.track_busy_time.len(), 2);
+    }
+
+    #[test]
+    fn zero_dataset_is_trivial() {
+        let report = run(SimConfig::paper_default(), 0.0);
+        assert_eq!(report.deliveries, 0);
+        assert_eq!(report.movements, 0);
+        assert_eq!(report.completion_time.seconds(), 0.0);
+        assert_eq!(report.total_energy, Joules::ZERO);
+    }
+
+    #[test]
+    fn partial_cart_still_takes_a_full_trip() {
+        // 100 TB < one 256 TB cart: one delivery out, one return.
+        let report = run(SimConfig::paper_serial(), 0.0001); // 0.1 TB
+        assert_eq!(report.deliveries, 1);
+        assert_eq!(report.movements, 2);
+        assert!((report.completion_time.seconds() - 17.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delivered_bytes_match_dataset_exactly() {
+        for pb in [0.1, 1.0, 5.3] {
+            let report = run(SimConfig::paper_default(), pb);
+            assert_eq!(report.delivered, Bytes::from_petabytes(pb));
+        }
+    }
+
+    #[test]
+    fn carts_all_end_at_library() {
+        let mut sys = DhlSystem::new(SimConfig::paper_default()).unwrap();
+        sys.run_bulk_transfer(Bytes::from_petabytes(2.0)).unwrap();
+        for cart in 0..sys.config().num_carts as usize {
+            assert_eq!(sys.cart_location(cart), Some(CartLocation::Docked(0)));
+        }
+    }
+
+    #[test]
+    fn track_never_holds_more_than_dock_limited_carts() {
+        let report = run(SimConfig::paper_default(), 29.0);
+        // 4 rack docks bound the outbound pipeline depth.
+        assert!(report.max_carts_in_flight <= 4);
+        assert!(report.max_carts_in_flight >= 2, "pipelining should overlap carts");
+    }
+
+    #[test]
+    fn processing_dwell_slows_completion_but_not_energy() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.processing = crate::config::ProcessingModel::Fixed(Seconds::new(100.0));
+        let slow = run(cfg, 2.0);
+        let fast = run(SimConfig::paper_default(), 2.0);
+        assert!(slow.completion_time > fast.completion_time);
+        assert!((slow.total_energy.value() - fast.total_energy.value()).abs() < 1.0);
+    }
+
+    #[test]
+    fn multi_stop_track_reaches_far_endpoint() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.endpoints = vec![
+            EndpointSpec {
+                position: Metres::ZERO,
+                docks: cfg.num_carts,
+                kind: EndpointKind::Library,
+            },
+            EndpointSpec {
+                position: Metres::new(250.0),
+                docks: 4,
+                kind: EndpointKind::Rack,
+            },
+            EndpointSpec {
+                position: Metres::new(500.0),
+                docks: 2,
+                kind: EndpointKind::Rack,
+            },
+        ];
+        // Deliveries go to the *first* rack (250 m): shorter hop, less time
+        // than the 500 m system.
+        let multi = run(cfg, 2.0);
+        let single = run(SimConfig::paper_default(), 2.0);
+        assert!(multi.completion_time < single.completion_time);
+    }
+
+    fn two_rack_config() -> SimConfig {
+        let mut cfg = SimConfig::paper_default();
+        cfg.endpoints = vec![
+            EndpointSpec {
+                position: Metres::ZERO,
+                docks: cfg.num_carts,
+                kind: EndpointKind::Library,
+            },
+            EndpointSpec {
+                position: Metres::new(250.0),
+                docks: 4,
+                kind: EndpointKind::Rack,
+            },
+            EndpointSpec {
+                position: Metres::new(500.0),
+                docks: 4,
+                kind: EndpointKind::Rack,
+            },
+        ];
+        cfg
+    }
+
+    #[test]
+    fn multi_rack_distributes_deliveries() {
+        let mut sys = DhlSystem::new(two_rack_config()).unwrap();
+        let report = sys
+            .run_multi_rack(&[
+                (1, Bytes::from_petabytes(2.0)),
+                (2, Bytes::from_petabytes(1.0)),
+            ])
+            .unwrap();
+        // 2 PB → 8 carts, 1 PB → 4 carts.
+        assert_eq!(report.deliveries, 12);
+        assert_eq!(report.movements, 24);
+        let by_ep: std::collections::HashMap<usize, u64> =
+            report.deliveries_by_endpoint.iter().copied().collect();
+        assert_eq!(by_ep[&1], 8);
+        assert_eq!(by_ep[&2], 4);
+        assert_eq!(report.delivered, Bytes::from_petabytes(3.0));
+    }
+
+    #[test]
+    fn multi_rack_rejects_non_rack_destinations() {
+        let mut sys = DhlSystem::new(two_rack_config()).unwrap();
+        assert!(sys.run_multi_rack(&[(0, Bytes::new(1))]).is_err()); // library
+        assert!(sys.run_multi_rack(&[(9, Bytes::new(1))]).is_err()); // missing
+    }
+
+    #[test]
+    fn multi_rack_matches_single_rack_when_one_demand() {
+        let single = run(SimConfig::paper_default(), 2.0);
+        let mut sys = DhlSystem::new(SimConfig::paper_default()).unwrap();
+        let multi = sys
+            .run_multi_rack(&[(1, Bytes::from_petabytes(2.0))])
+            .unwrap();
+        assert_eq!(single.completion_time, multi.completion_time);
+        assert_eq!(single.movements, multi.movements);
+    }
+
+    #[test]
+    fn embodied_bandwidth_is_terabytes_per_second_scale() {
+        let report = run(SimConfig::paper_default(), 29.0);
+        let tbps = report.embodied_bandwidth.terabytes_per_second();
+        assert!(tbps > 10.0, "got {tbps}");
+    }
+
+    #[test]
+    fn average_power_is_kilowatt_scale() {
+        // §V-C anchors DHL average power near 1.75 kW for the serial case.
+        let report = run(SimConfig::paper_serial(), 29.0);
+        let kw = report.average_power.kilowatts();
+        assert!((kw - 1.77).abs() < 0.1, "got {kw}");
+    }
+}
+
+#[cfg(test)]
+mod reliability_tests {
+    use super::*;
+    use crate::config::ReliabilitySpec;
+    use dhl_storage::failure::{FailureModel, RaidConfig};
+
+    #[test]
+    fn typical_reliability_sees_no_losses_over_29pb() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.reliability = Some(ReliabilitySpec::typical());
+        let report = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(29.0))
+            .unwrap();
+        // 456 movements × 32 SSDs × ~3e-9 per-trip probability: failures
+        // are vanishingly rare and RAID absorbs any that occur.
+        assert_eq!(report.data_loss_events, 0);
+        assert!(report.ssd_failures <= 1);
+    }
+
+    #[test]
+    fn hostile_reliability_reports_losses() {
+        let mut cfg = SimConfig::paper_serial();
+        cfg.dock_time = Seconds::new(500_000.0); // half-AFR-year per dock
+        cfg.reliability = Some(ReliabilitySpec {
+            failure: FailureModel::new(0.9),
+            raid: RaidConfig::none(32),
+            ssds_per_cart: 32,
+            seed: 1,
+        });
+        let report = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_terabytes(512.0))
+            .unwrap();
+        assert!(report.ssd_failures > 0);
+        assert!(report.data_loss_events > 0);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.dock_time = Seconds::new(10_000.0);
+        cfg.reliability = Some(ReliabilitySpec {
+            failure: FailureModel::new(0.5),
+            raid: RaidConfig::new(28, 4).unwrap(),
+            ssds_per_cart: 32,
+            seed: 7,
+        });
+        let run = |cfg: SimConfig| {
+            DhlSystem::new(cfg)
+                .unwrap()
+                .run_bulk_transfer(Bytes::from_petabytes(1.0))
+                .unwrap()
+        };
+        let a = run(cfg.clone());
+        let b = run(cfg.clone());
+        assert_eq!(a.ssd_failures, b.ssd_failures);
+        assert_eq!(a.data_loss_events, b.data_loss_events);
+        let mut other = cfg;
+        other.reliability.as_mut().unwrap().seed = 8;
+        let c = run(other);
+        // Different seed, (almost surely) different sample.
+        assert!(c.ssd_failures != a.ssd_failures || c.data_loss_events == a.data_loss_events);
+    }
+
+    #[test]
+    fn no_reliability_means_no_failures() {
+        let report = DhlSystem::new(SimConfig::paper_default())
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(5.0))
+            .unwrap();
+        assert_eq!(report.ssd_failures, 0);
+        assert_eq!(report.data_loss_events, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Event tracing for the DHL system simulator.
+//!
+//! An optional, bounded record of every state transition — the raw material
+//! for debugging schedules, plotting cart trajectories, or auditing that
+//! the simulator respects its physical constraints (tests in
+//! `tests/trace_invariants.rs` replay traces to prove no-passing and
+//! dock-capacity invariants).
+
+use serde::{Deserialize, Serialize};
+
+use dhl_units::Seconds;
+
+use crate::system::{CartId, EndpointId};
+
+/// One state transition in the simulated system.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A cart began undocking for a movement.
+    Launch {
+        /// The moving cart.
+        cart: CartId,
+        /// Origin endpoint.
+        from: EndpointId,
+        /// Destination endpoint.
+        to: EndpointId,
+    },
+    /// A cart finished undocking and entered the tube.
+    EnterTube {
+        /// The moving cart.
+        cart: CartId,
+    },
+    /// A cart reached its destination and began docking.
+    BeginDock {
+        /// The arriving cart.
+        cart: CartId,
+    },
+    /// A cart finished docking.
+    Docked {
+        /// The docked cart.
+        cart: CartId,
+        /// Where it docked.
+        endpoint: EndpointId,
+    },
+    /// A docked cart finished its rack-side processing dwell.
+    ProcessingDone {
+        /// The cart whose dwell ended.
+        cart: CartId,
+    },
+}
+
+/// A timestamped trace event.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the transition.
+    pub time: Seconds,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// A bounded, append-only event log.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// An empty trace retaining at most `capacity` events (older events are
+    /// kept; later ones are counted as dropped — the head of a schedule is
+    /// usually what matters for debugging).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event (or counts it dropped past capacity).
+    pub fn record(&mut self, time: Seconds, kind: TraceEventKind) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { time, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events that were not retained.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events involving one cart, in order.
+    #[must_use]
+    pub fn for_cart(&self, cart: CartId) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e.kind {
+                TraceEventKind::Launch { cart: c, .. }
+                | TraceEventKind::EnterTube { cart: c }
+                | TraceEventKind::BeginDock { cart: c }
+                | TraceEventKind::Docked { cart: c, .. }
+                | TraceEventKind::ProcessingDone { cart: c } => c == cart,
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Checks the per-cart lifecycle invariant: every cart's events follow
+    /// the repeating pattern Launch → EnterTube → BeginDock → Docked
+    /// (ProcessingDone may follow a Docked), with non-decreasing times.
+    #[must_use]
+    pub fn lifecycle_is_well_formed(&self, cart: CartId) -> bool {
+        let mut expected_launch = true;
+        let mut last_time = f64::NEG_INFINITY;
+        let mut phase = 0u8; // 0=idle, 1=undocking, 2=tube, 3=docking
+        for e in self.for_cart(cart) {
+            if e.time.seconds() < last_time {
+                return false;
+            }
+            last_time = e.time.seconds();
+            phase = match (phase, e.kind) {
+                (0, TraceEventKind::Launch { .. }) => 1,
+                (1, TraceEventKind::EnterTube { .. }) => 2,
+                (2, TraceEventKind::BeginDock { .. }) => 3,
+                (3, TraceEventKind::Docked { .. }) => 0,
+                (0, TraceEventKind::ProcessingDone { .. }) => 0,
+                _ => return false,
+            };
+            expected_launch = phase == 0;
+        }
+        expected_launch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, kind: TraceEventKind) -> (Seconds, TraceEventKind) {
+        (Seconds::new(t), kind)
+    }
+
+    #[test]
+    fn records_in_order_up_to_capacity() {
+        let mut trace = Trace::with_capacity(2);
+        trace.record(Seconds::new(1.0), TraceEventKind::EnterTube { cart: 0 });
+        trace.record(Seconds::new(2.0), TraceEventKind::BeginDock { cart: 0 });
+        trace.record(Seconds::new(3.0), TraceEventKind::Docked { cart: 0, endpoint: 1 });
+        assert_eq!(trace.events().len(), 2);
+        assert_eq!(trace.dropped(), 1);
+    }
+
+    #[test]
+    fn cart_filter() {
+        let mut trace = Trace::with_capacity(100);
+        trace.record(Seconds::new(0.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
+        trace.record(Seconds::new(0.5), TraceEventKind::Launch { cart: 1, from: 0, to: 1 });
+        trace.record(Seconds::new(3.0), TraceEventKind::EnterTube { cart: 0 });
+        assert_eq!(trace.for_cart(0).len(), 2);
+        assert_eq!(trace.for_cart(1).len(), 1);
+        assert!(trace.for_cart(7).is_empty());
+    }
+
+    #[test]
+    fn well_formed_lifecycle_accepted() {
+        let mut trace = Trace::with_capacity(100);
+        let seq = [
+            ev(0.0, TraceEventKind::Launch { cart: 0, from: 0, to: 1 }),
+            ev(3.0, TraceEventKind::EnterTube { cart: 0 }),
+            ev(5.6, TraceEventKind::BeginDock { cart: 0 }),
+            ev(8.6, TraceEventKind::Docked { cart: 0, endpoint: 1 }),
+            ev(8.6, TraceEventKind::ProcessingDone { cart: 0 }),
+            ev(9.0, TraceEventKind::Launch { cart: 0, from: 1, to: 0 }),
+            ev(12.0, TraceEventKind::EnterTube { cart: 0 }),
+            ev(14.6, TraceEventKind::BeginDock { cart: 0 }),
+            ev(17.6, TraceEventKind::Docked { cart: 0, endpoint: 0 }),
+        ];
+        for (t, k) in seq {
+            trace.record(t, k);
+        }
+        assert!(trace.lifecycle_is_well_formed(0));
+    }
+
+    #[test]
+    fn malformed_lifecycles_rejected() {
+        // Docked without ever launching.
+        let mut t1 = Trace::with_capacity(10);
+        t1.record(Seconds::new(1.0), TraceEventKind::Docked { cart: 0, endpoint: 1 });
+        assert!(!t1.lifecycle_is_well_formed(0));
+
+        // Launch twice in a row.
+        let mut t2 = Trace::with_capacity(10);
+        t2.record(Seconds::new(0.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
+        t2.record(Seconds::new(1.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
+        assert!(!t2.lifecycle_is_well_formed(0));
+
+        // Time going backwards.
+        let mut t3 = Trace::with_capacity(10);
+        t3.record(Seconds::new(5.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
+        t3.record(Seconds::new(4.0), TraceEventKind::EnterTube { cart: 0 });
+        assert!(!t3.lifecycle_is_well_formed(0));
+
+        // Mid-flight at end of trace.
+        let mut t4 = Trace::with_capacity(10);
+        t4.record(Seconds::new(0.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
+        assert!(!t4.lifecycle_is_well_formed(0));
+    }
+
+    #[test]
+    fn empty_trace_is_well_formed() {
+        let trace = Trace::with_capacity(10);
+        assert!(trace.lifecycle_is_well_formed(0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Emerging-dataset and ML-model catalog (Tables I and IV).
+//!
+//! These descriptors parameterise the workload generators: the DHL use cases
+//! all revolve around moving a known number of bytes, so a dataset here is a
+//! name, a size and a category — plus a sharding helper that splits it into
+//! cart-sized pieces.
+
+use serde::{Deserialize, Serialize};
+
+use dhl_units::{Bytes, BytesPerSecond};
+
+/// Category of a large dataset (Table I's "Type" column).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DatasetKind {
+    /// Image corpora (LAION-5B).
+    Images,
+    /// Video corpora (YouTube-8M).
+    Videos,
+    /// Text / NLP corpora (MassiveText).
+    Nlp,
+    /// Web crawls (Common Crawl).
+    WebCrawl,
+    /// ML training sets (Meta's DLRM data).
+    MachineLearning,
+    /// Genomics archives (NIH / GSA).
+    Genomics,
+    /// Physics experiment streams (LHC CMS).
+    Physics,
+    /// General big-data ingest.
+    BigData,
+}
+
+/// A named dataset with its published size.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Published name.
+    pub name: std::borrow::Cow<'static, str>,
+    /// Total size in bytes.
+    pub size: Bytes,
+    /// Category.
+    pub kind: DatasetKind,
+}
+
+impl Dataset {
+    /// Splits the dataset into `chunk`-sized shards; the last shard holds
+    /// the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero bytes.
+    pub fn shards(&self, chunk: Bytes) -> impl Iterator<Item = Bytes> {
+        assert!(!chunk.is_zero(), "shard size must be non-zero");
+        let full = self.size.as_u64() / chunk.as_u64();
+        let rem = self.size.as_u64() % chunk.as_u64();
+        (0..full)
+            .map(move |_| chunk)
+            .chain((rem > 0).then_some(Bytes::new(rem)))
+    }
+}
+
+/// LAION-5B: 5.6 billion images, 250 TB (Table I).
+#[must_use]
+pub fn laion_5b() -> Dataset {
+    Dataset {
+        name: "LAION-5B".into(),
+        size: Bytes::from_terabytes(250.0),
+        kind: DatasetKind::Images,
+    }
+}
+
+/// YouTube-8M: 350 k hours of video ≈ 350 k GiB with the paper's 1 h ≈ 1 GiB
+/// conversion (Table I footnote).
+#[must_use]
+pub fn youtube_8m() -> Dataset {
+    Dataset {
+        name: "YouTube-8M".into(),
+        size: Bytes::from_gibibytes(350_000.0),
+        kind: DatasetKind::Videos,
+    }
+}
+
+/// MassiveText: 10.25 TB of text (Table I).
+#[must_use]
+pub fn massive_text() -> Dataset {
+    Dataset {
+        name: "MassiveText".into(),
+        size: Bytes::from_terabytes(10.25),
+        kind: DatasetKind::Nlp,
+    }
+}
+
+/// Common Crawl: > 9 PB of web crawl (Table I).
+#[must_use]
+pub fn common_crawl() -> Dataset {
+    Dataset {
+        name: "Common Crawl".into(),
+        size: Bytes::from_petabytes(9.0),
+        kind: DatasetKind::WebCrawl,
+    }
+}
+
+/// Meta's 29 PB DLRM training dataset — the paper's headline workload.
+#[must_use]
+pub fn meta_dlrm_29pb() -> Dataset {
+    Dataset {
+        name: "Meta ML (DLRM)".into(),
+        size: Bytes::from_petabytes(29.0),
+        kind: DatasetKind::MachineLearning,
+    }
+}
+
+/// Meta's smaller published ML datasets: 3 PB and 13 PB variants (Table I).
+#[must_use]
+pub fn meta_ml_datasets() -> Vec<Dataset> {
+    [3.0, 13.0, 29.0]
+        .into_iter()
+        .map(|pb| Dataset {
+            name: "Meta ML".into(),
+            size: Bytes::from_petabytes(pb),
+            kind: DatasetKind::MachineLearning,
+        })
+        .collect()
+}
+
+/// NIH "All of Us" + GSA genomics: 17 PB (Table I).
+#[must_use]
+pub fn genomics_17pb() -> Dataset {
+    Dataset {
+        name: "NIH + GSA Genomics".into(),
+        size: Bytes::from_petabytes(17.0),
+        kind: DatasetKind::Genomics,
+    }
+}
+
+/// LHC CMS detector raw output rate: 150 TB/s (Table I).
+#[must_use]
+pub fn lhc_cms_rate() -> BytesPerSecond {
+    BytesPerSecond::from_terabytes_per_second(150.0)
+}
+
+/// Meta's daily new data: 4 PB/day (Table I).
+#[must_use]
+pub fn meta_daily_ingest() -> Bytes {
+    Bytes::from_petabytes(4.0)
+}
+
+/// YouTube's daily new video: 0.7–1.44 PB/day (Table I); returns the range.
+#[must_use]
+pub fn youtube_daily_ingest_range() -> (Bytes, Bytes) {
+    (Bytes::from_petabytes(0.7), Bytes::from_petabytes(1.44))
+}
+
+/// A large ML model with its parameter count and storage footprint
+/// (Table IV; sizes use the paper's 32-bit-per-parameter convention).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MlModel {
+    /// Published name.
+    pub name: std::borrow::Cow<'static, str>,
+    /// Parameter count.
+    pub parameters: u64,
+    /// Publication year.
+    pub year: u16,
+}
+
+impl MlModel {
+    /// Storage footprint at 32 bits (4 bytes) per parameter — the paper's
+    /// Table IV conversion.
+    #[must_use]
+    pub fn size(&self) -> Bytes {
+        Bytes::new(self.parameters * 4)
+    }
+}
+
+/// The Table IV model catalog.
+#[must_use]
+pub fn table_iv_models() -> Vec<MlModel> {
+    vec![
+        MlModel {
+            name: "GPT-3".into(),
+            parameters: 175_000_000_000,
+            year: 2020,
+        },
+        MlModel {
+            name: "Jurassic-1".into(),
+            parameters: 178_000_000_000,
+            year: 2021,
+        },
+        MlModel {
+            name: "Gopher".into(),
+            parameters: 280_000_000_000,
+            year: 2021,
+        },
+        MlModel {
+            name: "M6-10T".into(),
+            parameters: 10_000_000_000_000,
+            year: 2021,
+        },
+        MlModel {
+            name: "Megatron-Turing NLG".into(),
+            parameters: 1_000_000_000_000,
+            year: 2022,
+        },
+        MlModel {
+            name: "DLRM 2022".into(),
+            parameters: 12_000_000_000_000,
+            year: 2022,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_sizes() {
+        assert_eq!(laion_5b().size.terabytes(), 250.0);
+        assert_eq!(meta_dlrm_29pb().size.petabytes(), 29.0);
+        assert_eq!(genomics_17pb().size.petabytes(), 17.0);
+        assert!(common_crawl().size.petabytes() >= 9.0);
+        assert_eq!(lhc_cms_rate().terabytes_per_second(), 150.0);
+        assert_eq!(meta_daily_ingest().petabytes(), 4.0);
+        let (lo, hi) = youtube_daily_ingest_range();
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn table_iv_sizes_match_paper() {
+        let models = table_iv_models();
+        let by_name = |n: &str| models.iter().find(|m| m.name == n).unwrap();
+        // GPT-3: 175B × 4 B = 700 GB.
+        assert_eq!(by_name("GPT-3").size().gigabytes(), 700.0);
+        // Gopher: 280B → 1.12 TB.
+        assert!((by_name("Gopher").size().terabytes() - 1.12).abs() < 1e-9);
+        // M6-10T: 10T → 40 TB.
+        assert_eq!(by_name("M6-10T").size().terabytes(), 40.0);
+        // DLRM 2022: 12T → 48 TB (paper prints 44 TB; 12e12 × 4 B = 48 TB,
+        // their table uses a slightly different parameter count).
+        assert!((by_name("DLRM 2022").size().terabytes() - 48.0).abs() < 1e-9);
+        assert_eq!(models.len(), 6);
+    }
+
+    #[test]
+    fn shards_cover_dataset_exactly() {
+        let d = meta_dlrm_29pb();
+        let chunk = Bytes::from_terabytes(256.0);
+        let shards: Vec<Bytes> = d.shards(chunk).collect();
+        assert_eq!(shards.len(), 114); // 113 full + 1 remainder
+        let total: Bytes = shards.iter().sum();
+        assert_eq!(total, d.size);
+        assert!(shards[..113].iter().all(|s| *s == chunk));
+        assert!(shards[113] < chunk);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_remainder_shard() {
+        let d = Dataset {
+            name: "test".into(),
+            size: Bytes::from_terabytes(512.0),
+            kind: DatasetKind::BigData,
+        };
+        let shards: Vec<Bytes> = d.shards(Bytes::from_terabytes(256.0)).collect();
+        assert_eq!(shards.len(), 2);
+        assert!(shards.iter().all(|s| s.terabytes() == 256.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard size must be non-zero")]
+    fn zero_shard_panics() {
+        let _ = laion_5b().shards(Bytes::ZERO).count();
+    }
+
+    #[test]
+    fn meta_dataset_family() {
+        let sizes: Vec<f64> = meta_ml_datasets().iter().map(|d| d.size.petabytes()).collect();
+        assert_eq!(sizes, vec![3.0, 13.0, 29.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Data-rate and data-efficiency quantities.
+
+use core::ops::{Div, Mul};
+
+use crate::bytes::Bytes;
+use crate::power::{Joules, Seconds};
+
+scalar_quantity!(
+    /// A data rate in bytes per second.
+    ///
+    /// The paper reports DHL "embodied bandwidth" in decimal TB/s;
+    /// see [`BytesPerSecond::terabytes_per_second`].
+    BytesPerSecond,
+    "B/s"
+);
+
+scalar_quantity!(
+    /// A network line rate in gigabits per second (decimal: 10⁹ bit/s).
+    ///
+    /// ```rust
+    /// use dhl_units::{Bytes, GigabitsPerSecond};
+    /// let t = GigabitsPerSecond::new(400.0).transfer_time(Bytes::from_petabytes(29.0));
+    /// assert!((t.seconds() - 580_000.0).abs() < 1.0);
+    /// ```
+    GigabitsPerSecond,
+    "Gbit/s"
+);
+
+scalar_quantity!(
+    /// Data moved per unit energy, in decimal gigabytes per joule —
+    /// the paper's transmission-efficiency metric (up to 73.3 GB/J).
+    GigabytesPerJoule,
+    "GB/J"
+);
+
+impl BytesPerSecond {
+    /// Constructs from decimal megabytes per second (Table II's SSD unit).
+    #[must_use]
+    pub const fn from_megabytes_per_second(mbps: f64) -> Self {
+        Self::new(mbps * 1e6)
+    }
+
+    /// Constructs from decimal gigabytes per second.
+    #[must_use]
+    pub const fn from_gigabytes_per_second(gbps: f64) -> Self {
+        Self::new(gbps * 1e9)
+    }
+
+    /// Constructs from decimal terabytes per second.
+    #[must_use]
+    pub const fn from_terabytes_per_second(tbps: f64) -> Self {
+        Self::new(tbps * 1e12)
+    }
+
+    /// The rate in decimal terabytes per second.
+    #[must_use]
+    pub fn terabytes_per_second(self) -> f64 {
+        self.value() / 1e12
+    }
+
+    /// The rate in decimal gigabytes per second.
+    #[must_use]
+    pub fn gigabytes_per_second(self) -> f64 {
+        self.value() / 1e9
+    }
+
+    /// Time to move `data` at this rate.
+    ///
+    /// Returns +∞ (a non-finite [`Seconds`]) when the rate is zero and the
+    /// data is non-empty.
+    #[must_use]
+    pub fn transfer_time(self, data: Bytes) -> Seconds {
+        Seconds::new(data.as_f64() / self.value())
+    }
+}
+
+impl GigabitsPerSecond {
+    /// The equivalent byte rate (`Gb/s / 8` in GB/s).
+    #[must_use]
+    pub fn bytes_per_second(self) -> BytesPerSecond {
+        BytesPerSecond::new(self.value() * 1e9 / 8.0)
+    }
+
+    /// Time to move `data` at this line rate.
+    #[must_use]
+    pub fn transfer_time(self, data: Bytes) -> Seconds {
+        self.bytes_per_second().transfer_time(data)
+    }
+}
+
+impl Div<Seconds> for Bytes {
+    type Output = BytesPerSecond;
+    /// Effective bandwidth of moving a payload in a given time.
+    fn div(self, rhs: Seconds) -> BytesPerSecond {
+        BytesPerSecond::new(self.as_f64() / rhs.value())
+    }
+}
+
+impl Div<Joules> for Bytes {
+    type Output = GigabytesPerJoule;
+    /// Transmission efficiency of moving a payload with a given energy.
+    fn div(self, rhs: Joules) -> GigabytesPerJoule {
+        GigabytesPerJoule::new(self.gigabytes() / rhs.value())
+    }
+}
+
+impl Mul<Seconds> for BytesPerSecond {
+    type Output = Bytes;
+    /// Data moved at a rate for a duration (rounded to the nearest byte).
+    fn mul(self, rhs: Seconds) -> Bytes {
+        Bytes::new((self.value() * rhs.value()).round().max(0.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_transfer_time() {
+        // 29 PB at 400 Gb/s = 580 000 s, the paper's §II-C anchor.
+        let t = GigabitsPerSecond::new(400.0).transfer_time(Bytes::from_petabytes(29.0));
+        assert!((t.seconds() - 580_000.0).abs() < 1e-6);
+        assert!((t.days() - 6.71) < 0.01);
+    }
+
+    #[test]
+    fn one_hour_transfer_needs_64_tbps() {
+        // The paper's intro: a 1-hour 29 PB transfer needs > 64 Tbit/s.
+        let needed_bps = Bytes::from_petabytes(29.0).bits() / 3600.0;
+        assert!(needed_bps / 1e12 > 64.0);
+        assert!(needed_bps / 1e12 < 65.0);
+    }
+
+    #[test]
+    fn embodied_bandwidth_of_default_cart() {
+        // 256 TB in 8.6 s ≈ 29.8 TB/s (Table VI row 2 prints 30).
+        let bw = Bytes::from_terabytes(256.0) / Seconds::new(8.6);
+        assert!((bw.terabytes_per_second() - 29.767).abs() < 0.01);
+    }
+
+    #[test]
+    fn efficiency_of_default_cart() {
+        // 256 TB for 15.04 kJ ≈ 17 GB/J (Table VI row 2).
+        let eff = Bytes::from_terabytes(256.0) / Joules::from_kilojoules(15.04);
+        assert!((eff.value() - 17.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn rate_conversions() {
+        let ssd = BytesPerSecond::from_megabytes_per_second(7100.0);
+        assert!((ssd.gigabytes_per_second() - 7.1).abs() < 1e-9);
+        let link = GigabitsPerSecond::new(400.0);
+        assert!((link.bytes_per_second().gigabytes_per_second() - 50.0).abs() < 1e-9);
+        assert!(
+            (BytesPerSecond::from_terabytes_per_second(1.0).value() - 1e12).abs() < 1e-3
+        );
+    }
+
+    #[test]
+    fn rate_times_time_is_data() {
+        let moved = BytesPerSecond::from_gigabytes_per_second(50.0) * Seconds::new(2.0);
+        assert_eq!(moved, Bytes::from_gigabytes(100.0));
+    }
+
+    #[test]
+    fn zero_rate_gives_infinite_time() {
+        let t = BytesPerSecond::ZERO.transfer_time(Bytes::new(1));
+        assert!(!t.is_finite());
+        // ...but zero data over zero rate is NaN, also non-finite.
+        let t0 = BytesPerSecond::ZERO.transfer_time(Bytes::ZERO);
+        assert!(!t0.is_finite());
+    }
+}

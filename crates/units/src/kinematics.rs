@@ -1,0 +1,248 @@
+//! Kinematic and mechanical quantities: length, mass, speed, acceleration,
+//! force — and the cross-type arithmetic connecting them to time and energy.
+
+use core::ops::{Div, Mul};
+
+use crate::power::{Joules, Seconds, Watts};
+
+scalar_quantity!(
+    /// A length in metres (track length, LIM length, air gap).
+    ///
+    /// ```rust
+    /// use dhl_units::{Metres, MetresPerSecond};
+    /// let cruise_time = Metres::new(500.0) / MetresPerSecond::new(200.0);
+    /// assert_eq!(cruise_time.seconds(), 2.5);
+    /// ```
+    Metres,
+    "m"
+);
+
+scalar_quantity!(
+    /// A mass in kilograms (cart, magnets, SSDs, fin, frame).
+    ///
+    /// ```rust
+    /// use dhl_units::Kilograms;
+    /// let cart = Kilograms::from_grams(282.0);
+    /// assert!((cart.grams() - 282.0).abs() < 1e-9);
+    /// ```
+    Kilograms,
+    "kg"
+);
+
+scalar_quantity!(
+    /// A speed in metres per second (cart cruise speed).
+    MetresPerSecond,
+    "m/s"
+);
+
+scalar_quantity!(
+    /// An acceleration in metres per second squared (LIM acceleration rate).
+    MetresPerSecondSquared,
+    "m/s^2"
+);
+
+scalar_quantity!(
+    /// A force in newtons (LIM thrust, levitation lift, magnetic drag).
+    Newtons,
+    "N"
+);
+
+impl Metres {
+    /// Constructs from millimetres (e.g. the 10 mm levitation air gap).
+    #[must_use]
+    pub const fn from_millimetres(mm: f64) -> Self {
+        Self::new(mm / 1e3)
+    }
+
+    /// Constructs from kilometres.
+    #[must_use]
+    pub const fn from_kilometres(km: f64) -> Self {
+        Self::new(km * 1e3)
+    }
+
+    /// The length in millimetres.
+    #[must_use]
+    pub fn millimetres(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+impl Kilograms {
+    /// Constructs from grams (the paper quotes cart masses in grams).
+    #[must_use]
+    pub const fn from_grams(g: f64) -> Self {
+        Self::new(g / 1e3)
+    }
+
+    /// The mass in grams.
+    #[must_use]
+    pub fn grams(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+impl Mul<Seconds> for MetresPerSecond {
+    type Output = Metres;
+    /// Distance covered at constant speed: `v · t = x`.
+    fn mul(self, rhs: Seconds) -> Metres {
+        Metres::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<MetresPerSecond> for Seconds {
+    type Output = Metres;
+    fn mul(self, rhs: MetresPerSecond) -> Metres {
+        rhs * self
+    }
+}
+
+impl Div<MetresPerSecond> for Metres {
+    type Output = Seconds;
+    /// Time to cover a distance at constant speed: `x / v = t`.
+    fn div(self, rhs: MetresPerSecond) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Seconds> for Metres {
+    type Output = MetresPerSecond;
+    /// Average speed over a distance: `x / t = v`.
+    fn div(self, rhs: Seconds) -> MetresPerSecond {
+        MetresPerSecond::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Seconds> for MetresPerSecondSquared {
+    type Output = MetresPerSecond;
+    /// Speed gained under constant acceleration: `a · t = v`.
+    fn mul(self, rhs: Seconds) -> MetresPerSecond {
+        MetresPerSecond::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<MetresPerSecondSquared> for MetresPerSecond {
+    type Output = Seconds;
+    /// Time to reach a speed under constant acceleration: `v / a = t`.
+    fn div(self, rhs: MetresPerSecondSquared) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<MetresPerSecondSquared> for Kilograms {
+    type Output = Newtons;
+    /// Newton's second law: `F = m · a`.
+    fn mul(self, rhs: MetresPerSecondSquared) -> Newtons {
+        Newtons::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Kilograms> for MetresPerSecondSquared {
+    type Output = Newtons;
+    fn mul(self, rhs: Kilograms) -> Newtons {
+        rhs * self
+    }
+}
+
+impl Mul<Metres> for Newtons {
+    type Output = Joules;
+    /// Work done by a force over a distance: `W = F · x`.
+    fn mul(self, rhs: Metres) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Newtons> for Metres {
+    type Output = Joules;
+    fn mul(self, rhs: Newtons) -> Joules {
+        rhs * self
+    }
+}
+
+impl Mul<MetresPerSecond> for Newtons {
+    type Output = Watts;
+    /// Mechanical power delivered by a force at speed: `P = F · v`.
+    fn mul(self, rhs: MetresPerSecond) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Newtons> for MetresPerSecond {
+    type Output = Watts;
+    fn mul(self, rhs: Newtons) -> Watts {
+        rhs * self
+    }
+}
+
+/// Kinetic energy of a mass moving at a speed: `E = ½ m v²`.
+///
+/// The foundation of the paper's launch-energy model:
+/// a 282 g cart at 200 m/s embodies 5.64 kJ.
+///
+/// ```rust
+/// use dhl_units::{kinetic_energy, Kilograms, MetresPerSecond};
+/// let e = kinetic_energy(Kilograms::from_grams(282.0), MetresPerSecond::new(200.0));
+/// assert!((e.kilojoules() - 5.64).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn kinetic_energy(mass: Kilograms, speed: MetresPerSecond) -> Joules {
+    Joules::new(0.5 * mass.value() * speed.value() * speed.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn distance_speed_time_triangle() {
+        let x = Metres::new(500.0);
+        let v = MetresPerSecond::new(200.0);
+        assert!(((x / v).seconds() - 2.5).abs() < EPS);
+        assert!(((v * Seconds::new(2.5)).value() - 500.0).abs() < EPS);
+        assert!(((x / Seconds::new(2.5)).value() - 200.0).abs() < EPS);
+    }
+
+    #[test]
+    fn acceleration_relations() {
+        let a = MetresPerSecondSquared::new(1000.0);
+        let v = MetresPerSecond::new(200.0);
+        // Ramp-up time to 200 m/s at 1000 m/s² is 0.2 s.
+        assert!(((v / a).seconds() - 0.2).abs() < EPS);
+        assert!(((a * Seconds::new(0.2)).value() - 200.0).abs() < EPS);
+    }
+
+    #[test]
+    fn force_work_power() {
+        let m = Kilograms::from_grams(282.0);
+        let a = MetresPerSecondSquared::new(1000.0);
+        let f = m * a;
+        assert!((f.value() - 282.0).abs() < EPS);
+        // Work over the 20 m LIM equals the kinetic energy at 200 m/s.
+        let w = f * Metres::new(20.0);
+        assert!((w.kilojoules() - 5.64).abs() < EPS);
+        // Mechanical peak power at 200 m/s (before LIM efficiency).
+        let p = f * MetresPerSecond::new(200.0);
+        assert!((p.kilowatts() - 56.4).abs() < EPS);
+    }
+
+    #[test]
+    fn kinetic_energy_matches_work_done() {
+        let m = Kilograms::from_grams(282.0);
+        let v = MetresPerSecond::new(200.0);
+        let a = MetresPerSecondSquared::new(1000.0);
+        let lim_length = Metres::new(v.value() * v.value() / (2.0 * a.value()));
+        assert!((lim_length.value() - 20.0).abs() < EPS);
+        let work = (m * a) * lim_length;
+        assert!((kinetic_energy(m, v).value() - work.value()).abs() < EPS);
+    }
+
+    #[test]
+    fn gram_and_millimetre_conversions() {
+        assert!((Kilograms::from_grams(5.67).value() - 0.00567).abs() < EPS);
+        assert!((Metres::from_millimetres(10.0).value() - 0.01).abs() < EPS);
+        assert!((Metres::from_kilometres(1.0).value() - 1000.0).abs() < EPS);
+        assert!((Metres::new(0.01).millimetres() - 10.0).abs() < EPS);
+        assert!((Kilograms::new(0.282).grams() - 282.0).abs() < EPS);
+    }
+}

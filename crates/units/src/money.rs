@@ -1,0 +1,64 @@
+//! Monetary quantities for the commodity cost model (Table VIII).
+
+scalar_quantity!(
+    /// An amount of money in US dollars (May 2023 commodity prices).
+    ///
+    /// ```rust
+    /// use dhl_units::Usd;
+    /// let vfd = Usd::new(8_000.0);
+    /// let coils = Usd::new(2_904.0);
+    /// assert_eq!((vfd + coils).value(), 10_904.0);
+    /// ```
+    Usd,
+    "USD"
+);
+
+impl Usd {
+    /// Renders as a conventional dollar string with thousands separators,
+    /// rounded to the nearest dollar: `$14,569`.
+    #[must_use]
+    pub fn display_dollars(self) -> String {
+        let negative = self.value() < 0.0;
+        let whole = self.value().abs().round() as u64;
+        let digits = whole.to_string();
+        let mut grouped = String::new();
+        for (i, ch) in digits.chars().enumerate() {
+            if i > 0 && (digits.len() - i) % 3 == 0 {
+                grouped.push(',');
+            }
+            grouped.push(ch);
+        }
+        if negative {
+            format!("-${grouped}")
+        } else {
+            format!("${grouped}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dollar_grouping() {
+        assert_eq!(Usd::new(0.0).display_dollars(), "$0");
+        assert_eq!(Usd::new(733.0).display_dollars(), "$733");
+        assert_eq!(Usd::new(14_569.0).display_dollars(), "$14,569");
+        assert_eq!(Usd::new(1_234_567.0).display_dollars(), "$1,234,567");
+        assert_eq!(Usd::new(-8000.0).display_dollars(), "-$8,000");
+    }
+
+    #[test]
+    fn rounding_to_nearest_dollar() {
+        assert_eq!(Usd::new(116.4).display_dollars(), "$116");
+        assert_eq!(Usd::new(116.5).display_dollars(), "$117");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let total = Usd::new(8_792.0) + Usd::new(733.0);
+        assert_eq!(total.value(), 9_525.0);
+        assert_eq!((Usd::new(2.35) * 100.0).value(), 235.0);
+    }
+}

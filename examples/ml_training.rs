@@ -1,0 +1,66 @@
+//! ML-training use case (§II-D.3, §V-C): time and power to run DLRM
+//! training iterations over the 29 PB dataset with DHL vs optical
+//! networking — the paper's Fig. 6 / Table VII experiment.
+//!
+//! ```text
+//! cargo run --example ml_training
+//! ```
+
+use datacentre_hyperloop::core::DhlConfig;
+use datacentre_hyperloop::mlsim::{fig6, iso_power, iso_time, DhlFabric, DlrmWorkload};
+use datacentre_hyperloop::net::route::RouteId;
+use datacentre_hyperloop::units::{Metres, MetresPerSecond, Watts};
+
+fn main() {
+    let workload = DlrmWorkload::paper_dlrm();
+    let dhl = DhlConfig::paper_default();
+    let budget = DhlFabric::new(dhl.clone(), 1).track_power();
+
+    println!(
+        "DLRM over {} — fixed communication power {:.2} kW",
+        workload.dataset, budget.kilowatts()
+    );
+    let table = iso_power(&workload, &dhl, budget);
+    println!("{:<8} {:>12} {:>12}", "scheme", "s/iter", "slowdown");
+    for row in &table.rows {
+        println!(
+            "{:<8} {:>12.0} {:>11.1}x",
+            row.scheme,
+            row.time_per_iteration.seconds(),
+            row.factor_vs_dhl
+        );
+    }
+
+    let iso = iso_time(&workload, &dhl);
+    println!(
+        "\nPower needed to match the DHL's {:.0} s/iteration:",
+        iso.target_time.seconds()
+    );
+    println!("{:<8} {:>12} {:>12}", "scheme", "kW", "increase");
+    for row in &iso.rows {
+        println!(
+            "{:<8} {:>12.2} {:>11.1}x",
+            row.scheme,
+            row.power.kilowatts(),
+            row.factor_vs_dhl
+        );
+    }
+
+    // A slice of Fig. 6: how iteration time falls as we add DHL tracks or
+    // optical links.
+    let configs = [
+        DhlConfig::with_ssd_count(MetresPerSecond::new(100.0), Metres::new(500.0), 16),
+        dhl,
+    ];
+    let grid: Vec<Watts> = (1..=8).map(|i| Watts::new(f64::from(i) * 1_750.0)).collect();
+    println!("\nFig. 6 slice (power → s/iter):");
+    for series in fig6(&workload, &configs, &[RouteId::A0, RouteId::C], &grid, 8) {
+        let pts: Vec<String> = series
+            .points
+            .iter()
+            .take(4)
+            .map(|(p, t)| format!("{:.1} kW→{:.0} s", p.kilowatts(), t.seconds()))
+            .collect();
+        println!("  {:<18} {}", series.scheme, pts.join(", "));
+    }
+}

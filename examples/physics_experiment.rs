@@ -1,0 +1,69 @@
+//! Experimental-physics use case (§II-D.1): the LHC CMS detector produces
+//! 150 TB/s; today that firehose is aggressively filtered on-site. A DHL
+//! connecting the detector hall to an off-site data centre could ship the
+//! raw stream as cart-loads instead.
+//!
+//! ```text
+//! cargo run --example physics_experiment
+//! ```
+
+use datacentre_hyperloop::core::{DhlConfig, LaunchMetrics};
+use datacentre_hyperloop::storage::cart::CartStorage;
+use datacentre_hyperloop::storage::datasets;
+use datacentre_hyperloop::units::{Bytes, Metres, MetresPerSecond, Seconds};
+
+fn main() {
+    let burst_rate = datasets::lhc_cms_rate(); // 150 TB/s
+    println!(
+        "CMS detector output: {:.0} TB/s raw",
+        burst_rate.terabytes_per_second()
+    );
+
+    // A one-second burst fills buffer SSDs; how fast must the DHL drain it?
+    let one_second_burst = burst_rate * Seconds::new(1.0);
+    let cart = CartStorage::paper_large(); // 512 TB carts for this deployment
+    let carts_per_second = one_second_burst.div_ceil(cart.capacity());
+    println!(
+        "One second of beam = {one_second_burst} = {carts_per_second} × {} carts",
+        Bytes::new(cart.capacity().as_u64())
+    );
+
+    // A 1 km DHL from the detector hall to off-site processing.
+    let cfg = DhlConfig::with_ssd_count(
+        MetresPerSecond::new(300.0),
+        Metres::from_kilometres(1.0),
+        64,
+    );
+    let launch = LaunchMetrics::evaluate(&cfg);
+    println!(
+        "\n1 km detector DHL (300 m/s, 512 TB carts): {:.2} s/trip, {:.1} TB/s embodied",
+        launch.trip_time.seconds(),
+        launch.bandwidth.terabytes_per_second()
+    );
+
+    // Sustained throughput with pipelined launches (one cart per trip time
+    // headway is conservative; the track supports one launch per docking
+    // time).
+    let launches_per_second = 1.0 / cfg.dock_time.seconds();
+    let sustained = cart.capacity().as_f64() * launches_per_second;
+    println!(
+        "pipelined launches every {:.0} s sustain {:.0} TB/s of embodied bandwidth",
+        cfg.dock_time.seconds(),
+        sustained / 1e12
+    );
+    let coverage = sustained / burst_rate.value();
+    println!(
+        "=> a single track carries {:.0}% of the raw CMS stream; {} parallel tracks cover it",
+        coverage * 100.0,
+        (1.0 / coverage).ceil()
+    );
+
+    // How long to ship a full shift (8 h) of *filtered* data (say 1%)?
+    let shift = Bytes::new((burst_rate.value() * 8.0 * 3600.0 * 0.01) as u64);
+    let trips = shift.div_ceil(cfg.cart_capacity);
+    let time = launch.trip_time * (2 * trips) as f64;
+    println!(
+        "\nShipping an 8 h shift at 1% filter ({shift}) takes {trips} deliveries, {:.0} s including returns",
+        time.seconds()
+    );
+}

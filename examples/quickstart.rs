@@ -1,0 +1,66 @@
+//! Quickstart: evaluate the paper's default DHL design, move a dataset
+//! through the software API, and compare against the optical network.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use datacentre_hyperloop::core::{BulkComparison, DhlConfig, LaunchMetrics};
+use datacentre_hyperloop::net::route::RouteId;
+use datacentre_hyperloop::sim::api::DhlApi;
+use datacentre_hyperloop::sim::SimConfig;
+use datacentre_hyperloop::units::{Bytes, BytesPerSecond};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The analytical model: one launch of the default cart
+    //    (200 m/s over 500 m carrying 256 TB).
+    let cfg = DhlConfig::paper_default();
+    let launch = LaunchMetrics::evaluate(&cfg);
+    println!("One launch of the default DHL cart:");
+    println!("  energy        {:>10.2} kJ", launch.energy.kilojoules());
+    println!("  trip time     {:>10.2} s", launch.trip_time.seconds());
+    println!(
+        "  bandwidth     {:>10.2} TB/s (embodied)",
+        launch.bandwidth.terabytes_per_second()
+    );
+    println!("  peak power    {:>10.2} kW", launch.peak_power.kilowatts());
+    println!("  efficiency    {:>10.2} GB/J", launch.efficiency.value());
+
+    // 2. Moving Meta's 29 PB DLRM dataset vs the optical network.
+    let dataset = Bytes::from_petabytes(29.0);
+    let cmp = BulkComparison::evaluate(&cfg, dataset);
+    println!("\nMoving {dataset} (Meta DLRM training data):");
+    println!("  cart deliveries   {:>8}", cmp.dhl.deliveries);
+    println!("  DHL time          {:>8.0} s", cmp.dhl.time.seconds());
+    println!(
+        "  one 400 Gb/s link {:>8.0} s ({:.2} days)",
+        cmp.network_time.seconds(),
+        cmp.network_time.days()
+    );
+    println!("  time speedup      {:>8.1}x", cmp.time_speedup);
+    for id in [RouteId::A0, RouteId::C] {
+        println!(
+            "  energy vs {:<6}  {:>8.1}x less",
+            id.to_string(),
+            cmp.reduction_vs(id)
+        );
+    }
+
+    // 3. The software API (§III-D): Open / Read / Write / Close.
+    let mut api = DhlApi::new(
+        SimConfig::paper_default(),
+        BytesPerSecond::from_gigabytes_per_second(227.2),
+        BytesPerSecond::from_gigabytes_per_second(192.0),
+    )?;
+    let cart = api.open(1)?; // shuttle a cart from the library to rack 1
+    let read_time = api.read(cart, Bytes::from_terabytes(42.0))?;
+    api.write(cart, Bytes::from_terabytes(1.0))?;
+    api.close(cart)?; // send it home
+    println!("\nAPI session: opened, read 42 TB in {:.0} s, wrote 1 TB, closed.", read_time.seconds());
+    println!(
+        "  wall clock {:.1} s, energy {:.1} kJ",
+        api.now().seconds(),
+        api.energy_used().kilojoules()
+    );
+    Ok(())
+}

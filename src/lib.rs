@@ -1,0 +1,45 @@
+//! # Data Centre Hyperloops (DHL)
+//!
+//! A complete, reproducible implementation of the models and simulators from
+//! *"The Case For Data Centre Hyperloops"* (ISCA 2024): physically moving
+//! commodity M.2 SSDs on maglev carts through low-pressure tubes as an
+//! alternative to copying petabyte-scale datasets over the optical network.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`units`] — strongly-typed physical quantities (bytes, joules, watts, …).
+//! - [`physics`] — the maglev physics substrate (kinematics, LIM, levitation).
+//! - [`storage`] — SSD/HDD device models, cart storage, dataset catalog.
+//! - [`net`] — the optical data-centre network baseline (routes A0..C).
+//! - [`sim`] — a discrete-event simulator of the full DHL system.
+//! - [`core`] — the paper's analytical model: launch metrics, design-space
+//!   exploration, bulk-transfer comparison, cost model, crossover analysis.
+//! - [`sched`] — the §III-D management-software layer: dataset placement,
+//!   request scheduling, and data-availability tracking.
+//! - [`mlsim`] — a distributed ML-training simulator (ASTRA-sim substitute)
+//!   for the iso-power / iso-time experiments.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use datacentre_hyperloop::core::{DhlConfig, LaunchMetrics};
+//! use datacentre_hyperloop::units::{Metres, MetresPerSecond, TERABYTE};
+//!
+//! // The paper's default configuration: 200 m/s over 500 m, 256 TB per cart.
+//! let cfg = DhlConfig::paper_default();
+//! let metrics = LaunchMetrics::evaluate(&cfg);
+//! assert!((metrics.energy.kilojoules() - 15.0).abs() < 0.1);
+//! assert!((metrics.trip_time.seconds() - 8.6).abs() < 0.05);
+//! ```
+
+pub use dhl_core as core;
+pub use dhl_mlsim as mlsim;
+pub use dhl_sched as sched;
+pub use dhl_net as net;
+pub use dhl_physics as physics;
+pub use dhl_sim as sim;
+pub use dhl_storage as storage;
+pub use dhl_units as units;
+
+/// Version of the reproduction, mirroring the workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

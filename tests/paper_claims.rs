@@ -1,0 +1,123 @@
+//! End-to-end checks of the paper's headline claims, spanning every crate.
+
+use datacentre_hyperloop::core::{
+    crossover, paper_dataset, paper_minimal_dhl, paper_table_vi, CostModel, DhlConfig,
+};
+use datacentre_hyperloop::mlsim::{iso_power, iso_time, DhlFabric, DlrmWorkload};
+use datacentre_hyperloop::net::route::{Route, RouteId};
+use datacentre_hyperloop::units::{Metres, MetresPerSecond, Watts};
+
+#[test]
+fn abstract_energy_reductions_1_6x_to_376x() {
+    let mut lo = f64::INFINITY;
+    let mut hi: f64 = 0.0;
+    for p in paper_table_vi() {
+        for (_, r) in p.comparison.energy_reduction {
+            lo = lo.min(r);
+            hi = hi.max(r);
+        }
+    }
+    assert!((lo - 1.6).abs() < 0.05, "min {lo}");
+    assert!((hi - 376.1).abs() / 376.1 < 0.01, "max {hi}");
+}
+
+#[test]
+fn abstract_time_speedups_114x_to_646x() {
+    let speedups: Vec<f64> = paper_table_vi()
+        .iter()
+        .map(|p| p.comparison.time_speedup)
+        .collect();
+    let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = speedups.iter().cloned().fold(0.0, f64::max);
+    assert!((lo - 114.8).abs() / 114.8 < 0.015, "min {lo}");
+    assert!((hi - 646.4).abs() / 646.4 < 0.015, "max {hi}");
+}
+
+#[test]
+fn abstract_simulation_speedups_5_7x_to_118x_iso_power() {
+    let workload = DlrmWorkload::paper_dlrm();
+    let dhl = DhlConfig::paper_default();
+    let budget = DhlFabric::new(dhl.clone(), 1).track_power();
+    let table = iso_power(&workload, &dhl, budget);
+    let factors: Vec<f64> = table.rows[1..].iter().map(|r| r.factor_vs_dhl).collect();
+    // Paper: 5.7× (A0) to 118× (C); ours within 15 %.
+    assert!((factors[0] - 5.7).abs() / 5.7 < 0.15, "A0 {}", factors[0]);
+    assert!((factors[4] - 118.0).abs() / 118.0 < 0.15, "C {}", factors[4]);
+}
+
+#[test]
+fn abstract_power_reductions_6_4x_to_135x_iso_time() {
+    let table = iso_time(&DlrmWorkload::paper_dlrm(), &DhlConfig::paper_default());
+    let factors: Vec<f64> = table.rows[1..].iter().map(|r| r.factor_vs_dhl).collect();
+    // Paper: 6.4× (A0) to 135× (C); ours run up to ~1.45× higher because
+    // our derived DHL iteration is faster than the paper's (1212 vs 1350 s).
+    assert!(factors[0] / 6.4 > 1.0 && factors[0] / 6.4 < 1.45, "A0 {}", factors[0]);
+    assert!(factors[4] / 135.0 > 1.0 && factors[4] / 135.0 < 1.45, "C {}", factors[4]);
+}
+
+#[test]
+fn abstract_efficiency_up_to_73_3_gb_per_joule() {
+    let best = paper_table_vi()
+        .iter()
+        .map(|p| p.launch.efficiency.value())
+        .fold(0.0, f64::max);
+    assert!((best - 73.3).abs() < 0.1, "best {best}");
+}
+
+#[test]
+fn intro_one_week_and_64_tbps_claims() {
+    // §I: 29 PB at 400 Gb/s ≈ 1 week; a 1-hour transfer needs 161× ≈
+    // > 64 Tb/s.
+    let t = Route::a0().transfer_time(paper_dataset());
+    assert!(t.days() > 6.5 && t.days() < 7.0);
+    let needed_speedup = t.seconds() / 3600.0;
+    assert!((needed_speedup - 161.0).abs() < 1.0, "{needed_speedup}");
+    assert!(400e9 * needed_speedup > 64e12);
+}
+
+#[test]
+fn cost_analysis_dhl_is_financially_practical() {
+    // §V-D: "DHL costs roughly twenty thousand dollars, which is a typical
+    // price for a large 400gbps switch."
+    let m = CostModel::paper();
+    for d in [100.0, 500.0, 1000.0] {
+        for v in [100.0, 200.0, 300.0] {
+            let c = m.total_cost(Metres::new(d), MetresPerSecond::new(v));
+            assert!(
+                c.value() > 5_000.0 && c.value() < 25_000.0,
+                "{d} m / {v} m/s: {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn crossover_dhl_wins_above_360_gb_and_10_metres() {
+    let c = crossover(&paper_minimal_dhl());
+    // Breakeven within 3 % of the paper's 360 GB.
+    assert!((c.breakeven_dataset.gigabytes() - 360.0).abs() / 360.0 < 0.03);
+    // At breakeven the DHL's energy is already far below optical's.
+    assert!(c.optical_energy.value() / c.dhl_energy.value() > 20.0);
+}
+
+#[test]
+fn fig2_route_energies_exact() {
+    let expected = [
+        (RouteId::A0, 13.92),
+        (RouteId::A1, 22.97),
+        (RouteId::A2, 50.05),
+        (RouteId::B, 174.75),
+        (RouteId::C, 299.45),
+    ];
+    for (id, mj) in expected {
+        let got = Route::from_id(id).transfer_energy(paper_dataset()).megajoules();
+        assert!((got - mj).abs() < 0.005, "{id}: {got}");
+    }
+}
+
+#[test]
+fn dhl_average_power_anchor_is_1_75_kw() {
+    let p = DhlFabric::new(DhlConfig::paper_default(), 1).track_power();
+    assert!((p.value() - 1_750.0).abs() < 5.0, "{p}");
+    let _ = Watts::new(1_750.0);
+}

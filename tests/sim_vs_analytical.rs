@@ -1,0 +1,122 @@
+//! Cross-validation: the discrete-event simulator reproduces the analytical
+//! model's bulk-transfer accounting across the whole Table VI design space,
+//! and quantifies what the paper's conservative accounting leaves on the
+//! table.
+
+use datacentre_hyperloop::core::{BulkTransfer, DhlConfig};
+use datacentre_hyperloop::sim::{DhlSystem, EndpointKind, EndpointSpec, SimConfig};
+use datacentre_hyperloop::storage::devices::StorageDevice;
+use datacentre_hyperloop::units::{Bytes, Metres, MetresPerSecond};
+
+/// Builds the strictly serial simulator configuration matching an
+/// analytical design point.
+fn serial_sim_config(speed: f64, length: f64, ssds: u32) -> SimConfig {
+    let mut cfg = SimConfig::paper_serial();
+    cfg.max_speed = MetresPerSecond::new(speed);
+    cfg.endpoints = vec![
+        EndpointSpec {
+            position: Metres::ZERO,
+            docks: 1,
+            kind: EndpointKind::Library,
+        },
+        EndpointSpec {
+            position: Metres::new(length),
+            docks: 1,
+            kind: EndpointKind::Rack,
+        },
+    ];
+    cfg.cart_capacity = StorageDevice::sabrent_rocket_4_plus().capacity * u64::from(ssds);
+    cfg.cart_mass = dhl_physics::CartMassModel::paper_default().budget(ssds).total;
+    cfg
+}
+
+#[test]
+fn des_matches_analytical_for_every_table_vi_point() {
+    let dataset = Bytes::from_petabytes(29.0);
+    for (speed, length, ssds) in datacentre_hyperloop::core::TABLE_VI_ROWS {
+        let analytical = BulkTransfer::evaluate(
+            &DhlConfig::with_ssd_count(
+                MetresPerSecond::new(speed),
+                Metres::new(length),
+                ssds,
+            ),
+            dataset,
+        );
+        let report = DhlSystem::new(serial_sim_config(speed, length, ssds))
+            .unwrap()
+            .run_bulk_transfer(dataset)
+            .unwrap();
+
+        assert_eq!(report.deliveries, analytical.deliveries, "{speed}/{length}/{ssds}");
+        assert_eq!(report.movements, analytical.movements);
+        // Times agree exactly: the serial DES is the analytical model.
+        let dt = (report.completion_time.seconds() - analytical.time.seconds()).abs();
+        assert!(
+            dt < 1e-6 * analytical.time.seconds(),
+            "{speed}/{length}/{ssds}: DES {} vs analytical {}",
+            report.completion_time.seconds(),
+            analytical.time.seconds()
+        );
+        // DES energy adds the drag + stabilisation terms the paper
+        // neglects: bigger, but by under 6 % even for the slowest, lightest
+        // cart (where the fixed drag term looms largest).
+        let ratio = report.total_energy.value() / analytical.energy.value();
+        assert!(
+            (1.0..1.06).contains(&ratio),
+            "{speed}/{length}/{ssds}: energy ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn pipelining_recovers_up_to_half_the_serial_time() {
+    let dataset = Bytes::from_petabytes(29.0);
+    let serial = DhlSystem::new(SimConfig::paper_serial())
+        .unwrap()
+        .run_bulk_transfer(dataset)
+        .unwrap();
+    let pipelined = DhlSystem::new(SimConfig::paper_default())
+        .unwrap()
+        .run_bulk_transfer(dataset)
+        .unwrap();
+    let mut dual_cfg = SimConfig::paper_default();
+    dual_cfg.dual_track = true;
+    let dual = DhlSystem::new(dual_cfg)
+        .unwrap()
+        .run_bulk_transfer(dataset)
+        .unwrap();
+
+    let s = serial.completion_time.seconds();
+    let p = pipelined.completion_time.seconds();
+    let d = dual.completion_time.seconds();
+    assert!(p < s, "pipelined {p} < serial {s}");
+    assert!(d < p, "dual {d} < pipelined {p}");
+    // Dual-track pipelining approaches the one-way launch cadence:
+    // 114 launches × max(headway, ...) — at least 2× better than serial.
+    assert!(d < s / 2.0, "dual {d} vs serial {s}");
+    // Energy identical across schedules.
+    assert!((serial.total_energy.value() - dual.total_energy.value()).abs() < 1.0);
+}
+
+#[test]
+fn des_embodied_bandwidth_brackets_table_vi() {
+    // Table VI's 30 TB/s is one-way, no pipelining. The serial DES (with
+    // returns) gives half that; the dual-track pipelined DES approaches and
+    // can exceed it.
+    let dataset = Bytes::from_petabytes(29.0);
+    let serial = DhlSystem::new(SimConfig::paper_serial())
+        .unwrap()
+        .run_bulk_transfer(dataset)
+        .unwrap();
+    let tbps_serial = serial.embodied_bandwidth.terabytes_per_second();
+    assert!((tbps_serial - 14.8).abs() < 0.3, "serial {tbps_serial}");
+
+    let mut dual_cfg = SimConfig::paper_default();
+    dual_cfg.dual_track = true;
+    let dual = DhlSystem::new(dual_cfg)
+        .unwrap()
+        .run_bulk_transfer(dataset)
+        .unwrap();
+    let tbps_dual = dual.embodied_bandwidth.terabytes_per_second();
+    assert!(tbps_dual > 25.0, "dual {tbps_dual}");
+}

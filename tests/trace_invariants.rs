@@ -1,0 +1,125 @@
+//! Replays DES traces to prove the simulator honours its physical
+//! invariants: well-formed cart lifecycles, dock-capacity limits, and the
+//! single-track no-two-directions rule.
+
+use datacentre_hyperloop::sim::{
+    DhlSystem, SimConfig, TraceEventKind,
+};
+use datacentre_hyperloop::units::Bytes;
+
+fn traced_run(cfg: SimConfig, pb: f64) -> datacentre_hyperloop::sim::Trace {
+    let mut sys = DhlSystem::new(cfg).unwrap();
+    sys.enable_trace(1_000_000);
+    sys.run_bulk_transfer(Bytes::from_petabytes(pb)).unwrap();
+    sys.take_trace().unwrap()
+}
+
+#[test]
+fn every_cart_lifecycle_is_well_formed() {
+    for cfg in [SimConfig::paper_serial(), SimConfig::paper_default(), {
+        let mut c = SimConfig::paper_default();
+        c.dual_track = true;
+        c
+    }] {
+        let carts = cfg.num_carts as usize;
+        let trace = traced_run(cfg, 10.0);
+        assert_eq!(trace.dropped(), 0);
+        for cart in 0..carts {
+            assert!(trace.lifecycle_is_well_formed(cart), "cart {cart}");
+        }
+    }
+}
+
+#[test]
+fn dock_capacity_never_exceeded() {
+    let cfg = SimConfig::paper_default();
+    let docks: Vec<u32> = cfg.endpoints.iter().map(|e| e.docks).collect();
+    let num_carts = cfg.num_carts;
+    let trace = traced_run(cfg, 29.0);
+
+    // Replay: a dock is reserved from Launch (destination) until the next
+    // Launch away from it; we conservatively track carts-present:
+    // occupancy(endpoint) = docked + incoming reservations.
+    let mut occupancy: Vec<i64> = docks.iter().map(|_| 0).collect();
+    occupancy[0] = i64::from(num_carts);
+    let mut cart_source: Vec<usize> = vec![0; num_carts as usize];
+    for e in trace.events() {
+        match e.kind {
+            TraceEventKind::Launch { cart, from, to } => {
+                occupancy[to] += 1; // reservation
+                cart_source[cart] = from;
+            }
+            TraceEventKind::EnterTube { cart } => {
+                occupancy[cart_source[cart]] -= 1; // source dock freed
+            }
+            _ => {}
+        }
+        for (ep, &occ) in occupancy.iter().enumerate() {
+            assert!(
+                occ >= 0 && occ <= i64::from(docks[ep]),
+                "endpoint {ep}: occupancy {occ} vs {} docks at t={}",
+                docks[ep],
+                e.time.seconds()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_track_never_carries_two_directions() {
+    let trace = traced_run(SimConfig::paper_default(), 29.0);
+    // Between EnterTube and BeginDock a cart occupies the tube. On a single
+    // track all simultaneous occupants must share a direction (outbound if
+    // destination index > source).
+    let mut in_tube: std::collections::HashMap<usize, bool> = std::collections::HashMap::new();
+    let mut headed_out: Vec<bool> = vec![false; 64];
+    for e in trace.events() {
+        match e.kind {
+            TraceEventKind::Launch { cart, from, to } => {
+                headed_out[cart] = to > from;
+            }
+            TraceEventKind::EnterTube { cart } => {
+                in_tube.insert(cart, headed_out[cart]);
+                let dirs: std::collections::HashSet<bool> =
+                    in_tube.values().copied().collect();
+                assert!(
+                    dirs.len() <= 1,
+                    "mixed directions in tube at t={}",
+                    e.time.seconds()
+                );
+            }
+            TraceEventKind::BeginDock { cart } => {
+                in_tube.remove(&cart);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn same_direction_launches_respect_headway() {
+    let cfg = SimConfig::paper_default();
+    let headway = cfg.launch_headway().seconds();
+    let trace = traced_run(cfg, 29.0);
+    let mut last_launch: Option<f64> = None;
+    let mut tube_population = 0i64;
+    for e in trace.events() {
+        match e.kind {
+            TraceEventKind::Launch { .. } => {
+                if tube_population > 0 {
+                    if let Some(prev) = last_launch {
+                        assert!(
+                            e.time.seconds() - prev >= headway - 1e-9,
+                            "launch at {} too close to {prev}",
+                            e.time.seconds()
+                        );
+                    }
+                }
+                last_launch = Some(e.time.seconds());
+                tube_population += 1;
+            }
+            TraceEventKind::Docked { .. } => tube_population -= 1,
+            _ => {}
+        }
+    }
+}

@@ -1,17 +1,14 @@
 //! Bench + regeneration for the §V-E minimum-specification analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use dhl_bench::harness::bench_function;
 use dhl_core::{crossover, paper_minimal_dhl};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", dhl_bench::render_crossover());
     let cfg = paper_minimal_dhl();
-    c.bench_function("crossover/minimal_dhl", |b| {
-        b.iter(|| crossover(black_box(&cfg)).breakeven_dataset.as_u64());
+    bench_function("crossover/minimal_dhl", || {
+        crossover(black_box(&cfg)).breakeven_dataset.as_u64()
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,44 +1,35 @@
 //! Bench + regeneration for the DES ablations: the discrete-event system
 //! simulator vs the analytical model, across the §VI design alternatives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use dhl_bench::harness::bench_function;
 use dhl_sim::{DhlSystem, SimConfig};
 use dhl_units::Bytes;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", dhl_bench::render_des_ablation());
-    c.bench_function("des/serial_29pb", |b| {
-        b.iter(|| {
-            DhlSystem::new(black_box(SimConfig::paper_serial()))
-                .unwrap()
-                .run_bulk_transfer(Bytes::from_petabytes(29.0))
-                .unwrap()
-                .movements
-        });
+    bench_function("des/serial_29pb", || {
+        DhlSystem::new(black_box(SimConfig::paper_serial()))
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(29.0))
+            .unwrap()
+            .movements
     });
-    c.bench_function("des/pipelined_29pb", |b| {
-        b.iter(|| {
-            DhlSystem::new(black_box(SimConfig::paper_default()))
-                .unwrap()
-                .run_bulk_transfer(Bytes::from_petabytes(29.0))
-                .unwrap()
-                .movements
-        });
+    bench_function("des/pipelined_29pb", || {
+        DhlSystem::new(black_box(SimConfig::paper_default()))
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(29.0))
+            .unwrap()
+            .movements
     });
-    c.bench_function("des/dual_track_29pb", |b| {
-        b.iter(|| {
-            let mut cfg = SimConfig::paper_default();
-            cfg.dual_track = true;
-            DhlSystem::new(cfg)
-                .unwrap()
-                .run_bulk_transfer(Bytes::from_petabytes(29.0))
-                .unwrap()
-                .movements
-        });
+    bench_function("des/dual_track_29pb", || {
+        let mut cfg = SimConfig::paper_default();
+        cfg.dual_track = true;
+        DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(29.0))
+            .unwrap()
+            .movements
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,35 +1,28 @@
 //! Bench + regeneration for Fig. 2 (right): route energies for 29 PB.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use dhl_bench::harness::bench_function;
 use dhl_core::paper_dataset;
 use dhl_net::route::Route;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", dhl_bench::render_fig2());
-    c.bench_function("fig2/route_energies_29pb", |b| {
-        b.iter(|| {
-            Route::all()
-                .into_iter()
-                .map(|r| r.transfer_energy(black_box(paper_dataset())).value())
-                .sum::<f64>()
-        });
+    bench_function("fig2/route_energies_29pb", || {
+        Route::all()
+            .into_iter()
+            .map(|r| r.transfer_energy(black_box(paper_dataset())).value())
+            .sum::<f64>()
     });
-    c.bench_function("fig2/fat_tree_derived_routes", |b| {
+    bench_function("fig2/fat_tree_derived_routes", || {
         use dhl_net::topology::{FatTree, NodeAddress};
         let tree = FatTree::figure_2();
-        b.iter(|| {
-            let route = tree
-                .route_between(
-                    black_box(NodeAddress::new(0, 0, 0)),
-                    black_box(NodeAddress::new(1, 1, 1)),
-                )
-                .unwrap();
-            route.transfer_energy(paper_dataset()).value()
-        });
+        let route = tree
+            .route_between(
+                black_box(NodeAddress::new(0, 0, 0)),
+                black_box(NodeAddress::new(1, 1, 1)),
+            )
+            .unwrap();
+        route.transfer_energy(paper_dataset()).value()
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

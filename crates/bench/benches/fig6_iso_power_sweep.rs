@@ -1,13 +1,12 @@
 //! Bench + regeneration for Fig. 6: iteration time vs communication power.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use dhl_bench::harness::bench_function;
 use dhl_core::DhlConfig;
 use dhl_mlsim::{fig6, DlrmWorkload};
 use dhl_net::route::RouteId;
 use dhl_units::{Metres, MetresPerSecond, Watts};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", dhl_bench::render_fig6());
     let workload = DlrmWorkload::paper_dlrm();
     let configs = [
@@ -17,19 +16,14 @@ fn bench(c: &mut Criterion) {
     ];
     let grid: Vec<Watts> = (1..=64).map(|i| Watts::new(f64::from(i) * 500.0)).collect();
 
-    c.bench_function("fig6/full_sweep", |b| {
-        b.iter(|| {
-            fig6(
-                &workload,
-                &configs,
-                &[RouteId::A0, RouteId::A1, RouteId::A2, RouteId::B, RouteId::C],
-                &grid,
-                16,
-            )
-            .len()
-        });
+    bench_function("fig6/full_sweep", || {
+        fig6(
+            &workload,
+            &configs,
+            &[RouteId::A0, RouteId::A1, RouteId::A2, RouteId::B, RouteId::C],
+            &grid,
+            16,
+        )
+        .len()
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,36 +1,45 @@
 //! Bench for the §III-D management-software layer: placement + list
 //! scheduling of a multi-tenant request mix.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use dhl_bench::harness::bench_function;
 use dhl_sched::placement::Placement;
-use dhl_sched::scheduler::{Priority, Scheduler, TransferRequest};
+use dhl_sched::scheduler::{FaultAwareness, Priority, Scheduler, TransferRequest};
 use dhl_sim::SimConfig;
 use dhl_storage::datasets;
 use dhl_units::{Bytes, Seconds};
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("sched/place_29pb", |b| {
-        b.iter(|| {
-            let mut p = Placement::new(Bytes::from_terabytes(256.0));
-            p.store(datasets::meta_dlrm_29pb()).0
-        });
+fn main() {
+    bench_function("sched/place_29pb", || {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        p.store(datasets::meta_dlrm_29pb()).0
     });
 
-    c.bench_function("sched/multi_tenant_mix", |b| {
-        b.iter(|| {
-            let mut p = Placement::new(Bytes::from_terabytes(256.0));
-            let a = p.store(datasets::laion_5b());
-            let bb = p.store(datasets::common_crawl());
-            let cc = p.store(datasets::genomics_17pb());
-            let mut sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
-            sched.submit(TransferRequest::new(cc, 1, Priority::Background, Seconds::ZERO));
-            sched.submit(TransferRequest::new(bb, 1, Priority::Normal, Seconds::ZERO));
-            sched.submit(TransferRequest::new(a, 1, Priority::Urgent, Seconds::new(5.0)));
-            sched.run().makespan.seconds()
-        });
+    bench_function("sched/multi_tenant_mix", || {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let a = p.store(datasets::laion_5b());
+        let bb = p.store(datasets::common_crawl());
+        let cc = p.store(datasets::genomics_17pb());
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
+        sched.submit(TransferRequest::new(cc, 1, Priority::Background, Seconds::ZERO));
+        sched.submit(TransferRequest::new(bb, 1, Priority::Normal, Seconds::ZERO));
+        sched.submit(TransferRequest::new(a, 1, Priority::Urgent, Seconds::new(5.0)));
+        sched.run().makespan.seconds()
+    });
+
+    bench_function("sched/multi_tenant_mix_with_losses", || {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let a = p.store(datasets::laion_5b());
+        let bb = p.store(datasets::common_crawl());
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_faults(FaultAwareness {
+                loss_probability: 0.05,
+                max_attempts: 8,
+                seed: 42,
+                downtime: vec![(Seconds::new(100.0), Seconds::new(200.0))],
+            });
+        sched.submit(TransferRequest::new(bb, 1, Priority::Normal, Seconds::ZERO));
+        sched.submit(TransferRequest::new(a, 1, Priority::Urgent, Seconds::new(5.0)));
+        sched.run().makespan.seconds()
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,30 +1,27 @@
 //! Bench + regeneration for the sensitivity sweeps and training-campaign
 //! amortisation (DESIGN.md's ablation list).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use dhl_bench::harness::bench_function;
 use dhl_core::{acceleration_sweep, density_scaling, docking_time_sweep, DhlConfig};
 use dhl_units::{MetresPerSecondSquared, Seconds};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", dhl_bench::render_sensitivity());
     let base = DhlConfig::paper_default();
     let docks: Vec<Seconds> = (0..=100).map(|i| Seconds::new(f64::from(i) * 0.1)).collect();
-    c.bench_function("sensitivity/docking_sweep_101_points", |b| {
-        b.iter(|| docking_time_sweep(black_box(&base), &docks).len());
+    bench_function("sensitivity/docking_sweep_101_points", || {
+        docking_time_sweep(black_box(&base), &docks).len()
     });
     let accels: Vec<MetresPerSecondSquared> = (1..=100)
         .map(|i| MetresPerSecondSquared::new(f64::from(i) * 100.0))
         .collect();
-    c.bench_function("sensitivity/acceleration_sweep_100_points", |b| {
-        b.iter(|| acceleration_sweep(black_box(&base), &accels).len());
+    bench_function("sensitivity/acceleration_sweep_100_points", || {
+        acceleration_sweep(black_box(&base), &accels).len()
     });
     let factors: Vec<f64> = (1..=64).map(f64::from).collect();
-    c.bench_function("sensitivity/density_projection_64_points", |b| {
-        b.iter(|| density_scaling(black_box(&base), &factors).len());
+    bench_function("sensitivity/density_projection_64_points", || {
+        density_scaling(black_box(&base), &factors).len()
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

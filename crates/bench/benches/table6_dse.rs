@@ -1,16 +1,14 @@
 //! Bench + regeneration for Table VI: the design-space exploration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use dhl_bench::harness::bench_function;
 use dhl_core::{paper_dataset, paper_table_vi, sweep, sweep_parallel};
 use dhl_units::{Metres, MetresPerSecond};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", dhl_bench::render_table6());
-    c.bench_function("table6/paper_13_rows", |b| {
-        b.iter(|| black_box(paper_table_vi()).len());
-    });
+    bench_function("table6/paper_13_rows", || black_box(paper_table_vi()).len());
 
     // A much larger grid than the paper's, exercising the sweep drivers.
     let speeds: Vec<MetresPerSecond> = (4..=30)
@@ -19,13 +17,10 @@ fn bench(c: &mut Criterion) {
     let lengths: Vec<Metres> = (1..=10).map(|l| Metres::new(f64::from(l) * 100.0)).collect();
     let counts: Vec<u32> = vec![8, 16, 32, 64, 128];
 
-    c.bench_function("table6/sweep_serial_1350_points", |b| {
-        b.iter(|| sweep(&speeds, &lengths, &counts, paper_dataset()).len());
+    bench_function("table6/sweep_serial_1350_points", || {
+        sweep(&speeds, &lengths, &counts, paper_dataset()).len()
     });
-    c.bench_function("table6/sweep_parallel_1350_points", |b| {
-        b.iter(|| sweep_parallel(&speeds, &lengths, &counts, paper_dataset(), 8).len());
+    bench_function("table6/sweep_parallel_1350_points", || {
+        sweep_parallel(&speeds, &lengths, &counts, paper_dataset(), 8).len()
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,22 @@
 //! Bench + regeneration for Table VII: iso-power and iso-time DLRM
 //! iteration comparisons.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use dhl_bench::harness::bench_function;
 use dhl_core::DhlConfig;
 use dhl_mlsim::{iso_power, iso_time, DhlFabric, DlrmWorkload};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", dhl_bench::render_table7());
     let workload = DlrmWorkload::paper_dlrm();
     let dhl = DhlConfig::paper_default();
     let budget = DhlFabric::new(dhl.clone(), 1).track_power();
 
-    c.bench_function("table7/iso_power", |b| {
-        b.iter(|| iso_power(black_box(&workload), black_box(&dhl), budget).rows.len());
+    bench_function("table7/iso_power", || {
+        iso_power(black_box(&workload), black_box(&dhl), budget).rows.len()
     });
-    c.bench_function("table7/iso_time", |b| {
-        b.iter(|| iso_time(black_box(&workload), black_box(&dhl)).rows.len());
+    bench_function("table7/iso_time", || {
+        iso_time(black_box(&workload), black_box(&dhl)).rows.len()
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

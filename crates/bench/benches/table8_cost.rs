@@ -1,28 +1,23 @@
 //! Bench + regeneration for Table VIII: the commodity cost model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use dhl_bench::harness::bench_function;
 use dhl_core::CostModel;
 use dhl_units::{Metres, MetresPerSecond};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", dhl_bench::render_table8());
     let model = CostModel::paper();
-    c.bench_function("table8/full_grid", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for d in [100.0, 500.0, 1000.0] {
-                for v in [100.0, 200.0, 300.0] {
-                    total += model
-                        .total_cost(black_box(Metres::new(d)), black_box(MetresPerSecond::new(v)))
-                        .value();
-                }
+    bench_function("table8/full_grid", || {
+        let mut total = 0.0;
+        for d in [100.0, 500.0, 1000.0] {
+            for v in [100.0, 200.0, 300.0] {
+                total += model
+                    .total_cost(black_box(Metres::new(d)), black_box(MetresPerSecond::new(v)))
+                    .value();
             }
-            total
-        });
+        }
+        total
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

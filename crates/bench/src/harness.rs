@@ -1,0 +1,72 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! Stands in for Criterion in the offline build: each `[[bench]]` target is
+//! a plain `fn main()` (`harness = false`) that calls [`bench_function`] for
+//! every case. The harness warms the case up, picks an iteration count that
+//! fills a fixed measurement window, and prints the mean wall-clock time per
+//! iteration. No statistics beyond the mean are attempted — the targets
+//! exist to regenerate the paper's tables and to catch gross performance
+//! regressions, not to resolve microsecond-level noise.
+
+use std::time::{Duration, Instant};
+
+/// How long each case is measured for (after warm-up).
+const MEASURE_WINDOW: Duration = Duration::from_millis(250);
+
+/// Upper bound on measured iterations, so trivially cheap cases terminate.
+const MAX_ITERS: u32 = 100_000;
+
+/// Measures `f`'s mean wall-clock time and prints one summary line.
+///
+/// The closure's return value is passed through [`std::hint::black_box`] so
+/// the computation cannot be optimised away.
+pub fn bench_function<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up (also calibrates the per-iteration cost).
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let first = start.elapsed();
+
+    let iters = (MEASURE_WINDOW.as_secs_f64() / first.as_secs_f64().max(1e-9))
+        .ceil()
+        .min(f64::from(MAX_ITERS))
+        .max(1.0) as u32;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    let per_iter = total.as_secs_f64() / f64::from(iters);
+    println!("bench {name:<44} {:>12} /iter ({iters} iters)", format_time(per_iter));
+}
+
+/// Renders a duration in the most readable unit.
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_does_not_panic() {
+        bench_function("noop", || 1 + 1);
+    }
+
+    #[test]
+    fn times_format_in_sensible_units() {
+        assert!(format_time(2.5).ends_with(" s"));
+        assert!(format_time(2.5e-3).ends_with(" ms"));
+        assert!(format_time(2.5e-6).ends_with(" µs"));
+        assert!(format_time(2.5e-9).ends_with(" ns"));
+    }
+}

@@ -4,11 +4,13 @@
 //! Each `render_*` function recomputes one table or figure from the models
 //! and returns it as formatted text with the paper's reference values
 //! alongside, so `cargo run -p dhl-bench --bin report` regenerates the whole
-//! evaluation and the Criterion benches (one per table/figure) both measure
-//! and print them.
+//! evaluation and the bench targets (one per table/figure, timed by
+//! [`harness`]) both measure and print them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::fmt::Write as _;
 
@@ -416,11 +418,14 @@ pub fn render_fleet() -> String {
     out
 }
 
+/// A table/figure renderer, as listed by [`all_reports`].
+pub type ReportFn = fn() -> String;
+
 /// All renderers, keyed by the names the `report` binary accepts.
 #[must_use]
-pub fn all_reports() -> Vec<(&'static str, fn() -> String)> {
+pub fn all_reports() -> Vec<(&'static str, ReportFn)> {
     vec![
-        ("fig2", render_fig2 as fn() -> String),
+        ("fig2", render_fig2 as ReportFn),
         ("table6", render_table6),
         ("table7", render_table7),
         ("table8", render_table8),

@@ -107,7 +107,7 @@ impl DhlConfig {
             ("cart mass", self.cart_mass.value()),
             ("cart capacity", self.cart_capacity.as_f64()),
         ] {
-            if !(value > 0.0) {
+            if value.is_nan() || value <= 0.0 {
                 return Err(PhysicsError::NonPositive { what, value });
             }
         }

@@ -87,7 +87,7 @@ pub fn sweep(
 }
 
 /// Parallel variant of [`sweep`] for large grids: splits the cartesian
-/// product across threads with `crossbeam::scope`. Result order matches
+/// product across threads with `std::thread::scope`. Result order matches
 /// [`sweep`] exactly.
 #[must_use]
 pub fn sweep_parallel(
@@ -112,9 +112,9 @@ pub fn sweep_parallel(
     let chunk = points.len().div_ceil(threads);
     let mut out: Vec<Option<DsePoint>> = vec![None; points.len()];
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot_chunk, point_chunk) in out.chunks_mut(chunk).zip(points.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, &(v, l, n)) in slot_chunk.iter_mut().zip(point_chunk) {
                     *slot = Some(DsePoint::evaluate(
                         DhlConfig::with_ssd_count(v, l, n),
@@ -123,8 +123,7 @@ pub fn sweep_parallel(
                 }
             });
         }
-    })
-    .expect("dse worker panicked");
+    });
 
     out.into_iter().map(|p| p.expect("all slots filled")).collect()
 }

@@ -86,7 +86,8 @@ mod tests {
     #[test]
     fn table_vi_left_all_rows() {
         // (speed, length, ssds, energy kJ, eff GB/J, time s, bw TB/s, power kW)
-        let rows: [(f64, f64, u32, f64, f64, f64, f64, f64); 13] = [
+        type Row = (f64, f64, u32, f64, f64, f64, f64, f64);
+        let rows: [Row; 13] = [
             (100.0, 500.0, 32, 3.7, 68.0, 11.0, 23.0, 38.0),
             (200.0, 500.0, 32, 15.0, 17.0, 8.6, 30.0, 75.0),
             (300.0, 500.0, 32, 34.0, 7.6, 7.8, 33.0, 113.0),
@@ -166,7 +167,7 @@ mod tests {
         let low = eval(200.0, 500.0, 16).bandwidth.value() / fibre_gbps;
         let high = eval(200.0, 500.0, 64).bandwidth.value() / fibre_gbps;
         assert!(low >= 295.0, "low {low}");
-        assert!(high >= 1150.0 && high <= 1250.0, "high {high}");
+        assert!((1150.0..=1250.0).contains(&high), "high {high}");
     }
 
     #[test]

@@ -1,119 +1,137 @@
 //! Property-based tests for the analytical model's invariants.
 
-use dhl_core::{
-    crossover, BulkComparison, BulkTransfer, CostModel, DhlConfig, LaunchMetrics,
-};
+use dhl_core::{crossover, BulkComparison, BulkTransfer, CostModel, DhlConfig, LaunchMetrics};
+use dhl_rng::check::{forall, Gen};
 use dhl_units::{Bytes, Kilograms, Metres, MetresPerSecond};
-use proptest::prelude::*;
 
-/// Valid (speed, length) pairs: the track must fit both LIM ramps.
-fn valid_config() -> impl Strategy<Value = DhlConfig> {
-    (30.0..400.0f64, 1u32..200)
-        .prop_flat_map(|(speed, ssds)| {
-            let min_len = speed * speed / 1000.0;
-            (
-                Just(speed),
-                (min_len * 1.01)..10_000.0f64,
-                Just(ssds),
-            )
-        })
-        .prop_map(|(speed, length, ssds)| {
-            DhlConfig::with_ssd_count(
-                MetresPerSecond::new(speed),
-                Metres::new(length),
-                ssds,
-            )
-        })
+/// Valid (speed, length, ssds) draws: the track must fit both LIM ramps.
+fn valid_config(g: &mut Gen) -> DhlConfig {
+    let speed = g.f64_in(30.0, 400.0);
+    let ssds = g.u32_in(1, 200);
+    let min_len = speed * speed / 1000.0;
+    let length = g.f64_in(min_len * 1.01, 10_000.0);
+    DhlConfig::with_ssd_count(MetresPerSecond::new(speed), Metres::new(length), ssds)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn launch_metrics_are_internally_consistent(cfg in valid_config()) {
+#[test]
+fn launch_metrics_are_internally_consistent() {
+    forall("launch_metrics_are_internally_consistent", 128, |g| {
+        let cfg = valid_config(g);
         let m = LaunchMetrics::evaluate(&cfg);
         // Bandwidth × time = capacity.
         let recovered = m.bandwidth.value() * m.trip_time.seconds();
-        prop_assert!((recovered - cfg.cart_capacity.as_f64()).abs() < 1e-6 * cfg.cart_capacity.as_f64());
+        assert!(
+            (recovered - cfg.cart_capacity.as_f64()).abs() < 1e-6 * cfg.cart_capacity.as_f64()
+        );
         // Efficiency × energy = capacity (in GB).
         let gb = m.efficiency.value() * m.energy.value();
-        prop_assert!((gb - cfg.cart_capacity.gigabytes()).abs() < 1e-6 * cfg.cart_capacity.gigabytes());
+        assert!((gb - cfg.cart_capacity.gigabytes()).abs() < 1e-6 * cfg.cart_capacity.gigabytes());
         // All metrics positive and finite.
-        for v in [m.energy.value(), m.trip_time.seconds(), m.bandwidth.value(), m.peak_power.value(), m.efficiency.value()] {
-            prop_assert!(v > 0.0 && v.is_finite());
+        for v in [
+            m.energy.value(),
+            m.trip_time.seconds(),
+            m.bandwidth.value(),
+            m.peak_power.value(),
+            m.efficiency.value(),
+        ] {
+            assert!(v > 0.0 && v.is_finite());
         }
-    }
+    });
+}
 
-    #[test]
-    fn energy_is_exactly_mass_speed_squared_over_eta(cfg in valid_config()) {
+#[test]
+fn energy_is_exactly_mass_speed_squared_over_eta() {
+    forall("energy_is_exactly_mass_speed_squared_over_eta", 128, |g| {
+        let cfg = valid_config(g);
         let m = LaunchMetrics::evaluate(&cfg);
         let expect = cfg.cart_mass.value() * cfg.max_speed.value().powi(2) / 0.75;
-        prop_assert!((m.energy.value() - expect).abs() < 1e-9 * expect);
-    }
+        assert!((m.energy.value() - expect).abs() < 1e-9 * expect);
+    });
+}
 
-    #[test]
-    fn bulk_transfer_is_monotone_in_dataset(cfg in valid_config(), a in 0u64..1u64<<55, b in 0u64..1u64<<55) {
+#[test]
+fn bulk_transfer_is_monotone_in_dataset() {
+    forall("bulk_transfer_is_monotone_in_dataset", 128, |g| {
+        let cfg = valid_config(g);
+        let (a, b) = (g.u64_in(0, 1 << 55), g.u64_in(0, 1 << 55));
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let t_lo = BulkTransfer::evaluate(&cfg, Bytes::new(lo));
         let t_hi = BulkTransfer::evaluate(&cfg, Bytes::new(hi));
-        prop_assert!(t_lo.deliveries <= t_hi.deliveries);
-        prop_assert!(t_lo.time.seconds() <= t_hi.time.seconds());
-        prop_assert!(t_lo.energy.value() <= t_hi.energy.value());
-    }
+        assert!(t_lo.deliveries <= t_hi.deliveries);
+        assert!(t_lo.time.seconds() <= t_hi.time.seconds());
+        assert!(t_lo.energy.value() <= t_hi.energy.value());
+    });
+}
 
-    #[test]
-    fn energy_reductions_are_route_ordered(cfg in valid_config()) {
+#[test]
+fn energy_reductions_are_route_ordered() {
+    forall("energy_reductions_are_route_ordered", 128, |g| {
+        let cfg = valid_config(g);
         let cmp = BulkComparison::evaluate(&cfg, Bytes::from_petabytes(29.0));
         let vals: Vec<f64> = cmp.energy_reduction.iter().map(|(_, x)| *x).collect();
         for pair in vals.windows(2) {
-            prop_assert!(pair[0] < pair[1], "reductions must grow with route cost");
+            assert!(pair[0] < pair[1], "reductions must grow with route cost");
         }
-        prop_assert!(cmp.time_speedup > 0.0);
-    }
+        assert!(cmp.time_speedup > 0.0);
+    });
+}
 
-    #[test]
-    fn movements_always_double_deliveries(cfg in valid_config(), pb in 0.001..100.0f64) {
+#[test]
+fn movements_always_double_deliveries() {
+    forall("movements_always_double_deliveries", 128, |g| {
+        let cfg = valid_config(g);
+        let pb = g.f64_in(0.001, 100.0);
         let t = BulkTransfer::evaluate(&cfg, Bytes::from_petabytes(pb));
-        prop_assert_eq!(t.movements, 2 * t.deliveries);
-        prop_assert!(t.deliveries >= 1);
-    }
+        assert_eq!(t.movements, 2 * t.deliveries);
+        assert!(t.deliveries >= 1);
+    });
+}
 
-    #[test]
-    fn cost_grows_with_distance_and_speed(
-        d1 in 50.0..2_000.0f64, d2 in 50.0..2_000.0f64,
-        v1 in 100.0..300.0f64, v2 in 100.0..300.0f64,
-    ) {
+#[test]
+fn cost_grows_with_distance_and_speed() {
+    forall("cost_grows_with_distance_and_speed", 128, |g| {
+        let (d1, d2) = (g.f64_in(50.0, 2_000.0), g.f64_in(50.0, 2_000.0));
+        let (v1, v2) = (g.f64_in(100.0, 300.0), g.f64_in(100.0, 300.0));
         let m = CostModel::paper();
         let (dlo, dhi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
         let (vlo, vhi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
         let base = m.total_cost(Metres::new(dlo), MetresPerSecond::new(vlo));
         let more_d = m.total_cost(Metres::new(dhi), MetresPerSecond::new(vlo));
         let more_v = m.total_cost(Metres::new(dlo), MetresPerSecond::new(vhi));
-        prop_assert!(more_d.value() >= base.value());
-        prop_assert!(more_v.value() >= base.value());
-    }
+        assert!(more_d.value() >= base.value());
+        assert!(more_v.value() >= base.value());
+    });
+}
 
-    #[test]
-    fn crossover_breakeven_scales_with_trip_time(extra_dock in 0.0..10.0f64) {
+#[test]
+fn crossover_breakeven_scales_with_trip_time() {
+    forall("crossover_breakeven_scales_with_trip_time", 128, |g| {
+        let extra_dock = g.f64_in(0.0, 10.0);
         let mut cfg = dhl_core::paper_minimal_dhl();
-        cfg.dock_time = cfg.dock_time + dhl_units::Seconds::new(extra_dock);
+        cfg.dock_time += dhl_units::Seconds::new(extra_dock);
         let base = crossover(&dhl_core::paper_minimal_dhl());
         let slower = crossover(&cfg);
-        prop_assert!(slower.breakeven_dataset >= base.breakeven_dataset);
+        assert!(slower.breakeven_dataset >= base.breakeven_dataset);
         // Breakeven = line rate × trip time exactly.
         let expect = 50e9 * slower.dhl_time.seconds();
-        prop_assert!((slower.breakeven_dataset.as_f64() - expect).abs() < 1.0);
-    }
+        assert!((slower.breakeven_dataset.as_f64() - expect).abs() < 1.0);
+    });
+}
 
-    #[test]
-    fn dse_point_is_deterministic(cfg in valid_config()) {
+#[test]
+fn dse_point_is_deterministic() {
+    forall("dse_point_is_deterministic", 64, |g| {
+        let cfg = valid_config(g);
         let a = dhl_core::DsePoint::evaluate(cfg.clone(), Bytes::from_petabytes(29.0));
         let b = dhl_core::DsePoint::evaluate(cfg, Bytes::from_petabytes(29.0));
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn custom_cart_masses_scale_energy_linearly(grams in 1.0..10_000.0f64) {
+#[test]
+fn custom_cart_masses_scale_energy_linearly() {
+    forall("custom_cart_masses_scale_energy_linearly", 128, |g| {
+        let grams = g.f64_in(1.0, 10_000.0);
         let base = DhlConfig::with_custom_cart(
             MetresPerSecond::new(200.0),
             Metres::new(500.0),
@@ -128,6 +146,6 @@ proptest! {
         );
         let e1 = LaunchMetrics::evaluate(&base).energy.value();
         let e2 = LaunchMetrics::evaluate(&double).energy.value();
-        prop_assert!((e2 / e1 - 2.0).abs() < 1e-9);
-    }
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    });
 }

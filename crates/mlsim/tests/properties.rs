@@ -5,102 +5,131 @@ use dhl_mlsim::{
     iso_power, iso_time, CommFabric, DhlFabric, DlrmWorkload, OpticalFabric, TrainingCampaign,
 };
 use dhl_net::route::{Route, RouteId};
+use dhl_rng::check::forall;
 use dhl_units::{Bytes, Metres, MetresPerSecond, Watts};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dhl_delivery_time_is_monotone_in_data(a in 0u64..1u64<<55, b in 0u64..1u64<<55) {
+#[test]
+fn dhl_delivery_time_is_monotone_in_data() {
+    forall("dhl_delivery_time_is_monotone_in_data", 64, |g| {
+        let (a, b) = (g.u64_in(0, 1 << 55), g.u64_in(0, 1 << 55));
         let fabric = DhlFabric::paper_default();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(
+        assert!(
             fabric.delivery_time(Bytes::new(lo)).seconds()
                 <= fabric.delivery_time(Bytes::new(hi)).seconds()
         );
-    }
+    });
+}
 
-    #[test]
-    fn more_tracks_never_slow_delivery(tracks in 1u32..64, pb in 0.1..100.0f64) {
+#[test]
+fn more_tracks_never_slow_delivery() {
+    forall("more_tracks_never_slow_delivery", 64, |g| {
+        let tracks = g.u32_in(1, 64);
+        let pb = g.f64_in(0.1, 100.0);
         let one = DhlFabric::new(DhlConfig::paper_default(), 1);
         let many = DhlFabric::new(DhlConfig::paper_default(), tracks);
         let data = Bytes::from_petabytes(pb);
-        prop_assert!(many.delivery_time(data).seconds() <= one.delivery_time(data).seconds() + 1e-9);
-        prop_assert!((many.power().value() - f64::from(tracks) * one.power().value()).abs() < 1e-6);
-    }
+        assert!(many.delivery_time(data).seconds() <= one.delivery_time(data).seconds() + 1e-9);
+        assert!((many.power().value() - f64::from(tracks) * one.power().value()).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn iso_power_dhl_always_wins(budget_kw in 0.5..100.0f64) {
+#[test]
+fn iso_power_dhl_always_wins() {
+    forall("iso_power_dhl_always_wins", 64, |g| {
+        let budget_kw = g.f64_in(0.5, 100.0);
         let workload = DlrmWorkload::paper_dlrm();
-        let table = iso_power(&workload, &DhlConfig::paper_default(), Watts::from_kilowatts(budget_kw));
-        for row in &table.rows[1..] {
-            prop_assert!(row.factor_vs_dhl > 1.0, "{}: {}", row.scheme, row.factor_vs_dhl);
-        }
-    }
-
-    #[test]
-    fn iso_time_matches_target_exactly(speed in prop_oneof![Just(100.0), Just(200.0), Just(300.0)]) {
-        let cfg = DhlConfig::with_ssd_count(
-            MetresPerSecond::new(speed),
-            Metres::new(500.0),
-            32,
+        let table = iso_power(
+            &workload,
+            &DhlConfig::paper_default(),
+            Watts::from_kilowatts(budget_kw),
         );
+        for row in &table.rows[1..] {
+            assert!(row.factor_vs_dhl > 1.0, "{}: {}", row.scheme, row.factor_vs_dhl);
+        }
+    });
+}
+
+#[test]
+fn iso_time_matches_target_exactly() {
+    forall("iso_time_matches_target_exactly", 16, |g| {
+        let speed = [100.0, 200.0, 300.0][g.usize_in(0, 3)];
+        let cfg = DhlConfig::with_ssd_count(MetresPerSecond::new(speed), Metres::new(500.0), 32);
         let table = iso_time(&DlrmWorkload::paper_dlrm(), &cfg);
         for row in &table.rows {
-            prop_assert!((row.time_per_iteration.seconds() - table.target_time.seconds()).abs() < 1e-6);
+            assert!(
+                (row.time_per_iteration.seconds() - table.target_time.seconds()).abs() < 1e-6
+            );
         }
         // Factors ordered by route cost.
         let f: Vec<f64> = table.rows[1..].iter().map(|r| r.factor_vs_dhl).collect();
         for pair in f.windows(2) {
-            prop_assert!(pair[0] < pair[1]);
+            assert!(pair[0] < pair[1]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn optical_energy_is_count_invariant(links in 0.5..500.0f64, pb in 0.1..50.0f64) {
+#[test]
+fn optical_energy_is_count_invariant() {
+    forall("optical_energy_is_count_invariant", 64, |g| {
+        let links = g.f64_in(0.5, 500.0);
+        let pb = g.f64_in(0.1, 50.0);
         let one = OpticalFabric::with_links(Route::b(), 1.0);
         let many = OpticalFabric::with_links(Route::b(), links);
         let data = Bytes::from_petabytes(pb);
         let e1 = one.power() * one.delivery_time(data);
         let e2 = many.power() * many.delivery_time(data);
-        prop_assert!((e1.value() - e2.value()).abs() < 1e-6 * e1.value());
-    }
+        assert!((e1.value() - e2.value()).abs() < 1e-6 * e1.value());
+    });
+}
 
-    #[test]
-    fn campaign_time_is_monotone_in_both_axes(m in 1u32..20, i in 1u32..50) {
+#[test]
+fn campaign_time_is_monotone_in_both_axes() {
+    forall("campaign_time_is_monotone_in_both_axes", 64, |g| {
+        let m = g.u32_in(1, 20);
+        let i = g.u32_in(1, 50);
         let fabric = DhlFabric::paper_default();
         let base = TrainingCampaign::paper_default(m, i).evaluate(&fabric);
         let more_models = TrainingCampaign::paper_default(m + 1, i).evaluate(&fabric);
         let more_iters = TrainingCampaign::paper_default(m, i + 1).evaluate(&fabric);
-        prop_assert!(more_models.total_time.seconds() > base.total_time.seconds());
-        prop_assert!(more_iters.total_time.seconds() > base.total_time.seconds());
+        assert!(more_models.total_time.seconds() > base.total_time.seconds());
+        assert!(more_iters.total_time.seconds() > base.total_time.seconds());
         // Comm energy moves with models only.
-        prop_assert!(more_models.comm_energy.value() > base.comm_energy.value());
-        prop_assert!((more_iters.comm_energy.value() - base.comm_energy.value()).abs() < 1e-6);
-    }
+        assert!(more_models.comm_energy.value() > base.comm_energy.value());
+        assert!((more_iters.comm_energy.value() - base.comm_energy.value()).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn workload_iteration_time_is_affine(t1 in 0.0..1e6f64, t2 in 0.0..1e6f64) {
+#[test]
+fn workload_iteration_time_is_affine() {
+    forall("workload_iteration_time_is_affine", 64, |g| {
+        let (t1, t2) = (g.f64_in(0.0, 1e6), g.f64_in(0.0, 1e6));
         let w = DlrmWorkload::paper_dlrm();
         let mid = 0.5 * (t1 + t2);
         let lhs = w.iteration_time(dhl_units::Seconds::new(mid)).seconds();
         let rhs = 0.5
             * (w.iteration_time(dhl_units::Seconds::new(t1)).seconds()
                 + w.iteration_time(dhl_units::Seconds::new(t2)).seconds());
-        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.max(1.0));
-    }
+        assert!((lhs - rhs).abs() < 1e-6 * rhs.max(1.0));
+    });
+}
 
-    #[test]
-    fn route_c_is_always_the_worst_scheme(budget_kw in 0.5..50.0f64) {
+#[test]
+fn route_c_is_always_the_worst_scheme() {
+    forall("route_c_is_always_the_worst_scheme", 64, |g| {
+        let budget_kw = g.f64_in(0.5, 50.0);
         let table = iso_power(
             &DlrmWorkload::paper_dlrm(),
             &DhlConfig::paper_default(),
             Watts::from_kilowatts(budget_kw),
         );
-        let c = table.rows.iter().find(|r| r.scheme == RouteId::C.to_string()).unwrap();
+        let c = table
+            .rows
+            .iter()
+            .find(|r| r.scheme == RouteId::C.to_string())
+            .unwrap();
         for row in &table.rows {
-            prop_assert!(row.factor_vs_dhl <= c.factor_vs_dhl + 1e-12);
+            assert!(row.factor_vs_dhl <= c.factor_vs_dhl + 1e-12);
         }
-    }
+    });
 }

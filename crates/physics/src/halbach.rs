@@ -91,7 +91,7 @@ impl HalbachArray {
             ("thickness", thickness.value()),
             ("magnet density", magnet_density),
         ] {
-            if !(value > 0.0) {
+            if value.is_nan() || value <= 0.0 {
                 return Err(PhysicsError::NonPositive { what, value });
             }
         }

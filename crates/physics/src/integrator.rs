@@ -114,7 +114,7 @@ impl TripScene {
 /// [`PhysicsError::TrackTooShort`] if the track cannot fit both motor
 /// ramps; [`PhysicsError::NonPositive`] for a non-positive step.
 pub fn integrate_trip(scene: &TripScene, dt: Seconds) -> Result<Trajectory, PhysicsError> {
-    if !(dt.seconds() > 0.0) {
+    if dt.seconds().is_nan() || dt.seconds() <= 0.0 {
         return Err(PhysicsError::NonPositive {
             what: "integration step",
             value: dt.seconds(),

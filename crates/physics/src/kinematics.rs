@@ -97,7 +97,7 @@ impl TripKinematics {
             ("cruise speed", cruise_speed.value()),
             ("acceleration", acceleration.value()),
         ] {
-            if !(value > 0.0) {
+            if value.is_nan() || value <= 0.0 {
                 return Err(PhysicsError::NonPositive { what, value });
             }
         }

@@ -45,13 +45,13 @@ impl LiftDragCurve {
         asymptotic_ratio: f64,
         half_speed: MetresPerSecond,
     ) -> Result<Self, PhysicsError> {
-        if !(asymptotic_ratio > 0.0) {
+        if asymptotic_ratio.is_nan() || asymptotic_ratio <= 0.0 {
             return Err(PhysicsError::NonPositive {
                 what: "lift-to-drag ratio",
                 value: asymptotic_ratio,
             });
         }
-        if !(half_speed.value() > 0.0) {
+        if half_speed.value().is_nan() || half_speed.value() <= 0.0 {
             return Err(PhysicsError::NonPositive {
                 what: "half speed",
                 value: half_speed.value(),
@@ -120,7 +120,7 @@ impl LevitationModel {
         guidance_accel: MetresPerSecondSquared,
         air_gap: Metres,
     ) -> Result<Self, PhysicsError> {
-        if !(air_gap.value() > 0.0) {
+        if air_gap.value().is_nan() || air_gap.value() <= 0.0 {
             return Err(PhysicsError::NonPositive {
                 what: "air gap",
                 value: air_gap.value(),

@@ -61,7 +61,7 @@ impl LinearInductionMotor {
         if !(efficiency > 0.0 && efficiency <= 1.0) {
             return Err(PhysicsError::InvalidEfficiency { value: efficiency });
         }
-        if !(acceleration.value() > 0.0) {
+        if acceleration.value().is_nan() || acceleration.value() <= 0.0 {
             return Err(PhysicsError::NonPositive {
                 what: "acceleration",
                 value: acceleration.value(),

@@ -86,7 +86,7 @@ impl VacuumTube {
             ("drag coefficient", drag_coefficient),
             ("tube length", length.value()),
         ] {
-            if !(value > 0.0) {
+            if value.is_nan() || value <= 0.0 {
                 return Err(PhysicsError::NonPositive { what, value });
             }
         }

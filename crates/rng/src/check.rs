@@ -1,0 +1,141 @@
+//! A tiny deterministic property-test harness.
+//!
+//! Stands in for `proptest` in the offline build: [`forall`] runs a closure
+//! over `cases` independently-seeded [`Gen`]s, and on failure reports the
+//! case index and seed so the exact inputs can be replayed by re-running
+//! the test (the harness is fully deterministic — no time- or
+//! pointer-derived entropy). There is no shrinking; generators should keep
+//! ranges tight instead.
+//!
+//! # Examples
+//!
+//! ```rust
+//! use dhl_rng::check::forall;
+//!
+//! forall("addition commutes", 64, |g| {
+//!     let (a, b) = (g.f64_in(0.0, 1e6), g.f64_in(0.0, 1e6));
+//!     assert!((a + b - (b + a)).abs() == 0.0);
+//! });
+//! ```
+
+use crate::{DeterministicRng, Rng};
+
+/// Per-case input generator handed to [`forall`] closures.
+#[derive(Debug)]
+pub struct Gen {
+    rng: DeterministicRng,
+}
+
+impl Gen {
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.random_range_f64(lo, hi)
+    }
+
+    /// A uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.random_range_u64(lo, hi)
+    }
+
+    /// A uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.random_range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.random_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.random_bool(0.5)
+    }
+
+    /// Direct access to the underlying generator for bespoke sampling.
+    pub fn rng(&mut self) -> &mut DeterministicRng {
+        &mut self.rng
+    }
+}
+
+/// Derives a stable 64-bit seed from a property name (FNV-1a), so each
+/// property gets its own input stream without manual seed bookkeeping.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `property` over `cases` deterministic input generators.
+///
+/// # Panics
+///
+/// Re-panics the first failing case, prefixed with the property name, the
+/// case index, and the case seed (all reproducible).
+pub fn forall(name: &str, cases: u32, mut property: impl FnMut(&mut Gen)) {
+    let mut root = DeterministicRng::seed_from_u64(name_seed(name));
+    for case in 0..cases {
+        let rng = root.fork();
+        let seed_state = rng.clone();
+        let mut gen = Gen { rng };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut gen);
+        }));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (rng state {seed_state:?}): {msg}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        forall("counts cases", 32, |_| count += 1);
+        assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn failing_property_reports_name_and_case() {
+        let result = std::panic::catch_unwind(|| {
+            forall("always fails", 8, |_| panic!("inner message"));
+        });
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always fails"));
+        assert!(msg.contains("case 0/8"));
+        assert!(msg.contains("inner message"));
+    }
+
+    #[test]
+    fn cases_see_distinct_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        forall("distinct inputs", 64, |g| {
+            seen.insert(g.u64_in(0, u64::MAX));
+        });
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn streams_are_stable_across_runs() {
+        let mut first = Vec::new();
+        forall("stability", 16, |g| first.push(g.u64_in(0, 1_000_000)));
+        let mut second = Vec::new();
+        forall("stability", 16, |g| second.push(g.u64_in(0, 1_000_000)));
+        assert_eq!(first, second);
+    }
+}

@@ -21,10 +21,12 @@ pub enum DataState {
     InTransit,
 }
 
-/// Per-dataset transit-window log.
+/// Per-dataset transit-window log, plus track downtime windows (periods when
+/// the track itself was out of service and nothing could move).
 #[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
 pub struct AvailabilityTracker {
     windows: HashMap<DatasetId, Vec<(f64, f64)>>,
+    downtime: Vec<(f64, f64)>,
 }
 
 impl AvailabilityTracker {
@@ -120,6 +122,67 @@ impl AvailabilityTracker {
     pub fn tracked_datasets(&self) -> usize {
         self.windows.len()
     }
+
+    /// Records that the track was out of service during `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < from` or either bound is non-finite.
+    pub fn record_track_downtime(&mut self, from: Seconds, to: Seconds) {
+        assert!(
+            from.is_finite() && to.is_finite() && to.seconds() >= from.seconds(),
+            "downtime window must be a finite, ordered interval"
+        );
+        self.downtime.push((from.seconds(), to.seconds()));
+    }
+
+    /// The recorded downtime windows, in insertion order.
+    #[must_use]
+    pub fn downtime_windows(&self) -> &[(f64, f64)] {
+        &self.downtime
+    }
+
+    /// Total track downtime, merging overlapping windows.
+    #[must_use]
+    pub fn total_track_downtime(&self) -> Seconds {
+        let mut sorted = self.downtime.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut total = 0.0;
+        let mut cur: Option<(f64, f64)> = None;
+        for (a, b) in sorted {
+            match cur {
+                Some((ca, cb)) if a <= cb => cur = Some((ca, cb.max(b))),
+                Some((ca, cb)) => {
+                    total += cb - ca;
+                    cur = Some((a, b));
+                }
+                None => cur = Some((a, b)),
+            }
+        }
+        if let Some((ca, cb)) = cur {
+            total += cb - ca;
+        }
+        Seconds::new(total)
+    }
+
+    /// Earliest time ≥ `at` outside every downtime window (when a departure
+    /// can actually happen).
+    #[must_use]
+    pub fn next_track_up(&self, at: Seconds) -> Seconds {
+        let mut t = at.seconds();
+        loop {
+            let mut advanced = false;
+            for (a, b) in &self.downtime {
+                if t >= *a && t < *b {
+                    t = *b;
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                return Seconds::new(t);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +236,27 @@ mod tests {
     fn reversed_window_panics() {
         let mut t = AvailabilityTracker::new();
         t.record_transit(D, Seconds::new(5.0), Seconds::new(1.0));
+    }
+
+    #[test]
+    fn track_downtime_is_merged_and_skipped() {
+        let mut t = AvailabilityTracker::new();
+        t.record_track_downtime(Seconds::new(10.0), Seconds::new(20.0));
+        t.record_track_downtime(Seconds::new(15.0), Seconds::new(30.0));
+        t.record_track_downtime(Seconds::new(50.0), Seconds::new(60.0));
+        assert_eq!(t.total_track_downtime().seconds(), 30.0);
+        assert_eq!(t.downtime_windows().len(), 3);
+        // Departures inside a window slide to its end, chaining overlaps.
+        assert_eq!(t.next_track_up(Seconds::new(12.0)).seconds(), 30.0);
+        assert_eq!(t.next_track_up(Seconds::new(35.0)).seconds(), 35.0);
+        assert_eq!(t.next_track_up(Seconds::new(55.0)).seconds(), 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered interval")]
+    fn reversed_downtime_panics() {
+        let mut t = AvailabilityTracker::new();
+        t.record_track_downtime(Seconds::new(5.0), Seconds::new(1.0));
     }
 
     #[test]

@@ -44,5 +44,6 @@ pub mod scheduler;
 pub use availability::{AvailabilityTracker, DataState};
 pub use placement::{CartContents, DatasetId, Placement};
 pub use scheduler::{
-    Policy, Priority, RequestId, RequestOutcome, ScheduleOutcome, Scheduler, TransferRequest,
+    FaultAwareness, Policy, Priority, RequestId, RequestOutcome, ScheduleOutcome, Scheduler,
+    TransferRequest,
 };

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use dhl_rng::{DeterministicRng, Rng};
 use serde::{Deserialize, Serialize};
 
 use dhl_sim::{ConfigError, EndpointKind, MovementCost, SimConfig};
@@ -80,6 +81,36 @@ impl TransferRequest {
     }
 }
 
+/// Scheduler-level fault awareness: a per-trip loss probability (lost carts
+/// re-enter the queue at their original priority and retry), plus known
+/// track downtime windows departures must not overlap.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FaultAwareness {
+    /// Probability that a loaded delivery is lost in transit and must be
+    /// re-run (clamped into `[0, 1]` at sampling time).
+    pub loss_probability: f64,
+    /// Attempts per cart before the shard is abandoned. Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Seed for the deterministic loss-sampling stream.
+    pub seed: u64,
+    /// Known track outage windows `[from, to)`; departures inside a window
+    /// wait for it to clear.
+    pub downtime: Vec<(Seconds, Seconds)>,
+}
+
+impl FaultAwareness {
+    /// Loss-free awareness that only routes around downtime windows.
+    #[must_use]
+    pub fn downtime_only(downtime: Vec<(Seconds, Seconds)>) -> Self {
+        Self {
+            loss_probability: 0.0,
+            max_attempts: 1,
+            seed: 0,
+            downtime,
+        }
+    }
+}
+
 /// Per-request outcome.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct RequestOutcome {
@@ -95,6 +126,10 @@ pub struct RequestOutcome {
     pub deliveries: u64,
     /// Electrical energy across all its movements.
     pub energy: Joules,
+    /// Extra round trips caused by in-transit losses (0 without faults).
+    pub redeliveries: u64,
+    /// Shards given up after exhausting their attempt budget.
+    pub abandoned: u64,
 }
 
 impl RequestOutcome {
@@ -158,6 +193,7 @@ pub struct Scheduler {
     next_id: u64,
     availability: AvailabilityTracker,
     policy: Policy,
+    faults: Option<FaultAwareness>,
 }
 
 impl Scheduler {
@@ -176,6 +212,7 @@ impl Scheduler {
             next_id: 0,
             availability: AvailabilityTracker::new(),
             policy: Policy::PriorityFifo,
+            faults: None,
         })
     }
 
@@ -183,6 +220,13 @@ impl Scheduler {
     #[must_use]
     pub fn with_policy(mut self, policy: Policy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enables fault awareness: per-trip loss retries and downtime routing.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultAwareness) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -271,6 +315,18 @@ impl Scheduler {
             class.then(within)
         });
 
+        // Register known downtime windows so departures (and clients asking
+        // the tracker) can route around them.
+        if let Some(faults) = &self.faults {
+            for &(from, to) in &faults.downtime {
+                self.availability.record_track_downtime(from, to);
+            }
+        }
+        let mut loss_rng = self
+            .faults
+            .as_ref()
+            .map(|f| DeterministicRng::seed_from_u64(f.seed));
+
         let mut track_free = 0.0f64;
         let mut track_busy = 0.0f64;
         // Destination docks: earliest-free times per endpoint.
@@ -296,40 +352,75 @@ impl Scheduler {
             let mut delivered = 0.0f64;
             let mut completed = 0.0f64;
             let mut energy = Joules::ZERO;
+            let mut deliveries = 0u64;
+            let mut redeliveries = 0u64;
+            let mut abandoned = 0u64;
 
             for _cart in &carts {
-                // Outbound: wait for arrival, track, and a destination dock.
-                let dock = docks
-                    .iter_mut()
-                    .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-                    .expect("rack has docks");
-                let depart = req.arrival.seconds().max(track_free).max(*dock);
-                let arrive = depart + cost.total_time.seconds();
-                started = started.min(depart);
-                delivered = delivered.max(arrive);
-                track_free = arrive;
-                track_busy += cost.total_time.seconds();
+                // Lost carts re-enter at the head of *this* request (same
+                // priority slot), retrying until the attempt budget runs dry.
+                let mut attempt = 1u32;
+                loop {
+                    // Outbound: wait for arrival, track, a destination dock,
+                    // and any track downtime window to clear.
+                    let dock = docks
+                        .iter_mut()
+                        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                        .expect("rack has docks");
+                    let mut depart = req.arrival.seconds().max(track_free).max(*dock);
+                    depart = self.availability.next_track_up(Seconds::new(depart)).seconds();
+                    let arrive = depart + cost.total_time.seconds();
+                    started = started.min(depart);
+                    track_free = arrive;
+                    track_busy += cost.total_time.seconds();
 
-                // Dwell, then return (track again).
-                let ready_back = arrive + req.dwell.seconds();
-                let back_depart = ready_back.max(track_free);
-                let home = back_depart + cost.total_time.seconds();
-                track_free = home;
-                track_busy += cost.total_time.seconds();
-                *dock = back_depart + self.cfg.undock_time.seconds();
-                completed = completed.max(home);
+                    let lost = match (&self.faults, loss_rng.as_mut()) {
+                        (Some(f), Some(rng)) => {
+                            rng.random_bool(f.loss_probability.clamp(0.0, 1.0))
+                        }
+                        _ => false,
+                    };
 
-                energy += cost.energy + cost.energy;
-                self.availability.record_transit(
-                    req.dataset,
-                    Seconds::new(depart),
-                    Seconds::new(arrive),
-                );
-                self.availability.record_transit(
-                    req.dataset,
-                    Seconds::new(back_depart),
-                    Seconds::new(home),
-                );
+                    // Dwell (skipped for a dead payload), then return.
+                    let ready_back = if lost {
+                        arrive
+                    } else {
+                        arrive + req.dwell.seconds()
+                    };
+                    let mut back_depart = ready_back.max(track_free);
+                    back_depart =
+                        self.availability.next_track_up(Seconds::new(back_depart)).seconds();
+                    let home = back_depart + cost.total_time.seconds();
+                    track_free = home;
+                    track_busy += cost.total_time.seconds();
+                    *dock = back_depart + self.cfg.undock_time.seconds();
+                    completed = completed.max(home);
+
+                    energy += cost.energy + cost.energy;
+                    self.availability.record_transit(
+                        req.dataset,
+                        Seconds::new(depart),
+                        Seconds::new(arrive),
+                    );
+                    self.availability.record_transit(
+                        req.dataset,
+                        Seconds::new(back_depart),
+                        Seconds::new(home),
+                    );
+
+                    if !lost {
+                        deliveries += 1;
+                        delivered = delivered.max(arrive);
+                        break;
+                    }
+                    let budget = self.faults.as_ref().map_or(1, |f| f.max_attempts.max(1));
+                    if attempt >= budget {
+                        abandoned += 1;
+                        break;
+                    }
+                    attempt += 1;
+                    redeliveries += 1;
+                }
             }
 
             total_energy += energy;
@@ -338,8 +429,10 @@ impl Scheduler {
                 started: Seconds::new(started),
                 delivered: Seconds::new(delivered),
                 completed: Seconds::new(completed),
-                deliveries: carts.len() as u64,
+                deliveries,
                 energy,
+                redeliveries,
+                abandoned,
             });
         }
 
@@ -486,6 +579,107 @@ mod tests {
         let out = sched.run();
         let per_movement = out.total_energy.value() / 72.0;
         assert!((per_movement - 15_191.0).abs() < 100.0, "{per_movement}");
+    }
+
+    #[test]
+    fn downtime_windows_delay_departures() {
+        // Track down for [0, 100): the single-cart request cannot start
+        // until 100 s.
+        let mut placement = Placement::new(Bytes::from_terabytes(256.0));
+        let small = placement.store(datasets::laion_5b());
+        let mut sched = Scheduler::new(SimConfig::paper_default(), placement)
+            .unwrap()
+            .with_faults(FaultAwareness::downtime_only(vec![(
+                Seconds::ZERO,
+                Seconds::new(100.0),
+            )]));
+        sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO));
+        let out = sched.run();
+        let r = &out.completed[0];
+        assert!((r.started.seconds() - 100.0).abs() < 1e-9, "{}", r.started.seconds());
+        assert!((r.delivered.seconds() - 108.6).abs() < 1e-9);
+        assert_eq!(r.redeliveries, 0);
+        assert_eq!(
+            sched.availability().total_track_downtime(),
+            Seconds::new(100.0)
+        );
+    }
+
+    #[test]
+    fn losses_retry_at_original_priority_and_extend_the_schedule() {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ds = p.store(datasets::common_crawl()); // 36 carts
+        let clean_out = {
+            let mut s = Scheduler::new(SimConfig::paper_default(), p.clone()).unwrap();
+            s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+            s.run()
+        };
+        let mut s = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_faults(FaultAwareness {
+                loss_probability: 0.4,
+                max_attempts: 32,
+                seed: 12,
+                downtime: Vec::new(),
+            });
+        s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+        let out = s.run();
+        let r = &out.completed[0];
+        assert!(r.redeliveries > 0, "40% loss over 36 carts");
+        assert_eq!(r.abandoned, 0, "budget of 32 is effectively unbounded");
+        // Every shard still delivered, later than the clean schedule.
+        assert_eq!(r.deliveries, 36);
+        assert!(r.completed > clean_out.completed[0].completed);
+        // Energy grows by exactly one round trip per redelivery.
+        let per_round_trip = clean_out.total_energy.value() / 36.0;
+        let expected = per_round_trip * (36.0 + r.redeliveries as f64);
+        assert!(
+            (out.total_energy.value() - expected).abs() < 1.0,
+            "energy {} vs expected {expected}",
+            out.total_energy.value()
+        );
+    }
+
+    #[test]
+    fn loss_retries_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = Placement::new(Bytes::from_terabytes(256.0));
+            let ds = p.store(datasets::common_crawl());
+            let mut s = Scheduler::new(SimConfig::paper_default(), p)
+                .unwrap()
+                .with_faults(FaultAwareness {
+                    loss_probability: 0.3,
+                    max_attempts: 16,
+                    seed,
+                    downtime: Vec::new(),
+                });
+            s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+            s.run()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_attempts_are_reported_as_abandoned() {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ds = p.store(datasets::laion_5b()); // 1 cart
+        let mut s = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_faults(FaultAwareness {
+                loss_probability: 1.0,
+                max_attempts: 3,
+                seed: 1,
+                downtime: Vec::new(),
+            });
+        s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+        let out = s.run();
+        let r = &out.completed[0];
+        assert_eq!(r.deliveries, 0);
+        assert_eq!(r.abandoned, 1);
+        assert_eq!(r.redeliveries, 2, "attempts 2 and 3 were retries");
+        assert_eq!(r.delivered, Seconds::ZERO, "nothing ever landed");
     }
 
     #[test]

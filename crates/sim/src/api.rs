@@ -7,8 +7,7 @@
 //! energy. (Concurrent multi-cart scheduling lives in
 //! [`crate::DhlSystem`].)
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dhl_rng::DeterministicRng;
 
 use dhl_units::{Bytes, BytesPerSecond, Joules, Seconds};
 
@@ -141,7 +140,7 @@ pub struct DhlApi {
     energy: Joules,
     carts: Vec<ApiCart>,
     dock_used: Vec<u32>,
-    reliability: Option<(ReliabilityConfig, StdRng)>,
+    reliability: Option<(ReliabilityConfig, DeterministicRng)>,
 }
 
 impl DhlApi {
@@ -181,7 +180,7 @@ impl DhlApi {
 
     /// Enables stochastic in-flight SSD failure injection.
     pub fn with_reliability(mut self, reliability: ReliabilityConfig) -> Self {
-        let rng = StdRng::seed_from_u64(reliability.seed);
+        let rng = DeterministicRng::seed_from_u64(reliability.seed);
         self.reliability = Some((reliability, rng));
         self
     }

@@ -4,10 +4,11 @@ use serde::{Deserialize, Serialize};
 
 use dhl_physics::{
     ActiveStabilisation, BrakingSystem, CartMassModel, LevitationModel, LinearInductionMotor,
-    PhysicsError, TimeModel,
+    PhysicsError, TimeModel, VacuumTube,
 };
+use dhl_storage::connectors::ConnectorKind;
 use dhl_storage::failure::{FailureModel, RaidConfig};
-use dhl_units::{Bytes, Kilograms, Metres, Seconds};
+use dhl_units::{Bytes, Kilograms, Metres, MetresPerSecond, Seconds};
 
 /// Stochastic SSD-failure injection for the system simulator (§III-D:
 /// "if an SSD fails in-flight, the endpoint's DHL API will report the
@@ -34,6 +35,172 @@ impl ReliabilitySpec {
             ssds_per_cart: 32,
             seed: 0xD41,
         }
+    }
+}
+
+/// A cart mechanical fault: the cart stalls in-tube and blocks its track
+/// direction until a repair crew frees it.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct CartStallSpec {
+    /// Probability that any single movement stalls mid-tube.
+    pub probability_per_movement: f64,
+    /// How long the cart blocks the track before it can continue.
+    pub repair_time: Seconds,
+}
+
+/// A docking-connector fault, driven by the `dhl-storage::connectors` wear
+/// model: every dock mates the cart's connector; once its rated cycles are
+/// spent, docking takes an extra replacement window.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ConnectorFaultSpec {
+    /// Connector family fitted to every cart.
+    pub kind: ConnectorKind,
+    /// Time to swap a worn connector at the docking station.
+    pub replacement_time: Seconds,
+}
+
+/// A tube-section repressurisation event: the track stays usable, but air
+/// density (and therefore drag) rises, so carts are speed-limited until the
+/// pumps recover the rough vacuum.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RepressurisationSpec {
+    /// Probability that any single movement triggers a leak event.
+    pub probability_per_movement: f64,
+    /// How long the section stays at degraded pressure.
+    pub duration: Seconds,
+    /// Pressure during the event, in millibar (nominal is 1 mbar).
+    pub degraded_pressure_millibar: f64,
+}
+
+impl RepressurisationSpec {
+    /// The speed limit while degraded: the fastest cruise whose aerodynamic
+    /// drag at the degraded pressure does not exceed the drag budget at
+    /// nominal pressure and full speed (`F = ½ρv²C_dA` via
+    /// [`VacuumTube::aero_drag`], so `v_deg = v_max·√(ρ_nom/ρ_deg)`).
+    #[must_use]
+    pub fn degraded_speed(&self, max_speed: MetresPerSecond, track_length: Metres) -> MetresPerSecond {
+        let Ok(nominal) = VacuumTube::paper_default(track_length) else {
+            return max_speed;
+        };
+        let Ok(degraded) = VacuumTube::new(
+            self.degraded_pressure_millibar,
+            VacuumTube::PAPER_FRONTAL_AREA,
+            VacuumTube::PAPER_DRAG_COEFFICIENT,
+            track_length,
+            VacuumTube::PAPER_PUMP_POWER_PER_METRE,
+        ) else {
+            return max_speed;
+        };
+        let budget = nominal.aero_drag(max_speed).value();
+        let at_max = degraded.aero_drag(max_speed).value();
+        if at_max <= budget {
+            return max_speed;
+        }
+        max_speed * (budget / at_max).sqrt()
+    }
+}
+
+/// Fault injection and recovery policy for the system simulator.
+///
+/// Setting `SimConfig::faults` to `Some` switches the simulator from the
+/// legacy "count losses and carry on" accounting to the full recovery state
+/// machine: RAID-uncovered deliveries are re-dispatched from the library
+/// (bounded by [`FaultSpec::max_delivery_attempts`]), stalled carts block
+/// and later release their track, worn connectors cost replacement time,
+/// and repressurised sections speed-limit traffic.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Cart mechanical stalls (None disables the fault class).
+    pub cart_stall: Option<CartStallSpec>,
+    /// Docking-connector wear faults (None disables the fault class).
+    pub docking_connector: Option<ConnectorFaultSpec>,
+    /// Tube repressurisation events (None disables the fault class).
+    pub repressurisation: Option<RepressurisationSpec>,
+    /// Delivery attempts per shard before the run aborts with
+    /// [`crate::SimError::DeliveryAbandoned`]. Must be at least 1.
+    pub max_delivery_attempts: u32,
+}
+
+impl FaultSpec {
+    /// Recovery machinery only: redeliver RAID-uncovered shards (up to 3
+    /// attempts) with every physical fault class disabled.
+    #[must_use]
+    pub fn recovery_only() -> Self {
+        Self {
+            cart_stall: None,
+            docking_connector: None,
+            repressurisation: None,
+            max_delivery_attempts: 3,
+        }
+    }
+
+    /// A pessimistic all-faults-on profile for stress runs: 0.1 % stall and
+    /// leak rates, USB-C connectors, 60 s repairs.
+    #[must_use]
+    pub fn stress() -> Self {
+        Self {
+            cart_stall: Some(CartStallSpec {
+                probability_per_movement: 1e-3,
+                repair_time: Seconds::new(60.0),
+            }),
+            docking_connector: Some(ConnectorFaultSpec {
+                kind: ConnectorKind::UsbC,
+                replacement_time: Seconds::new(60.0),
+            }),
+            repressurisation: Some(RepressurisationSpec {
+                probability_per_movement: 1e-3,
+                duration: Seconds::new(120.0),
+                degraded_pressure_millibar: 100.0,
+            }),
+            max_delivery_attempts: 3,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        let bad = |msg: String| Err(ConfigError::BadFaults(msg));
+        if self.max_delivery_attempts == 0 {
+            return bad("max_delivery_attempts must be at least 1".into());
+        }
+        if let Some(stall) = &self.cart_stall {
+            if !(0.0..=1.0).contains(&stall.probability_per_movement) {
+                return bad(format!(
+                    "cart stall probability {} outside [0, 1]",
+                    stall.probability_per_movement
+                ));
+            }
+            if stall.repair_time.seconds() < 0.0 || !stall.repair_time.is_finite() {
+                return bad("cart stall repair time must be non-negative and finite".into());
+            }
+        }
+        if let Some(conn) = &self.docking_connector {
+            if conn.replacement_time.seconds() < 0.0 || !conn.replacement_time.is_finite() {
+                return bad("connector replacement time must be non-negative and finite".into());
+            }
+        }
+        if let Some(rep) = &self.repressurisation {
+            if !(0.0..=1.0).contains(&rep.probability_per_movement) {
+                return bad(format!(
+                    "repressurisation probability {} outside [0, 1]",
+                    rep.probability_per_movement
+                ));
+            }
+            if rep.duration.seconds() < 0.0 || !rep.duration.is_finite() {
+                return bad("repressurisation duration must be non-negative and finite".into());
+            }
+            if rep.degraded_pressure_millibar <= 0.0 || rep.degraded_pressure_millibar.is_nan() {
+                return bad(format!(
+                    "degraded pressure {} mbar must be positive",
+                    rep.degraded_pressure_millibar
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self::recovery_only()
     }
 }
 
@@ -69,12 +236,16 @@ pub enum ConfigError {
     BadFleet(String),
     /// An embedded physics parameter was invalid.
     Physics(PhysicsError),
+    /// An invalid fault-injection parameter.
+    BadFaults(String),
 }
 
 impl core::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            Self::BadEndpoints(msg) | Self::BadFleet(msg) => f.write_str(msg),
+            Self::BadEndpoints(msg) | Self::BadFleet(msg) | Self::BadFaults(msg) => {
+                f.write_str(msg)
+            }
             Self::NonMonotonicPositions => {
                 f.write_str("endpoint positions must be strictly increasing")
             }
@@ -148,6 +319,9 @@ pub struct SimConfig {
     pub processing: ProcessingModel,
     /// Optional in-flight SSD failure injection.
     pub reliability: Option<ReliabilitySpec>,
+    /// Optional fault injection + recovery policy. `None` keeps the legacy
+    /// behaviour: losses are counted but shards are never redelivered.
+    pub faults: Option<FaultSpec>,
 }
 
 impl SimConfig {
@@ -184,6 +358,7 @@ impl SimConfig {
             stabilisation: ActiveStabilisation::paper_default(),
             processing: ProcessingModel::Instant,
             reliability: None,
+            faults: None,
         }
     }
 
@@ -239,7 +414,7 @@ impl SimConfig {
                 ));
             }
         }
-        if !(self.max_speed.value() > 0.0) {
+        if self.max_speed.value().is_nan() || self.max_speed.value() <= 0.0 {
             return Err(ConfigError::Physics(PhysicsError::NonPositive {
                 what: "max speed",
                 value: self.max_speed.value(),
@@ -250,11 +425,14 @@ impl SimConfig {
                 "dock/undock times must be non-negative".into(),
             ));
         }
-        if !(self.cart_mass.value() > 0.0) {
+        if self.cart_mass.value().is_nan() || self.cart_mass.value() <= 0.0 {
             return Err(ConfigError::Physics(PhysicsError::NonPositive {
                 what: "cart mass",
                 value: self.cart_mass.value(),
             }));
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
         }
         Ok(())
     }
@@ -358,5 +536,67 @@ mod tests {
         cfg.endpoints[0].docks = 2;
         let msg = format!("{}", cfg.validate().unwrap_err());
         assert!(msg.contains("library has 2 docks"));
+    }
+
+    #[test]
+    fn fault_spec_defaults_validate() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.faults = Some(FaultSpec::recovery_only());
+        cfg.validate().unwrap();
+        cfg.faults = Some(FaultSpec::stress());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_spec_rejects_bad_parameters() {
+        let set = |f: FaultSpec| {
+            let mut cfg = SimConfig::paper_default();
+            cfg.faults = Some(f);
+            cfg.validate()
+        };
+        let mut f = FaultSpec::recovery_only();
+        f.max_delivery_attempts = 0;
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+
+        let mut f = FaultSpec::stress();
+        f.cart_stall.as_mut().unwrap().probability_per_movement = 1.5;
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+
+        let mut f = FaultSpec::stress();
+        f.cart_stall.as_mut().unwrap().repair_time = Seconds::new(-1.0);
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+
+        let mut f = FaultSpec::stress();
+        f.docking_connector.as_mut().unwrap().replacement_time = Seconds::new(f64::NAN);
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+
+        let mut f = FaultSpec::stress();
+        f.repressurisation.as_mut().unwrap().probability_per_movement = -0.1;
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+
+        let mut f = FaultSpec::stress();
+        f.repressurisation.as_mut().unwrap().degraded_pressure_millibar = 0.0;
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+    }
+
+    #[test]
+    fn degraded_speed_caps_drag_at_nominal_budget() {
+        let rep = RepressurisationSpec {
+            probability_per_movement: 0.0,
+            duration: Seconds::new(120.0),
+            // 100× nominal pressure → 100× drag at equal speed → speed
+            // limited to v_max/10.
+            degraded_pressure_millibar: 100.0,
+        };
+        let v_max = MetresPerSecond::new(200.0);
+        let v = rep.degraded_speed(v_max, Metres::new(500.0));
+        assert!((v.value() - 20.0).abs() < 1e-9, "got {}", v.value());
+
+        // Pressure below nominal never *raises* the limit above v_max.
+        let better = RepressurisationSpec {
+            degraded_pressure_millibar: 0.5,
+            ..rep
+        };
+        assert_eq!(better.degraded_speed(v_max, Metres::new(500.0)), v_max);
     }
 }

@@ -40,8 +40,11 @@ pub mod report;
 pub mod system;
 pub mod trace;
 
-pub use config::{ConfigError, EndpointKind, EndpointSpec, ProcessingModel, ReliabilitySpec, SimConfig};
+pub use config::{
+    CartStallSpec, ConfigError, ConnectorFaultSpec, EndpointKind, EndpointSpec, FaultSpec,
+    ProcessingModel, ReliabilitySpec, RepressurisationSpec, SimConfig,
+};
 pub use movement::MovementCost;
-pub use report::BulkTransferReport;
+pub use report::{BulkTransferReport, ReliabilityReport};
 pub use system::{CartId, CartLocation, DhlSystem, Direction, EndpointId, SimError};
 pub use trace::{Trace, TraceEvent, TraceEventKind};

@@ -33,14 +33,34 @@ impl MovementCost {
     /// scheduling bug, not a physical movement).
     #[must_use]
     pub fn for_distance(cfg: &SimConfig, distance: Metres) -> Self {
+        Self::for_distance_limited(cfg, distance, cfg.max_speed)
+    }
+
+    /// Like [`MovementCost::for_distance`], but with an additional speed cap
+    /// below the configured maximum — used when a tube section is
+    /// repressurised and drag limits the safe cruise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` or `speed_cap` is not strictly positive.
+    #[must_use]
+    pub fn for_distance_limited(
+        cfg: &SimConfig,
+        distance: Metres,
+        speed_cap: MetresPerSecond,
+    ) -> Self {
         assert!(
             distance.value() > 0.0,
             "movement distance must be positive, got {distance:?}"
         );
+        assert!(
+            speed_cap.value() > 0.0,
+            "speed cap must be positive, got {speed_cap:?}"
+        );
         let accel = cfg.lim.acceleration();
         // The hop must fit both ramps: d ≥ v²/a ⇒ v ≤ √(a·d).
         let fit_speed = MetresPerSecond::new((accel.value() * distance.value()).sqrt());
-        let speed = cfg.max_speed.min(fit_speed);
+        let speed = cfg.max_speed.min(speed_cap).min(fit_speed);
         let kin = dhl_physics::TripKinematics::new(distance, speed, accel)
             .expect("speed was chosen to fit the hop");
         let motion_time = kin.motion_time(cfg.time_model);
@@ -105,5 +125,36 @@ mod tests {
     #[should_panic(expected = "movement distance must be positive")]
     fn zero_distance_panics() {
         let _ = MovementCost::for_distance(&SimConfig::paper_default(), Metres::ZERO);
+    }
+
+    #[test]
+    fn speed_cap_slows_and_cheapens_the_hop() {
+        let cfg = SimConfig::paper_default();
+        let full = MovementCost::for_distance(&cfg, Metres::new(500.0));
+        let capped = MovementCost::for_distance_limited(
+            &cfg,
+            Metres::new(500.0),
+            MetresPerSecond::new(50.0),
+        );
+        assert_eq!(capped.speed.value(), 50.0);
+        assert!(capped.total_time > full.total_time);
+        assert!(capped.energy < full.energy);
+        // A cap above max_speed changes nothing.
+        let loose = MovementCost::for_distance_limited(
+            &cfg,
+            Metres::new(500.0),
+            MetresPerSecond::new(1000.0),
+        );
+        assert_eq!(loose, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed cap must be positive")]
+    fn zero_speed_cap_panics() {
+        let _ = MovementCost::for_distance_limited(
+            &SimConfig::paper_default(),
+            Metres::new(500.0),
+            MetresPerSecond::ZERO,
+        );
     }
 }

@@ -35,6 +35,33 @@ pub struct BulkTransferReport {
     pub ssd_failures: u64,
     /// Deliveries whose failures exceeded the RAID tolerance.
     pub data_loss_events: u64,
+    /// Fault-injection and recovery accounting (all zeros when
+    /// `SimConfig::faults` is `None`).
+    pub reliability: ReliabilityReport,
+}
+
+/// Recovery-path accounting for a bulk transfer under fault injection.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Shards re-dispatched after a RAID-uncovered in-flight loss.
+    pub redeliveries: u64,
+    /// Extra cart time spent on failed attempts (round trips whose payload
+    /// did not survive).
+    pub retry_time: Seconds,
+    /// `requested bytes / completion_time` — useful bytes per second, which
+    /// excludes redelivered duplicates.
+    pub goodput: BytesPerSecond,
+    /// `gross delivered bytes / completion_time` — includes every attempt's
+    /// payload, failed or not.
+    pub throughput: BytesPerSecond,
+    /// Cumulative blocked time per track caused by stalled carts.
+    pub track_downtime: Vec<Seconds>,
+    /// Cart mechanical stalls injected.
+    pub cart_stalls: u64,
+    /// Docking-connector replacements performed.
+    pub connector_replacements: u64,
+    /// Tube repressurisation events injected.
+    pub repressurisations: u64,
 }
 
 impl BulkTransferReport {
@@ -76,6 +103,7 @@ mod tests {
             events_processed: 42,
             ssd_failures: 0,
             data_loss_events: 0,
+            reliability: ReliabilityReport::default(),
         }
     }
 
@@ -95,5 +123,16 @@ mod tests {
         let mut r = sample();
         r.completion_time = Seconds::ZERO;
         assert_eq!(r.peak_track_utilisation(), 0.0);
+    }
+
+    #[test]
+    fn reliability_report_defaults_to_zero() {
+        let r = ReliabilityReport::default();
+        assert_eq!(r.redeliveries, 0);
+        assert_eq!(r.retry_time, Seconds::ZERO);
+        assert_eq!(r.goodput, BytesPerSecond::ZERO);
+        assert_eq!(r.throughput, BytesPerSecond::ZERO);
+        assert!(r.track_downtime.is_empty());
+        assert_eq!(r.cart_stalls + r.connector_replacements + r.repressurisations, 0);
     }
 }

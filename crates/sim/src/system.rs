@@ -13,15 +13,14 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use dhl_units::{Bytes, Joules, Seconds, Watts};
+use dhl_rng::{DeterministicRng, Rng};
+use dhl_storage::connectors::DockingConnector;
+use dhl_units::{Bytes, Joules, MetresPerSecond, Seconds, Watts};
 
 use crate::config::{ConfigError, EndpointKind, ProcessingModel, SimConfig};
 use crate::engine::EventQueue;
 use crate::movement::MovementCost;
-use crate::report::BulkTransferReport;
+use crate::report::{BulkTransferReport, ReliabilityReport};
 use crate::trace::{Trace, TraceEventKind};
 
 /// Index of a cart in the fleet.
@@ -58,6 +57,21 @@ struct Movement {
     from: EndpointId,
     to: EndpointId,
     payload: Bytes,
+    /// Delivery attempt for this shard (1-based; 0 for empty returns).
+    attempt: u32,
+}
+
+/// The in-flight half of a [`Movement`], carrying the cost actually charged
+/// at launch (which may be speed-limited by a repressurised tube) so arrival
+/// and failure-exposure accounting stay consistent with it.
+#[derive(Copy, Clone, Debug)]
+struct ActiveMovement {
+    from: EndpointId,
+    to: EndpointId,
+    payload: Bytes,
+    attempt: u32,
+    cost: MovementCost,
+    stalled: bool,
 }
 
 #[derive(Debug)]
@@ -72,9 +86,11 @@ enum Ev {
 #[derive(Clone, Debug)]
 struct CartSim {
     location: CartLocation,
-    /// In-flight movement target (valid while moving).
-    movement: Option<(EndpointId, EndpointId, Bytes)>,
+    /// In-flight movement (valid while moving).
+    movement: Option<ActiveMovement>,
     trips: u64,
+    /// The cart's docking connector, tracked when connector faults are on.
+    connector: Option<DockingConnector>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -84,6 +100,12 @@ struct TrackState {
     last_launch: f64,
     busy_accum: f64,
     last_update: f64,
+    /// Cart currently stalled on this track, blocking further launches.
+    blocked_by: Option<CartId>,
+    blocked_since: f64,
+    downtime_accum: f64,
+    /// Repressurisation: launches before this time are speed-limited.
+    degraded_until: f64,
 }
 
 impl TrackState {
@@ -99,6 +121,8 @@ enum LaunchCheck {
     Free,
     Headway(f64),
     BusyOpposite,
+    /// A stalled cart blocks the track; launches resume when it docks.
+    Blocked,
 }
 
 #[derive(Debug, Default)]
@@ -115,6 +139,8 @@ struct Mission {
     done: u64,
     demands: Vec<RackDemand>,
     delivered: Bytes,
+    /// Every byte that docked at a rack, including failed attempts.
+    gross_delivered: Bytes,
     completion_time: Option<f64>,
 }
 
@@ -129,6 +155,14 @@ pub enum SimError {
         /// Events processed before giving up.
         events: u64,
     },
+    /// A shard exhausted its delivery-attempt budget (fault injection with
+    /// recovery enabled).
+    DeliveryAbandoned {
+        /// The rack the shard was bound for.
+        endpoint: EndpointId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl core::fmt::Display for SimError {
@@ -138,6 +172,12 @@ impl core::fmt::Display for SimError {
             Self::EventBudgetExhausted { events } => {
                 write!(f, "simulation exceeded its event budget after {events} events")
             }
+            Self::DeliveryAbandoned { endpoint, attempts } => {
+                write!(
+                    f,
+                    "delivery to endpoint {endpoint} abandoned after {attempts} failed attempts"
+                )
+            }
         }
     }
 }
@@ -146,7 +186,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Config(e) => Some(e),
-            Self::EventBudgetExhausted { .. } => None,
+            _ => None,
         }
     }
 }
@@ -157,10 +197,10 @@ impl From<ConfigError> for SimError {
     }
 }
 
-fn cfg_reliability_rng(cfg: &SimConfig) -> Option<StdRng> {
+fn cfg_reliability_rng(cfg: &SimConfig) -> Option<DeterministicRng> {
     cfg.reliability
         .as_ref()
-        .map(|r| StdRng::seed_from_u64(r.seed))
+        .map(|r| DeterministicRng::seed_from_u64(r.seed))
 }
 
 /// The DHL system simulator.
@@ -190,6 +230,9 @@ pub struct DhlSystem {
     dock_used: Vec<u32>,
     tracks: Vec<TrackState>,
     pending: VecDeque<Movement>,
+    /// Shards awaiting redelivery after a RAID-uncovered loss; served before
+    /// fresh demand so retries keep their place in the mission.
+    redelivery_queue: VecDeque<(EndpointId, Bytes, u32)>,
     mission: Mission,
     wakeup_scheduled: bool,
     total_energy: Joules,
@@ -197,9 +240,20 @@ pub struct DhlSystem {
     max_in_flight: u32,
     event_budget: u64,
     trace: Option<Trace>,
-    reliability_rng: Option<StdRng>,
+    reliability_rng: Option<DeterministicRng>,
+    /// Independent stream for physical fault sampling (stalls, leaks), so
+    /// enabling faults does not perturb the SSD-failure stream.
+    fault_rng: Option<DeterministicRng>,
+    /// Speed cap while a tube section is repressurised.
+    degraded_cap: Option<MetresPerSecond>,
     ssd_failures: u64,
     data_loss_events: u64,
+    redeliveries: u64,
+    retry_time_s: f64,
+    cart_stalls: u64,
+    connector_replacements: u64,
+    repressurisations: u64,
+    abandoned: Option<(EndpointId, u32)>,
 }
 
 impl DhlSystem {
@@ -210,11 +264,17 @@ impl DhlSystem {
     /// [`SimError::Config`] if the configuration is invalid.
     pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
         cfg.validate()?;
+        let connector = cfg
+            .faults
+            .as_ref()
+            .and_then(|f| f.docking_connector.as_ref())
+            .map(|c| DockingConnector::new(c.kind));
         let carts = vec![
             CartSim {
                 location: CartLocation::Docked(0),
                 movement: None,
                 trips: 0,
+                connector,
             };
             cfg.num_carts as usize
         ];
@@ -226,6 +286,18 @@ impl DhlSystem {
             vec![TrackState::default()]
         };
         let reliability_rng = cfg_reliability_rng(&cfg);
+        // The fault stream is seeded independently from (but deterministically
+        // related to) the reliability seed, so fault injection never perturbs
+        // SSD-failure sampling.
+        let fault_rng = cfg.faults.as_ref().map(|_| {
+            let seed = cfg.reliability.as_ref().map_or(0, |r| r.seed);
+            DeterministicRng::seed_from_u64(seed ^ 0xFA17_1A7E_D051_C0DE)
+        });
+        let degraded_cap = cfg
+            .faults
+            .as_ref()
+            .and_then(|f| f.repressurisation.as_ref())
+            .map(|r| r.degraded_speed(cfg.max_speed, cfg.track_length()));
         Ok(Self {
             cfg,
             queue: EventQueue::new(),
@@ -233,6 +305,7 @@ impl DhlSystem {
             dock_used,
             tracks,
             pending: VecDeque::new(),
+            redelivery_queue: VecDeque::new(),
             mission: Mission::default(),
             wakeup_scheduled: false,
             total_energy: Joules::ZERO,
@@ -240,9 +313,17 @@ impl DhlSystem {
             max_in_flight: 0,
             event_budget: 50_000_000,
             reliability_rng,
+            fault_rng,
+            degraded_cap,
             trace: None,
             ssd_failures: 0,
             data_loss_events: 0,
+            redeliveries: 0,
+            retry_time_s: 0.0,
+            cart_stalls: 0,
+            connector_replacements: 0,
+            repressurisations: 0,
+            abandoned: None,
         })
     }
 
@@ -293,6 +374,9 @@ impl DhlSystem {
 
     fn check_track(&self, dir: Direction, now: f64) -> LaunchCheck {
         let track = &self.tracks[self.track_index(dir)];
+        if track.blocked_by.is_some() {
+            return LaunchCheck::Blocked;
+        }
         if track.in_flight == 0 {
             return LaunchCheck::Free;
         }
@@ -312,11 +396,48 @@ impl DhlSystem {
         MovementCost::for_distance(&self.cfg, d)
     }
 
+    /// Samples launch-time faults on track `idx` and returns the movement
+    /// cost actually charged (speed-limited while the tube is repressurised)
+    /// plus whether this cart stalls mid-tube.
+    fn sample_launch_faults(
+        &mut self,
+        idx: usize,
+        from: EndpointId,
+        to: EndpointId,
+        now: f64,
+    ) -> (MovementCost, bool) {
+        let Some(faults) = self.cfg.faults.clone() else {
+            return (self.movement_cost(from, to), false);
+        };
+        let rng = self.fault_rng.as_mut().expect("fault rng exists with spec");
+        if let Some(rep) = &faults.repressurisation {
+            if rng.random_bool(rep.probability_per_movement) {
+                self.repressurisations += 1;
+                let until = now + rep.duration.seconds();
+                let track = &mut self.tracks[idx];
+                track.degraded_until = track.degraded_until.max(until);
+            }
+        }
+        let mut stalled = false;
+        if let Some(stall) = &faults.cart_stall {
+            let rng = self.fault_rng.as_mut().expect("fault rng exists with spec");
+            stalled = rng.random_bool(stall.probability_per_movement);
+        }
+        let d = (self.cfg.endpoints[to].position - self.cfg.endpoints[from].position).abs();
+        let cost = if self.tracks[idx].degraded_until > now {
+            let cap = self.degraded_cap.unwrap_or(self.cfg.max_speed);
+            MovementCost::for_distance_limited(&self.cfg, d, cap)
+        } else {
+            MovementCost::for_distance(&self.cfg, d)
+        };
+        (cost, stalled)
+    }
+
     fn launch(&mut self, m: Movement) {
         let now = self.queue.now().seconds();
         let dir = Self::direction_of(m.from, m.to);
         let idx = self.track_index(dir);
-        let cost = self.movement_cost(m.from, m.to);
+        let (cost, stalled) = self.sample_launch_faults(idx, m.from, m.to, now);
 
         self.dock_used[m.to] += 1; // reserve the destination dock now
         let track = &mut self.tracks[idx];
@@ -324,6 +445,13 @@ impl DhlSystem {
         track.direction = Some(dir);
         track.in_flight += 1;
         track.last_launch = now;
+        if stalled {
+            // The stalled cart blocks everything behind it on this track
+            // from the moment it departs; carts already ahead are unaffected.
+            self.cart_stalls += 1;
+            track.blocked_by = Some(m.cart);
+            track.blocked_since = now;
+        }
         self.max_in_flight = self.max_in_flight.max(self.total_in_flight());
 
         self.total_energy += cost.energy;
@@ -334,7 +462,14 @@ impl DhlSystem {
             from: m.from,
             to: m.to,
         };
-        cart.movement = Some((m.from, m.to, m.payload));
+        cart.movement = Some(ActiveMovement {
+            from: m.from,
+            to: m.to,
+            payload: m.payload,
+            attempt: m.attempt,
+            cost,
+            stalled,
+        });
         cart.trips += 1;
 
         self.queue.schedule(self.cfg.undock_time, Ev::UndockDone { cart: m.cart });
@@ -366,7 +501,9 @@ impl DhlSystem {
                     LaunchCheck::Headway(at) => {
                         wakeup = Some(wakeup.map_or(at, |w: f64| w.min(at)));
                     }
-                    LaunchCheck::BusyOpposite => {}
+                    // Both resolve on a later DockDone, which re-runs
+                    // try_launch; no timed wakeup needed.
+                    LaunchCheck::BusyOpposite | LaunchCheck::Blocked => {}
                 }
             }
             match launched {
@@ -400,6 +537,18 @@ impl DhlSystem {
     }
 
     fn schedule_delivery_for(&mut self, cart: CartId) {
+        // Redeliveries first: a lost shard keeps its place in the mission.
+        if let Some((rack, shard, attempt)) = self.redelivery_queue.pop_front() {
+            self.mission.scheduled += 1;
+            self.pending.push_back(Movement {
+                cart,
+                from: 0,
+                to: rack,
+                payload: shard,
+                attempt,
+            });
+            return;
+        }
         // Assign the next shard to this library cart, targeting the rack
         // with the most data still owed (greedy balance across racks).
         let Some(demand) = self
@@ -420,6 +569,7 @@ impl DhlSystem {
             from: 0,
             to: rack,
             payload: shard,
+            attempt: 1,
         });
     }
 
@@ -430,21 +580,51 @@ impl DhlSystem {
                 self.try_launch();
             }
             Ev::UndockDone { cart } => {
-                let (from, _, _) = self.carts[cart].movement.expect("moving cart");
-                self.dock_used[from] -= 1;
-                let (f, t, _) = self.carts[cart].movement.expect("moving cart");
-                let cost = self.movement_cost(f, t);
-                self.queue.schedule(cost.motion_time, Ev::Arrived { cart });
+                let m = self.carts[cart].movement.expect("moving cart");
+                self.dock_used[m.from] -= 1;
+                let mut transit = m.cost.motion_time;
                 self.record(TraceEventKind::EnterTube { cart });
+                if m.stalled {
+                    let repair = self
+                        .cfg
+                        .faults
+                        .as_ref()
+                        .and_then(|f| f.cart_stall.as_ref())
+                        .map_or(Seconds::ZERO, |s| s.repair_time);
+                    transit += repair;
+                    let dir = Self::direction_of(m.from, m.to);
+                    let idx = self.track_index(dir);
+                    self.record(TraceEventKind::CartStalled { cart, track: idx });
+                }
+                self.queue.schedule(transit, Ev::Arrived { cart });
                 self.try_launch();
             }
             Ev::Arrived { cart } => {
-                self.queue.schedule(self.cfg.dock_time, Ev::DockDone { cart });
+                let mut dock = self.cfg.dock_time;
+                // Docking mates the cart's connector; a worn connector costs
+                // a replacement window before data can flow.
+                let replacement = self
+                    .cfg
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.docking_connector.as_ref())
+                    .map(|c| c.replacement_time);
+                if let (Some(conn), Some(replacement)) =
+                    (self.carts[cart].connector.as_mut(), replacement)
+                {
+                    if conn.mate().is_err() {
+                        conn.replace();
+                        let _ = conn.mate();
+                        self.connector_replacements += 1;
+                        dock += replacement;
+                    }
+                }
+                self.queue.schedule(dock, Ev::DockDone { cart });
                 self.record(TraceEventKind::BeginDock { cart });
             }
             Ev::DockDone { cart } => {
-                let (from, to, payload) = self.carts[cart].movement.take().expect("moving cart");
-                let dir = Self::direction_of(from, to);
+                let m = self.carts[cart].movement.take().expect("moving cart");
+                let dir = Self::direction_of(m.from, m.to);
                 let idx = self.track_index(dir);
                 let now = self.queue.now().seconds();
                 let track = &mut self.tracks[idx];
@@ -453,18 +633,32 @@ impl DhlSystem {
                 if track.in_flight == 0 {
                     track.direction = None;
                 }
-                self.carts[cart].location = CartLocation::Docked(to);
-                self.record(TraceEventKind::Docked { cart, endpoint: to });
-                self.sample_in_flight_failures(from, to);
+                if m.stalled && track.blocked_by == Some(cart) {
+                    track.blocked_by = None;
+                    track.downtime_accum += now - track.blocked_since;
+                    self.record(TraceEventKind::TrackRestored { track: idx });
+                }
+                self.carts[cart].location = CartLocation::Docked(m.to);
+                self.record(TraceEventKind::Docked { cart, endpoint: m.to });
+                let lost = self.sample_in_flight_failures(m.payload, m.cost.total_time);
 
-                if self.cfg.endpoints[to].kind == EndpointKind::Rack {
+                if self.cfg.endpoints[m.to].kind == EndpointKind::Rack {
                     self.mission.done += 1;
-                    self.mission.delivered += payload;
-                    if let Some(d) = self.mission.demands.iter_mut().find(|d| d.endpoint == to) {
-                        d.deliveries_done += 1;
+                    self.mission.gross_delivered += m.payload;
+                    if lost && self.cfg.faults.is_some() {
+                        self.fail_delivery(cart, &m);
+                    } else {
+                        // Either the payload survived, or legacy accounting
+                        // (faults = None) counts the loss without recovery.
+                        self.mission.delivered += m.payload;
+                        if let Some(d) =
+                            self.mission.demands.iter_mut().find(|d| d.endpoint == m.to)
+                        {
+                            d.deliveries_done += 1;
+                        }
+                        self.queue
+                            .schedule(self.processing_time(), Ev::ProcessingDone { cart });
                     }
-                    self.queue
-                        .schedule(self.processing_time(), Ev::ProcessingDone { cart });
                 } else {
                     // Returned to the library: reuse for the next shard, or
                     // check completion.
@@ -485,29 +679,69 @@ impl DhlSystem {
                     from: ep,
                     to: 0,
                     payload: Bytes::ZERO,
+                    attempt: 0,
                 });
                 self.try_launch();
             }
         }
     }
 
-    fn sample_in_flight_failures(&mut self, from: EndpointId, to: EndpointId) {
+    /// Samples SSD failures over one movement's exposure and returns whether
+    /// the payload was lost (more failures than the RAID layout tolerates).
+    ///
+    /// Empty return trips carry no data, so they draw no samples and can
+    /// never lose anything.
+    fn sample_in_flight_failures(&mut self, payload: Bytes, exposure: Seconds) -> bool {
         let Some(spec) = self.cfg.reliability.clone() else {
-            return;
+            return false;
         };
+        if payload.is_zero() {
+            return false;
+        }
         let rng = self.reliability_rng.as_mut().expect("rng exists with spec");
-        let exposure = {
-            let d =
-                (self.cfg.endpoints[to].position - self.cfg.endpoints[from].position).abs();
-            MovementCost::for_distance(&self.cfg, d).total_time
-        };
         let failed = spec
             .failure
             .sample_failures(rng, spec.ssds_per_cart, exposure);
         self.ssd_failures += u64::from(failed);
         if !spec.raid.tolerates(failed) {
             self.data_loss_events += 1;
+            return true;
         }
+        false
+    }
+
+    /// Recovery path for a RAID-uncovered delivery: report the failure,
+    /// requeue the shard (or abandon past the attempt budget), and send the
+    /// cart straight home without processing.
+    fn fail_delivery(&mut self, cart: CartId, m: &ActiveMovement) {
+        let max_attempts = self
+            .cfg
+            .faults
+            .as_ref()
+            .map_or(1, |f| f.max_delivery_attempts);
+        self.record(TraceEventKind::DeliveryFailed {
+            cart,
+            endpoint: m.to,
+            attempt: m.attempt,
+        });
+        // The whole round trip was wasted work.
+        self.retry_time_s += 2.0 * m.cost.total_time.seconds();
+        if m.attempt >= max_attempts {
+            self.abandoned = Some((m.to, m.attempt));
+        } else {
+            self.redeliveries += 1;
+            self.mission.total_deliveries += 1;
+            self.redelivery_queue
+                .push_back((m.to, m.payload, m.attempt + 1));
+        }
+        // No processing dwell for a dead payload: head home immediately.
+        self.pending.push_back(Movement {
+            cart,
+            from: m.to,
+            to: 0,
+            payload: Bytes::ZERO,
+            attempt: 0,
+        });
     }
 
     fn check_completion(&mut self) {
@@ -591,8 +825,11 @@ impl DhlSystem {
                 })
                 .collect(),
             delivered: Bytes::ZERO,
+            gross_delivered: Bytes::ZERO,
             completion_time: (deliveries == 0).then_some(0.0),
         };
+        self.redelivery_queue.clear();
+        self.abandoned = None;
 
         // Seed: every library cart takes a shard (up to the delivery count).
         for cart in 0..self.carts.len() {
@@ -604,6 +841,9 @@ impl DhlSystem {
 
         while let Some((_, ev)) = self.queue.pop() {
             self.handle(ev);
+            if let Some((endpoint, attempts)) = self.abandoned {
+                return Err(SimError::DeliveryAbandoned { endpoint, attempts });
+            }
             if self.queue.events_processed() > self.event_budget {
                 return Err(SimError::EventBudgetExhausted {
                     events: self.queue.events_processed(),
@@ -641,7 +881,35 @@ impl DhlSystem {
             events_processed: self.queue.events_processed(),
             ssd_failures: self.ssd_failures,
             data_loss_events: self.data_loss_events,
+            reliability: self.reliability_report(completion),
         })
+    }
+
+    fn reliability_report(&self, completion: Seconds) -> ReliabilityReport {
+        if self.cfg.faults.is_none() {
+            return ReliabilityReport::default();
+        }
+        let rate = |bytes: Bytes| {
+            if completion.seconds() > 0.0 {
+                bytes / completion
+            } else {
+                dhl_units::BytesPerSecond::ZERO
+            }
+        };
+        ReliabilityReport {
+            redeliveries: self.redeliveries,
+            retry_time: Seconds::new(self.retry_time_s),
+            goodput: rate(self.mission.delivered),
+            throughput: rate(self.mission.gross_delivered),
+            track_downtime: self
+                .tracks
+                .iter()
+                .map(|t| Seconds::new(t.downtime_accum))
+                .collect(),
+            cart_stalls: self.cart_stalls,
+            connector_replacements: self.connector_replacements,
+            repressurisations: self.repressurisations,
+        }
     }
 }
 
@@ -889,7 +1157,10 @@ mod reliability_tests {
     #[test]
     fn hostile_reliability_reports_losses() {
         let mut cfg = SimConfig::paper_serial();
-        cfg.dock_time = Seconds::new(500_000.0); // half-AFR-year per dock
+        // ~10 M s of exposure per loaded trip: at AFR 0.9 each SSD fails
+        // with p ≈ 0.52, so 64 draws make zero failures astronomically
+        // unlikely.
+        cfg.dock_time = Seconds::new(5_000_000.0);
         cfg.reliability = Some(ReliabilitySpec {
             failure: FailureModel::new(0.9),
             raid: RaidConfig::none(32),
@@ -939,5 +1210,259 @@ mod reliability_tests {
             .unwrap();
         assert_eq!(report.ssd_failures, 0);
         assert_eq!(report.data_loss_events, 0);
+    }
+
+    #[test]
+    fn empty_return_trips_draw_no_failure_samples() {
+        // With a per-trip failure probability of certainty, every *loaded*
+        // movement loses SSDs — but returns are empty, so exactly
+        // deliveries × ssds_per_cart failures occur, not movements × ssds.
+        let mut cfg = SimConfig::paper_serial();
+        // ~1e8 s of exposure per loaded trip at AFR 0.999999 drives the
+        // per-SSD trip failure probability to 1 - 1e-19: every loaded draw
+        // fails, deterministically for any seed.
+        cfg.dock_time = Seconds::new(50_000_000.0);
+        cfg.reliability = Some(ReliabilitySpec {
+            failure: FailureModel::new(0.999_999),
+            raid: RaidConfig::none(4),
+            ssds_per_cart: 4,
+            seed: 3,
+        });
+        let report = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_terabytes(512.0))
+            .unwrap();
+        assert_eq!(report.deliveries, 2);
+        assert_eq!(report.movements, 4);
+        // All 4 SSDs on both loaded trips fail; the 2 empty returns add none.
+        assert_eq!(report.ssd_failures, 8);
+        assert_eq!(report.data_loss_events, 2);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::config::{
+        CartStallSpec, ConnectorFaultSpec, FaultSpec, ReliabilitySpec, RepressurisationSpec,
+    };
+    use dhl_storage::connectors::ConnectorKind;
+    use dhl_storage::failure::{FailureModel, RaidConfig};
+
+    /// A config whose per-delivery loss probability is substantial (long
+    /// docked exposure, no RAID) with the recovery machinery enabled.
+    fn lossy_recovering_config(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default();
+        // ~3.6 % per-SSD failure per loaded trip; with 32 unprotected SSDs,
+        // ~69 % of deliveries are lost and must be redelivered.
+        cfg.dock_time = Seconds::new(500_000.0);
+        cfg.reliability = Some(ReliabilitySpec {
+            failure: FailureModel::new(0.9),
+            raid: RaidConfig::none(32),
+            ssds_per_cart: 32,
+            seed,
+        });
+        cfg.faults = Some(FaultSpec {
+            max_delivery_attempts: 64,
+            ..FaultSpec::recovery_only()
+        });
+        cfg
+    }
+
+    #[test]
+    fn lost_shards_are_redelivered_until_goodput_matches_request() {
+        let dataset = Bytes::from_petabytes(2.0);
+        let mut sys = DhlSystem::new(lossy_recovering_config(11)).unwrap();
+        let report = sys.run_bulk_transfer(dataset).unwrap();
+        assert!(
+            report.reliability.redeliveries > 0,
+            "expected redeliveries under heavy loss, got none"
+        );
+        // Recovery keeps redelivering until every byte lands intact.
+        assert_eq!(report.delivered, dataset);
+        assert!(report.reliability.retry_time.seconds() > 0.0);
+        // Gross throughput strictly exceeds goodput: failed attempts moved
+        // bytes that did not count.
+        assert!(report.reliability.throughput > report.reliability.goodput);
+        // Every redelivery adds an extra delivery and two extra movements.
+        assert_eq!(
+            report.deliveries,
+            8 + report.reliability.redeliveries,
+            "2 PB / 256 TB = 8 useful deliveries plus retries"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_reports() {
+        let dataset = Bytes::from_petabytes(1.0);
+        let run = |seed| {
+            DhlSystem::new(lossy_recovering_config(seed))
+                .unwrap()
+                .run_bulk_transfer(dataset)
+                .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a, b);
+        let c = run(6);
+        assert!(
+            c.reliability.redeliveries != a.reliability.redeliveries
+                || c.ssd_failures != a.ssd_failures,
+            "different seeds should (almost surely) differ somewhere"
+        );
+    }
+
+    #[test]
+    fn attempt_budget_exhaustion_is_a_typed_error() {
+        let mut cfg = lossy_recovering_config(2);
+        // Certain loss on every attempt + a budget of 2 → abandoned.
+        cfg.reliability.as_mut().unwrap().failure = FailureModel::new(0.999_999);
+        cfg.faults.as_mut().unwrap().max_delivery_attempts = 2;
+        let err = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_terabytes(256.0))
+            .unwrap_err();
+        match err {
+            SimError::DeliveryAbandoned { endpoint, attempts } => {
+                assert_eq!(endpoint, 1);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected DeliveryAbandoned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_off_keeps_legacy_loss_accounting() {
+        // Same lossy setup but faults = None: losses are counted, nothing is
+        // redelivered, and delivered bytes still include the lost payloads.
+        let mut cfg = lossy_recovering_config(11);
+        cfg.faults = None;
+        let dataset = Bytes::from_petabytes(2.0);
+        let report = DhlSystem::new(cfg).unwrap().run_bulk_transfer(dataset).unwrap();
+        assert!(report.data_loss_events > 0);
+        assert_eq!(report.deliveries, 8);
+        assert_eq!(report.delivered, dataset);
+        assert_eq!(report.reliability, crate::report::ReliabilityReport::default());
+    }
+
+    #[test]
+    fn stalled_carts_block_and_release_the_track() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.faults = Some(FaultSpec {
+            cart_stall: Some(CartStallSpec {
+                probability_per_movement: 0.2,
+                repair_time: Seconds::new(120.0),
+            }),
+            ..FaultSpec::recovery_only()
+        });
+        let mut sys = DhlSystem::new(cfg).unwrap();
+        sys.enable_trace(1 << 16);
+        let report = sys.run_bulk_transfer(Bytes::from_petabytes(4.0)).unwrap();
+        assert!(report.reliability.cart_stalls > 0, "20% stall rate over 32 trips");
+        let downtime: f64 = report
+            .reliability
+            .track_downtime
+            .iter()
+            .map(|s| s.seconds())
+            .sum();
+        // Each stall blocks the track for at least its 120 s repair.
+        assert!(
+            downtime >= 120.0 * report.reliability.cart_stalls as f64,
+            "downtime {downtime} vs {} stalls",
+            report.reliability.cart_stalls
+        );
+        // Stalls delay completion versus the fault-free run.
+        let clean = DhlSystem::new(SimConfig::paper_default())
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(4.0))
+            .unwrap();
+        assert!(report.completion_time > clean.completion_time);
+        // Trace invariant: stall/restore events bracket correctly per cart.
+        let trace = sys.take_trace().unwrap();
+        let stalls = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::CartStalled { .. }))
+            .count() as u64;
+        let restores = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::TrackRestored { .. }))
+            .count() as u64;
+        assert_eq!(stalls, report.reliability.cart_stalls);
+        assert_eq!(restores, stalls);
+    }
+
+    #[test]
+    fn worn_connectors_cost_replacement_windows() {
+        // M.2 is rated for 250 cycles; a mission with > 250 docks per cart
+        // must replace connectors. Serial config: 1 cart doing 114 round
+        // trips = 228 docks — stay under; push dataset to exceed.
+        let mut cfg = SimConfig::paper_serial();
+        cfg.faults = Some(FaultSpec {
+            docking_connector: Some(ConnectorFaultSpec {
+                kind: ConnectorKind::M2,
+                replacement_time: Seconds::new(300.0),
+            }),
+            ..FaultSpec::recovery_only()
+        });
+        let report = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(58.0))
+            .unwrap();
+        // 228 deliveries → 456 docks on one cart → at least one replacement.
+        assert!(report.reliability.connector_replacements >= 1);
+        let clean = DhlSystem::new(SimConfig::paper_serial())
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(58.0))
+            .unwrap();
+        let extra = report.completion_time.seconds() - clean.completion_time.seconds();
+        let expected = 300.0 * report.reliability.connector_replacements as f64;
+        assert!(
+            (extra - expected).abs() < 1e-6,
+            "extra {extra} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn repressurisation_slows_affected_launches() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.faults = Some(FaultSpec {
+            repressurisation: Some(RepressurisationSpec {
+                probability_per_movement: 0.3,
+                duration: Seconds::new(200.0),
+                degraded_pressure_millibar: 400.0,
+            }),
+            ..FaultSpec::recovery_only()
+        });
+        let report = DhlSystem::new(cfg).unwrap().run_bulk_transfer(Bytes::from_petabytes(4.0)).unwrap();
+        assert!(report.reliability.repressurisations > 0);
+        let clean = DhlSystem::new(SimConfig::paper_default())
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(4.0))
+            .unwrap();
+        // Speed-limited cruises stretch the schedule but spend *less* launch
+        // energy (slower top speed).
+        assert!(report.completion_time > clean.completion_time);
+        assert!(report.total_energy < clean.total_energy);
+    }
+
+    #[test]
+    fn all_faults_together_still_deliver_everything() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.dock_time = Seconds::new(20_000.0);
+        cfg.reliability = Some(ReliabilitySpec {
+            failure: FailureModel::new(0.5),
+            raid: RaidConfig::new(6, 2).unwrap(),
+            ssds_per_cart: 8,
+            seed: 99,
+        });
+        cfg.faults = Some(FaultSpec {
+            max_delivery_attempts: 64,
+            ..FaultSpec::stress()
+        });
+        let dataset = Bytes::from_petabytes(2.0);
+        let report = DhlSystem::new(cfg).unwrap().run_bulk_transfer(dataset).unwrap();
+        assert_eq!(report.delivered, dataset);
     }
 }

@@ -46,6 +46,28 @@ pub enum TraceEventKind {
         /// The cart whose dwell ended.
         cart: CartId,
     },
+    /// A cart docked at a rack but its payload did not survive the trip
+    /// (RAID-uncovered SSD losses); the shard must be redelivered.
+    DeliveryFailed {
+        /// The cart whose payload was lost.
+        cart: CartId,
+        /// The rack that should have received the shard.
+        endpoint: EndpointId,
+        /// Which delivery attempt this was (1-based).
+        attempt: u32,
+    },
+    /// A cart stalled mid-tube, blocking its track direction until repaired.
+    CartStalled {
+        /// The stalled cart.
+        cart: CartId,
+        /// Index of the blocked inter-endpoint track segment.
+        track: usize,
+    },
+    /// A blocked track segment came back into service.
+    TrackRestored {
+        /// Index of the restored track segment.
+        track: usize,
+    },
 }
 
 /// A timestamped trace event.
@@ -109,7 +131,10 @@ impl Trace {
                 | TraceEventKind::EnterTube { cart: c }
                 | TraceEventKind::BeginDock { cart: c }
                 | TraceEventKind::Docked { cart: c, .. }
-                | TraceEventKind::ProcessingDone { cart: c } => c == cart,
+                | TraceEventKind::ProcessingDone { cart: c }
+                | TraceEventKind::DeliveryFailed { cart: c, .. }
+                | TraceEventKind::CartStalled { cart: c, .. } => c == cart,
+                TraceEventKind::TrackRestored { .. } => false,
             })
             .copied()
             .collect()
@@ -134,6 +159,11 @@ impl Trace {
                 (2, TraceEventKind::BeginDock { .. }) => 3,
                 (3, TraceEventKind::Docked { .. }) => 0,
                 (0, TraceEventKind::ProcessingDone { .. }) => 0,
+                // A failed delivery is reported right after docking, while
+                // the cart sits idle at the rack.
+                (0, TraceEventKind::DeliveryFailed { .. }) => 0,
+                // A stall happens (and is repaired) inside the tube.
+                (2, TraceEventKind::CartStalled { .. }) => 2,
                 _ => return false,
             };
             expected_launch = phase == 0;
@@ -220,5 +250,35 @@ mod tests {
     fn empty_trace_is_well_formed() {
         let trace = Trace::with_capacity(10);
         assert!(trace.lifecycle_is_well_formed(0));
+    }
+
+    #[test]
+    fn fault_events_fit_the_lifecycle() {
+        let mut trace = Trace::with_capacity(100);
+        let seq = [
+            ev(0.0, TraceEventKind::Launch { cart: 0, from: 0, to: 1 }),
+            ev(3.0, TraceEventKind::EnterTube { cart: 0 }),
+            ev(4.0, TraceEventKind::CartStalled { cart: 0, track: 0 }),
+            ev(64.0, TraceEventKind::BeginDock { cart: 0 }),
+            ev(67.0, TraceEventKind::Docked { cart: 0, endpoint: 1 }),
+            ev(67.0, TraceEventKind::DeliveryFailed { cart: 0, endpoint: 1, attempt: 1 }),
+            ev(68.0, TraceEventKind::Launch { cart: 0, from: 1, to: 0 }),
+            ev(71.0, TraceEventKind::EnterTube { cart: 0 }),
+            ev(73.6, TraceEventKind::BeginDock { cart: 0 }),
+            ev(76.6, TraceEventKind::Docked { cart: 0, endpoint: 0 }),
+        ];
+        for (t, k) in seq {
+            trace.record(t, k);
+        }
+        assert!(trace.lifecycle_is_well_formed(0));
+        // TrackRestored belongs to no cart.
+        trace.record(Seconds::new(80.0), TraceEventKind::TrackRestored { track: 0 });
+        assert_eq!(trace.for_cart(0).len(), 10);
+        assert!(trace.lifecycle_is_well_formed(0));
+
+        // A stall outside the tube is malformed.
+        let mut bad = Trace::with_capacity(10);
+        bad.record(Seconds::new(0.0), TraceEventKind::CartStalled { cart: 0, track: 0 });
+        assert!(!bad.lifecycle_is_well_formed(0));
     }
 }

@@ -1,8 +1,8 @@
 //! Property-based tests for the DHL system simulator.
 
+use dhl_rng::check::forall;
 use dhl_sim::{DhlSystem, ProcessingModel, SimConfig};
 use dhl_units::{Bytes, Metres, MetresPerSecond, Seconds};
-use proptest::prelude::*;
 
 fn run(cfg: SimConfig, tb: f64) -> dhl_sim::BulkTransferReport {
     DhlSystem::new(cfg)
@@ -11,93 +11,132 @@ fn run(cfg: SimConfig, tb: f64) -> dhl_sim::BulkTransferReport {
         .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn delivered_always_equals_dataset(tb in 0.0..5_000.0f64) {
+#[test]
+fn delivered_always_equals_dataset() {
+    forall("delivered_always_equals_dataset", 64, |g| {
+        let tb = g.f64_in(0.0, 5_000.0);
         let report = run(SimConfig::paper_default(), tb);
-        prop_assert_eq!(report.delivered, Bytes::from_terabytes(tb));
-        prop_assert_eq!(report.deliveries, Bytes::from_terabytes(tb).div_ceil(Bytes::from_terabytes(256.0)).max(0));
-    }
+        assert_eq!(report.delivered, Bytes::from_terabytes(tb));
+        assert_eq!(
+            report.deliveries,
+            Bytes::from_terabytes(tb).div_ceil(Bytes::from_terabytes(256.0))
+        );
+    });
+}
 
-    #[test]
-    fn movements_are_exactly_doubled_deliveries(tb in 1.0..5_000.0f64) {
+#[test]
+fn movements_are_exactly_doubled_deliveries() {
+    forall("movements_are_exactly_doubled_deliveries", 64, |g| {
         // Every delivered cart must also return home.
+        let tb = g.f64_in(1.0, 5_000.0);
         let report = run(SimConfig::paper_default(), tb);
-        prop_assert_eq!(report.movements, 2 * report.deliveries);
-    }
+        assert_eq!(report.movements, 2 * report.deliveries);
+    });
+}
 
-    #[test]
-    fn serial_time_matches_closed_form(tb in 1.0..20_000.0f64) {
+#[test]
+fn serial_time_matches_closed_form() {
+    forall("serial_time_matches_closed_form", 64, |g| {
+        let tb = g.f64_in(1.0, 20_000.0);
         let report = run(SimConfig::paper_serial(), tb);
         let trips = 2.0 * report.deliveries as f64;
-        prop_assert!((report.completion_time.seconds() - trips * 8.6).abs() < 1e-6);
-    }
+        assert!((report.completion_time.seconds() - trips * 8.6).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn pipelining_never_hurts(tb in 256.0..10_000.0f64, docks in 1u32..8, carts in 1u32..8) {
+#[test]
+fn pipelining_never_hurts() {
+    forall("pipelining_never_hurts", 32, |g| {
+        let tb = g.f64_in(256.0, 10_000.0);
+        let docks = g.u32_in(1, 8);
+        let carts = g.u32_in(1, 8);
         let serial = run(SimConfig::paper_serial(), tb);
         let mut cfg = SimConfig::paper_default();
         cfg.num_carts = carts;
         cfg.endpoints[0].docks = carts;
         cfg.endpoints[1].docks = docks;
         let pipelined = run(cfg, tb);
-        prop_assert!(pipelined.completion_time.seconds() <= serial.completion_time.seconds() + 1e-6);
+        assert!(pipelined.completion_time.seconds() <= serial.completion_time.seconds() + 1e-6);
         // Same total physical work regardless of schedule.
-        prop_assert_eq!(pipelined.movements, serial.movements);
-        prop_assert!((pipelined.total_energy.value() - serial.total_energy.value()).abs() < 1.0);
-    }
+        assert_eq!(pipelined.movements, serial.movements);
+        assert!((pipelined.total_energy.value() - serial.total_energy.value()).abs() < 1.0);
+    });
+}
 
-    #[test]
-    fn dual_track_never_slower_than_single(tb in 256.0..10_000.0f64) {
+#[test]
+fn dual_track_never_slower_than_single() {
+    forall("dual_track_never_slower_than_single", 32, |g| {
+        let tb = g.f64_in(256.0, 10_000.0);
         let single = run(SimConfig::paper_default(), tb);
         let mut cfg = SimConfig::paper_default();
         cfg.dual_track = true;
         let dual = run(cfg, tb);
-        prop_assert!(dual.completion_time.seconds() <= single.completion_time.seconds() + 1e-6);
-    }
+        assert!(dual.completion_time.seconds() <= single.completion_time.seconds() + 1e-6);
+    });
+}
 
-    #[test]
-    fn energy_is_linear_in_deliveries(n in 1u64..40) {
+#[test]
+fn energy_is_linear_in_deliveries() {
+    forall("energy_is_linear_in_deliveries", 64, |g| {
+        let n = g.u64_in(1, 40);
         let tb = 256.0 * n as f64;
         let report = run(SimConfig::paper_default(), tb);
         let per_delivery = report.total_energy.value() / n as f64;
         // 2 movements per delivery at ~15.19 kJ each.
-        prop_assert!((per_delivery - 2.0 * 15_191.0).abs() < 100.0, "per delivery {per_delivery}");
-    }
+        assert!(
+            (per_delivery - 2.0 * 15_191.0).abs() < 100.0,
+            "per delivery {per_delivery}"
+        );
+    });
+}
 
-    #[test]
-    fn faster_carts_finish_sooner(tb in 256.0..5_000.0f64) {
+#[test]
+fn faster_carts_finish_sooner() {
+    forall("faster_carts_finish_sooner", 32, |g| {
+        let tb = g.f64_in(256.0, 5_000.0);
         let mut slow = SimConfig::paper_default();
         slow.max_speed = MetresPerSecond::new(100.0);
         let mut fast = SimConfig::paper_default();
         fast.max_speed = MetresPerSecond::new(300.0);
-        prop_assert!(run(fast, tb).completion_time.seconds() <= run(slow, tb).completion_time.seconds());
-    }
+        assert!(
+            run(fast, tb).completion_time.seconds() <= run(slow, tb).completion_time.seconds()
+        );
+    });
+}
 
-    #[test]
-    fn longer_track_takes_longer(tb in 256.0..5_000.0f64) {
+#[test]
+fn longer_track_takes_longer() {
+    forall("longer_track_takes_longer", 32, |g| {
+        let tb = g.f64_in(256.0, 5_000.0);
         let mut short = SimConfig::paper_default();
         short.endpoints[1].position = Metres::new(100.0);
         let mut long = SimConfig::paper_default();
         long.endpoints[1].position = Metres::new(1000.0);
-        prop_assert!(run(short, tb).completion_time.seconds() <= run(long, tb).completion_time.seconds());
-    }
+        assert!(
+            run(short, tb).completion_time.seconds() <= run(long, tb).completion_time.seconds()
+        );
+    });
+}
 
-    #[test]
-    fn processing_dwell_never_speeds_things_up(tb in 256.0..2_000.0f64, dwell in 0.0..200.0f64) {
+#[test]
+fn processing_dwell_never_speeds_things_up() {
+    forall("processing_dwell_never_speeds_things_up", 32, |g| {
+        let tb = g.f64_in(256.0, 2_000.0);
+        let dwell = g.f64_in(0.0, 200.0);
         let base = run(SimConfig::paper_default(), tb);
         let mut cfg = SimConfig::paper_default();
         cfg.processing = ProcessingModel::Fixed(Seconds::new(dwell));
         let slowed = run(cfg, tb);
-        prop_assert!(slowed.completion_time.seconds() >= base.completion_time.seconds() - 1e-6);
-    }
+        assert!(slowed.completion_time.seconds() >= base.completion_time.seconds() - 1e-6);
+    });
+}
 
-    #[test]
-    fn track_utilisation_is_a_fraction(tb in 1.0..5_000.0f64) {
+#[test]
+fn track_utilisation_is_a_fraction() {
+    forall("track_utilisation_is_a_fraction", 64, |g| {
+        let tb = g.f64_in(1.0, 5_000.0);
         let report = run(SimConfig::paper_default(), tb);
         let u = report.peak_track_utilisation();
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilisation {u}");
-    }
+        assert!((0.0..=1.0 + 1e-9).contains(&u), "utilisation {u}");
+    });
 }

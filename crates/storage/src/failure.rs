@@ -5,7 +5,7 @@
 //! stochastic failure model the simulator injects and the RAID arithmetic
 //! that decides whether a cart's data survived.
 
-use rand::Rng;
+use dhl_rng::Rng;
 use serde::{Deserialize, Serialize};
 
 use dhl_units::Seconds;
@@ -129,8 +129,15 @@ impl RaidConfig {
     }
 
     /// No redundancy: every drive carries unique data.
+    ///
+    /// `drives` must be at least 1; a zero-drive layout is meaningless and
+    /// is clamped to a single data drive (debug builds assert instead, so
+    /// the bug surfaces in tests rather than silently shifting capacity
+    /// arithmetic). Use [`RaidConfig::new`] when the drive count is not
+    /// statically known to be positive — it returns a `Result`.
     #[must_use]
     pub fn none(drives: u32) -> Self {
+        debug_assert!(drives >= 1, "RaidConfig::none requires at least one drive");
         Self {
             data_drives: drives.max(1),
             parity_drives: 0,
@@ -164,6 +171,10 @@ impl RaidConfig {
 
     /// Probability the cart's data survives a trip, given a per-SSD failure
     /// probability `p` (binomial survival across the layout).
+    ///
+    /// Each binomial term is O(1) via the memoised/Stirling
+    /// [`ln_factorial`], so the whole sum is O(parity) rather than
+    /// O(drives × parity).
     #[must_use]
     pub fn trip_survival_probability(&self, p: f64) -> f64 {
         let n = self.total_drives();
@@ -189,15 +200,39 @@ fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
     (ln_choose + f64::from(k) * p.ln() + f64::from(n - k) * (1.0 - p).ln()).exp()
 }
 
+/// How many `ln(n!)` values the exact cumulative table covers. Carts top out
+/// at a few hundred SSDs, so lookups almost never fall through to Stirling.
+const LN_FACTORIAL_TABLE_SIZE: usize = 1025;
+
+/// `ln(n!)` in O(1): an exact memoised prefix-sum table for `n < 1025`,
+/// falling back to a Stirling-series approximation beyond it (error
+/// < 1e-12 relative there, far below the table boundary values).
 fn ln_factorial(n: u32) -> f64 {
-    (2..=u64::from(n)).map(|i| (i as f64).ln()).sum()
+    static TABLE: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = Vec::with_capacity(LN_FACTORIAL_TABLE_SIZE);
+        let mut acc = 0.0f64;
+        t.push(acc); // ln(0!) = 0
+        for i in 1..LN_FACTORIAL_TABLE_SIZE as u64 {
+            acc += (i as f64).ln();
+            t.push(acc);
+        }
+        t
+    });
+    if let Some(&v) = table.get(n as usize) {
+        return v;
+    }
+    // Stirling's series for ln(n!) = ln Γ(n+1).
+    let x = f64::from(n) + 1.0;
+    let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+    (x - 0.5) * x.ln() - x + 0.5 * ln_2pi + 1.0 / (12.0 * x) - 1.0 / (360.0 * x.powi(3))
+        + 1.0 / (1260.0 * x.powi(5))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dhl_rng::DeterministicRng;
 
     #[test]
     fn afr_round_trips_through_hazard() {
@@ -223,7 +258,7 @@ mod tests {
 
     #[test]
     fn sampling_matches_expectation_roughly() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DeterministicRng::seed_from_u64(42);
         let m = FailureModel::new(0.5);
         let long = Seconds::new(365.0 * 86_400.0); // a full year: p = 0.5
         let trials = 2_000u32;

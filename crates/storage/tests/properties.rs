@@ -1,5 +1,6 @@
 //! Property-based tests for the storage substrate.
 
+use dhl_rng::check::forall;
 use dhl_storage::cart::{CartStorage, PcieGeneration, PcieLink};
 use dhl_storage::connectors::{ConnectorKind, DockingConnector};
 use dhl_storage::datasets::{Dataset, DatasetKind};
@@ -7,11 +8,12 @@ use dhl_storage::devices::StorageDevice;
 use dhl_storage::failure::{FailureModel, RaidConfig};
 use dhl_storage::thermal::ThermalModel;
 use dhl_units::{Bytes, Seconds, Watts};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn shards_always_cover_the_dataset(size in 1u64..1u64<<52, chunk in 1u64..1u64<<42) {
+#[test]
+fn shards_always_cover_the_dataset() {
+    forall("shards_always_cover_the_dataset", 256, |g| {
+        let size = g.u64_in(1, 1 << 52);
+        let chunk = g.u64_in(1, 1 << 42);
         let d = Dataset {
             name: "prop".into(),
             size: Bytes::new(size),
@@ -19,79 +21,143 @@ proptest! {
         };
         let shards: Vec<Bytes> = d.shards(Bytes::new(chunk)).collect();
         let total: Bytes = shards.iter().sum();
-        prop_assert_eq!(total, d.size);
-        prop_assert_eq!(shards.len() as u64, size.div_ceil(chunk));
+        assert_eq!(total, d.size);
+        assert_eq!(shards.len() as u64, size.div_ceil(chunk));
         // every shard but the last is exactly chunk-sized
         for s in &shards[..shards.len().saturating_sub(1)] {
-            prop_assert_eq!(s.as_u64(), chunk);
+            assert_eq!(s.as_u64(), chunk);
         }
-        prop_assert!(shards.last().unwrap().as_u64() <= chunk);
-    }
+        assert!(shards.last().unwrap().as_u64() <= chunk);
+    });
+}
 
-    #[test]
-    fn cart_capacity_and_mass_scale_linearly(n in 1u32..1024) {
+#[test]
+fn cart_capacity_and_mass_scale_linearly() {
+    forall("cart_capacity_and_mass_scale_linearly", 256, |g| {
+        let n = g.u32_in(1, 1024);
         let cart = CartStorage::new(StorageDevice::sabrent_rocket_4_plus(), n);
-        prop_assert_eq!(cart.capacity().as_u64(), u64::from(n) * 8_000_000_000_000);
+        assert_eq!(cart.capacity().as_u64(), u64::from(n) * 8_000_000_000_000);
         let per = cart.payload_mass().value() / f64::from(n);
-        prop_assert!((per - 0.00567).abs() < 1e-12);
-    }
+        assert!((per - 0.00567).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn docked_bandwidth_never_exceeds_either_limit(n in 1u32..256, lanes in 1u32..128) {
+#[test]
+fn docked_bandwidth_never_exceeds_either_limit() {
+    forall("docked_bandwidth_never_exceeds_either_limit", 256, |g| {
+        let n = g.u32_in(1, 256);
+        let lanes = g.u32_in(1, 128);
         let cart = CartStorage::new(StorageDevice::sabrent_rocket_4_plus(), n);
         let link = PcieLink::new(PcieGeneration::Gen6, lanes);
         let eff = cart.docked_read_bandwidth(link);
-        prop_assert!(eff.value() <= cart.aggregate_read_bandwidth().value() + 1e-6);
-        prop_assert!(eff.value() <= link.bandwidth().value() + 1e-6);
-    }
+        assert!(eff.value() <= cart.aggregate_read_bandwidth().value() + 1e-6);
+        assert!(eff.value() <= link.bandwidth().value() + 1e-6);
+    });
+}
 
-    #[test]
-    fn failure_probability_is_monotone_in_time(afr in 0.0..0.99f64, t1 in 0.0..1e9f64, t2 in 0.0..1e9f64) {
+#[test]
+fn failure_probability_is_monotone_in_time() {
+    forall("failure_probability_is_monotone_in_time", 256, |g| {
+        let afr = g.f64_in(0.0, 0.99);
+        let (t1, t2) = (g.f64_in(0.0, 1e9), g.f64_in(0.0, 1e9));
         let m = FailureModel::new(afr);
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
-        prop_assert!(m.failure_probability(Seconds::new(lo)) <= m.failure_probability(Seconds::new(hi)));
-    }
+        assert!(
+            m.failure_probability(Seconds::new(lo)) <= m.failure_probability(Seconds::new(hi))
+        );
+    });
+}
 
-    #[test]
-    fn failure_probability_is_a_probability(afr in 0.0..0.999f64, t in 0.0..1e12f64) {
+#[test]
+fn failure_probability_is_a_probability() {
+    forall("failure_probability_is_a_probability", 256, |g| {
+        let afr = g.f64_in(0.0, 0.999);
+        let t = g.f64_in(0.0, 1e12);
         let p = FailureModel::new(afr).failure_probability(Seconds::new(t));
-        prop_assert!((0.0..=1.0).contains(&p));
-    }
+        assert!((0.0..=1.0).contains(&p));
+    });
+}
 
-    #[test]
-    fn raid_survival_is_monotone_in_parity(data in 1u32..64, parity in 0u32..16, p in 0.0..1.0f64) {
-        let less = RaidConfig::new(data, parity).unwrap().trip_survival_probability(p);
-        let more = RaidConfig::new(data, parity + 1).unwrap().trip_survival_probability(p);
+#[test]
+fn raid_survival_is_monotone_in_parity() {
+    forall("raid_survival_is_monotone_in_parity", 256, |g| {
+        let data = g.u32_in(1, 64);
+        let parity = g.u32_in(0, 16);
+        let p = g.f64_in(0.0, 1.0);
+        let less = RaidConfig::new(data, parity)
+            .unwrap()
+            .trip_survival_probability(p);
+        let more = RaidConfig::new(data, parity + 1)
+            .unwrap()
+            .trip_survival_probability(p);
         // Note: adding a parity drive also adds a drive that can fail, but
         // tolerance grows faster than exposure, so survival never drops
         // (both layouts must lose > parity drives, and the larger layout
         // tolerates one more).
-        prop_assert!(more >= less - 1e-12);
-    }
+        assert!(more >= less - 1e-12);
+    });
+}
 
-    #[test]
-    fn raid_usable_capacity_never_exceeds_raw(data in 1u32..64, parity in 0u32..64, raw in 0u64..1u64<<50) {
+#[test]
+fn raid_survival_is_antitone_in_failure_probability() {
+    forall("raid_survival_is_antitone_in_failure_probability", 256, |g| {
+        // Riskier drives can only hurt: survival is non-increasing in the
+        // per-drive trip failure probability for every layout.
+        let raid = RaidConfig::new(g.u32_in(1, 64), g.u32_in(0, 16)).unwrap();
+        let (p1, p2) = (g.f64_in(0.0, 1.0), g.f64_in(0.0, 1.0));
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let safer = raid.trip_survival_probability(lo);
+        let riskier = raid.trip_survival_probability(hi);
+        assert!(
+            riskier <= safer + 1e-12,
+            "survival rose from {safer} to {riskier} as p went {lo} -> {hi}"
+        );
+        // And both ends pin to certainty.
+        assert!((raid.trip_survival_probability(0.0) - 1.0).abs() < 1e-12);
+        assert!(raid.trip_survival_probability(1.0) < 1e-12);
+    });
+}
+
+#[test]
+fn raid_usable_capacity_never_exceeds_raw() {
+    forall("raid_usable_capacity_never_exceeds_raw", 256, |g| {
+        let data = g.u32_in(1, 64);
+        let parity = g.u32_in(0, 64);
+        let raw = g.u64_in(0, 1 << 50);
         let raid = RaidConfig::new(data, parity).unwrap();
-        prop_assert!(raid.usable_capacity(Bytes::new(raw)) <= Bytes::new(raw));
-    }
+        assert!(raid.usable_capacity(Bytes::new(raw)) <= Bytes::new(raw));
+    });
+}
 
-    #[test]
-    fn thermal_limit_is_monotone_in_budget(w1 in 0.0..10_000.0f64, w2 in 0.0..10_000.0f64) {
+#[test]
+fn thermal_limit_is_monotone_in_budget() {
+    forall("thermal_limit_is_monotone_in_budget", 256, |g| {
+        let (w1, w2) = (g.f64_in(0.0, 10_000.0), g.f64_in(0.0, 10_000.0));
         let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
         let cart = CartStorage::paper_large();
         let a = ThermalModel::new(Watts::new(lo), 0.9).max_concurrent_ssds(&cart);
         let b = ThermalModel::new(Watts::new(hi), 0.9).max_concurrent_ssds(&cart);
-        prop_assert!(a <= b);
-    }
+        assert!(a <= b);
+    });
+}
 
-    #[test]
-    fn connector_wear_is_exact(kind in prop_oneof![Just(ConnectorKind::M2), Just(ConnectorKind::UsbC)], cycles in 0u32..500) {
+#[test]
+fn connector_wear_is_exact() {
+    forall("connector_wear_is_exact", 64, |g| {
+        let kind = if g.bool() {
+            ConnectorKind::M2
+        } else {
+            ConnectorKind::UsbC
+        };
+        let cycles = g.u32_in(0, 500);
         let mut conn = DockingConnector::new(kind);
         let mut succeeded = 0u32;
         for _ in 0..cycles {
-            if conn.mate().is_ok() { succeeded += 1; }
+            if conn.mate().is_ok() {
+                succeeded += 1;
+            }
         }
-        prop_assert_eq!(succeeded, cycles.min(kind.rated_cycles()));
-        prop_assert_eq!(conn.cycles_used(), succeeded);
-    }
+        assert_eq!(succeeded, cycles.min(kind.rated_cycles()));
+        assert_eq!(conn.cycles_used(), succeeded);
+    });
 }

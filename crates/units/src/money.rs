@@ -23,7 +23,7 @@ impl Usd {
         let digits = whole.to_string();
         let mut grouped = String::new();
         for (i, ch) in digits.chars().enumerate() {
-            if i > 0 && (digits.len() - i) % 3 == 0 {
+            if i > 0 && (digits.len() - i).is_multiple_of(3) {
                 grouped.push(',');
             }
             grouped.push(ch);

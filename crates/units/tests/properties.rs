@@ -1,81 +1,113 @@
 //! Property-based tests for the unit system's algebraic laws.
 
+use dhl_rng::check::forall;
 use dhl_units::{
     kinetic_energy, Bytes, BytesPerSecond, GigabitsPerSecond, Joules, Kilograms, Metres,
     MetresPerSecond, MetresPerSecondSquared, Seconds, Watts,
 };
-use proptest::prelude::*;
 
-/// Strategy for "physically plausible" positive magnitudes.
-fn pos() -> impl Strategy<Value = f64> {
-    1e-3..1e9f64
+/// "Physically plausible" positive magnitudes.
+fn pos(g: &mut dhl_rng::check::Gen) -> f64 {
+    g.f64_in(1e-3, 1e9)
 }
 
-proptest! {
-    #[test]
-    fn bytes_div_ceil_covers_exactly(total in 1u64..1_000_000_000_000, chunk in 1u64..1_000_000_000) {
+#[test]
+fn bytes_div_ceil_covers_exactly() {
+    forall("bytes_div_ceil_covers_exactly", 256, |g| {
+        let total = g.u64_in(1, 1_000_000_000_000);
+        let chunk = g.u64_in(1, 1_000_000_000);
         let trips = Bytes::new(total).div_ceil(Bytes::new(chunk));
         // trips chunks cover the payload...
-        prop_assert!(trips * chunk >= total);
+        assert!(trips * chunk >= total);
         // ...and one fewer does not.
-        prop_assert!((trips - 1) * chunk < total);
-    }
+        assert!((trips - 1) * chunk < total);
+    });
+}
 
-    #[test]
-    fn bytes_sum_is_associative_with_u64(a in 0u64..1u64<<40, b in 0u64..1u64<<40, c in 0u64..1u64<<40) {
+#[test]
+fn bytes_sum_is_associative_with_u64() {
+    forall("bytes_sum_is_associative_with_u64", 256, |g| {
+        let (a, b, c) = (g.u64_in(0, 1 << 40), g.u64_in(0, 1 << 40), g.u64_in(0, 1 << 40));
         let lhs = (Bytes::new(a) + Bytes::new(b)) + Bytes::new(c);
         let rhs = Bytes::new(a) + (Bytes::new(b) + Bytes::new(c));
-        prop_assert_eq!(lhs, rhs);
-        prop_assert_eq!(lhs.as_u64(), a + b + c);
-    }
+        assert_eq!(lhs, rhs);
+        assert_eq!(lhs.as_u64(), a + b + c);
+    });
+}
 
-    #[test]
-    fn energy_power_time_round_trips(p in pos(), t in pos()) {
+#[test]
+fn energy_power_time_round_trips() {
+    forall("energy_power_time_round_trips", 256, |g| {
+        let (p, t) = (pos(g), pos(g));
         let e = Watts::new(p) * Seconds::new(t);
         let p2 = e / Seconds::new(t);
         let t2 = e / Watts::new(p);
-        prop_assert!((p2.value() - p).abs() <= 1e-9 * p.abs());
-        prop_assert!((t2.seconds() - t).abs() <= 1e-9 * t.abs());
-    }
+        assert!((p2.value() - p).abs() <= 1e-9 * p.abs());
+        assert!((t2.seconds() - t).abs() <= 1e-9 * t.abs());
+    });
+}
 
-    #[test]
-    fn kinematics_round_trips(x in pos(), v in pos()) {
+#[test]
+fn kinematics_round_trips() {
+    forall("kinematics_round_trips", 256, |g| {
+        let (x, v) = (pos(g), pos(g));
         let t = Metres::new(x) / MetresPerSecond::new(v);
         let x2 = MetresPerSecond::new(v) * t;
-        prop_assert!((x2.value() - x).abs() <= 1e-9 * x);
-    }
+        assert!((x2.value() - x).abs() <= 1e-9 * x);
+    });
+}
 
-    #[test]
-    fn kinetic_energy_is_quadratic_in_speed(m in pos(), v in 1e-3..1e6f64) {
+#[test]
+fn kinetic_energy_is_quadratic_in_speed() {
+    forall("kinetic_energy_is_quadratic_in_speed", 256, |g| {
+        let (m, v) = (pos(g), g.f64_in(1e-3, 1e6));
         let e1 = kinetic_energy(Kilograms::new(m), MetresPerSecond::new(v));
         let e2 = kinetic_energy(Kilograms::new(m), MetresPerSecond::new(2.0 * v));
-        prop_assert!((e2.value() / e1.value() - 4.0).abs() < 1e-9);
-    }
+        assert!((e2.value() / e1.value() - 4.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn kinetic_energy_is_linear_in_mass(m in pos(), v in 1e-3..1e6f64) {
+#[test]
+fn kinetic_energy_is_linear_in_mass() {
+    forall("kinetic_energy_is_linear_in_mass", 256, |g| {
+        let (m, v) = (pos(g), g.f64_in(1e-3, 1e6));
         let e1 = kinetic_energy(Kilograms::new(m), MetresPerSecond::new(v));
         let e2 = kinetic_energy(Kilograms::new(2.0 * m), MetresPerSecond::new(v));
-        prop_assert!((e2.value() / e1.value() - 2.0).abs() < 1e-9);
-    }
+        assert!((e2.value() / e1.value() - 2.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn transfer_time_is_monotone_in_data(rate in pos(), a in 0u64..1u64<<50, b in 0u64..1u64<<50) {
+#[test]
+fn transfer_time_is_monotone_in_data() {
+    forall("transfer_time_is_monotone_in_data", 256, |g| {
+        let rate = pos(g);
+        let (a, b) = (g.u64_in(0, 1 << 50), g.u64_in(0, 1 << 50));
         let r = BytesPerSecond::new(rate);
         let (small, large) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(r.transfer_time(Bytes::new(small)).seconds()
-                  <= r.transfer_time(Bytes::new(large)).seconds());
-    }
+        assert!(
+            r.transfer_time(Bytes::new(small)).seconds()
+                <= r.transfer_time(Bytes::new(large)).seconds()
+        );
+    });
+}
 
-    #[test]
-    fn gbps_matches_manual_bit_math(gbps in pos(), data in 1u64..1u64<<50) {
+#[test]
+fn gbps_matches_manual_bit_math() {
+    forall("gbps_matches_manual_bit_math", 256, |g| {
+        let gbps = pos(g);
+        let data = g.u64_in(1, 1 << 50);
         let t = GigabitsPerSecond::new(gbps).transfer_time(Bytes::new(data));
         let manual = (data as f64 * 8.0) / (gbps * 1e9);
-        prop_assert!((t.seconds() - manual).abs() <= 1e-9 * manual.max(1.0));
-    }
+        assert!((t.seconds() - manual).abs() <= 1e-9 * manual.max(1.0));
+    });
+}
 
-    #[test]
-    fn force_times_lim_length_equals_kinetic_energy(m in pos(), v in 1.0..1e4f64, a in 1.0..1e5f64) {
+#[test]
+fn force_times_lim_length_equals_kinetic_energy() {
+    forall("force_times_lim_length_equals_kinetic_energy", 256, |g| {
+        let m = pos(g);
+        let v = g.f64_in(1.0, 1e4);
+        let a = g.f64_in(1.0, 1e5);
         // Work-energy theorem: accelerating to v over x = v²/2a with F = ma
         // does exactly ½mv² of work, for any (m, v, a).
         let mass = Kilograms::new(m);
@@ -83,12 +115,15 @@ proptest! {
         let lim = Metres::new(v * v / (2.0 * a));
         let work: Joules = (mass * accel) * lim;
         let ke = kinetic_energy(mass, MetresPerSecond::new(v));
-        prop_assert!((work.value() - ke.value()).abs() <= 1e-9 * ke.value());
-    }
+        assert!((work.value() - ke.value()).abs() <= 1e-9 * ke.value());
+    });
+}
 
-    #[test]
-    fn display_precision_never_panics(x in -1e12..1e12f64) {
+#[test]
+fn display_precision_never_panics() {
+    forall("display_precision_never_panics", 256, |g| {
+        let x = g.f64_in(-1e12, 1e12);
         let _ = format!("{:.3}", Seconds::new(x));
         let _ = format!("{}", Watts::new(x));
-    }
+    });
 }

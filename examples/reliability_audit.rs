@@ -1,6 +1,7 @@
 //! Reliability audit (§III-D, §VI): stress the DHL with stochastic SSD
-//! failures, RAID layouts, connector wear, and SSD write endurance, and
-//! report how long a deployment runs before maintenance.
+//! failures, RAID layouts, mechanical faults, and connector wear, and show
+//! the recovery machinery (redelivery, bounded retries, track draining)
+//! keeping goodput equal to the request.
 //!
 //! ```text
 //! cargo run --example reliability_audit
@@ -8,11 +9,13 @@
 
 use datacentre_hyperloop::core::{annualise, DhlConfig, GridModel};
 use datacentre_hyperloop::net::route::Route;
-use datacentre_hyperloop::sim::{DhlSystem, ReliabilitySpec, SimConfig};
+use datacentre_hyperloop::sim::{
+    DhlSystem, FaultSpec, ReliabilitySpec, SimConfig, SimError,
+};
 use datacentre_hyperloop::storage::connectors::ConnectorKind;
 use datacentre_hyperloop::storage::failure::{FailureModel, RaidConfig};
 use datacentre_hyperloop::storage::wear::{CartWear, EnduranceModel};
-use datacentre_hyperloop::units::Bytes;
+use datacentre_hyperloop::units::{Bytes, Seconds};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Bytes::from_petabytes(29.0);
@@ -41,23 +44,78 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hostile_report.ssd_failures
     );
 
-    // Where failures actually bite: carts that dwell docked for hours.
-    let mut dwelling = SimConfig::paper_serial();
-    dwelling.dock_time = datacentre_hyperloop::units::Seconds::from_hours(2000.0);
-    dwelling.reliability = Some(ReliabilitySpec {
+    // 2. Recovery: long docked dwells make shard loss routine (~64 % of
+    // deliveries here) — the mission redelivers every lost shard until
+    // goodput matches the request.
+    println!("\nRecovery under heavy loss (200 h docked per trip, no RAID):");
+    let mut lossy = SimConfig::paper_default();
+    lossy.dock_time = Seconds::from_hours(200.0);
+    lossy.reliability = Some(ReliabilitySpec {
         failure: FailureModel::new(0.5),
         raid: RaidConfig::none(32),
         ssds_per_cart: 32,
         seed: 42,
     });
-    let dwelling_report =
-        DhlSystem::new(dwelling)?.run_bulk_transfer(Bytes::from_terabytes(512.0))?;
+    lossy.faults = Some(FaultSpec {
+        max_delivery_attempts: 64,
+        ..FaultSpec::recovery_only()
+    });
+    let recovered = DhlSystem::new(lossy.clone())?.run_bulk_transfer(Bytes::from_petabytes(2.0))?;
+    let rel = &recovered.reliability;
     println!(
-        "  (same drives exposed for 2000 h per dock: {} failures, {} losses\n   without RAID)",
-        dwelling_report.ssd_failures, dwelling_report.data_loss_events
+        "  {} deliveries ({} redeliveries), {} lost then re-served; all {} delivered",
+        recovered.deliveries,
+        rel.redeliveries,
+        recovered.data_loss_events,
+        recovered.delivered
+    );
+    println!(
+        "  goodput {:.1} MB/s vs gross throughput {:.1} MB/s ({:.1} h of retry traffic)",
+        rel.goodput.value() / 1e6,
+        rel.throughput.value() / 1e6,
+        rel.retry_time.seconds() / 3600.0
     );
 
-    // 2. Connector wear (§VI): how many 29 PB campaigns per USB-C connector?
+    // With a tight retry budget the same losses become a typed error
+    // instead of silent degradation.
+    let mut bounded = lossy;
+    bounded.reliability.as_mut().expect("set above").failure = FailureModel::new(0.999);
+    bounded.faults.as_mut().expect("set above").max_delivery_attempts = 2;
+    match DhlSystem::new(bounded)?.run_bulk_transfer(Bytes::from_terabytes(512.0)) {
+        Err(SimError::DeliveryAbandoned { endpoint, attempts }) => println!(
+            "  (budget of 2 attempts at 99.9% AFR: shard for endpoint {endpoint} abandoned\n   after {attempts} attempts — surfaced as a typed error, not lost silently)"
+        ),
+        other => println!("  unexpected outcome under certain loss: {other:?}"),
+    }
+
+    // 3. Mechanical faults: stalls, tube leaks, and connector wear-out over
+    // a 58 PB serial campaign (456 movements on one cart — enough to wear
+    // out a bare M.2 connector, rated for 250 cycles).
+    println!("\nMechanical faults (stalls, repressurisation, worn connectors; 58 PB serial):");
+    let campaign = Bytes::from_petabytes(58.0);
+    let mut mech = SimConfig::paper_serial();
+    let mut spec = FaultSpec::stress();
+    spec.cart_stall.as_mut().expect("stress stalls").probability_per_movement = 0.05;
+    spec.repressurisation.as_mut().expect("stress leaks").probability_per_movement = 0.02;
+    spec.docking_connector.as_mut().expect("stress connectors").kind = ConnectorKind::M2;
+    mech.faults = Some(spec);
+    let mech_report = DhlSystem::new(mech)?.run_bulk_transfer(campaign)?;
+    let mrel = &mech_report.reliability;
+    let downtime: f64 = mrel.track_downtime.iter().map(|s| s.seconds()).sum();
+    println!(
+        "  {} cart stalls ({:.0} s of track downtime), {} tube repressurisations,\n  {} connector replacements; completion {:.1} s vs {:.1} s fault-free",
+        mrel.cart_stalls,
+        downtime,
+        mrel.repressurisations,
+        mrel.connector_replacements,
+        mech_report.completion_time.seconds(),
+        DhlSystem::new(SimConfig::paper_serial())?
+            .run_bulk_transfer(campaign)?
+            .completion_time
+            .seconds()
+    );
+
+    // 4. Connector wear (§VI): how many 29 PB campaigns per USB-C connector?
     let dockings_per_campaign = report.movements; // one mate per movement
     let campaigns_per_connector =
         u64::from(ConnectorKind::UsbC.rated_cycles()) / dockings_per_campaign;
@@ -68,7 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         u64::from(ConnectorKind::M2.rated_cycles()) / dockings_per_campaign
     );
 
-    // 3. SSD write endurance: restaging the dataset monthly.
+    // 5. SSD write endurance: restaging the dataset monthly.
     let mut wear = CartWear::new(
         EnduranceModel::rocket_4_plus_8tb(),
         Bytes::from_terabytes(256.0),
@@ -80,7 +138,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wear.restages_remaining()
     );
 
-    // 4. Carbon: daily 29 PB restaging for a year, DHL vs route C.
+    // 6. Carbon: daily 29 PB restaging for a year, DHL vs route C.
     let grid = GridModel::us_average();
     let baseline = Route::c().transfer_energy(dataset);
     let dhl_energy = datacentre_hyperloop::core::BulkTransfer::evaluate(

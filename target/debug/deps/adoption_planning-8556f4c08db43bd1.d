@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adoption_planning-8556f4c08db43bd1.d: tests/adoption_planning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadoption_planning-8556f4c08db43bd1.rmeta: tests/adoption_planning.rs Cargo.toml
+
+tests/adoption_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adoption_planning-ee6b1cfce3f11bd1.d: tests/adoption_planning.rs
+
+/root/repo/target/debug/deps/adoption_planning-ee6b1cfce3f11bd1: tests/adoption_planning.rs
+
+tests/adoption_planning.rs:

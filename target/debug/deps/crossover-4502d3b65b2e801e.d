@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossover-4502d3b65b2e801e.d: crates/bench/benches/crossover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossover-4502d3b65b2e801e.rmeta: crates/bench/benches/crossover.rs Cargo.toml
+
+crates/bench/benches/crossover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossover-e814f5cf129bfc78.d: crates/bench/benches/crossover.rs
+
+/root/repo/target/debug/deps/crossover-e814f5cf129bfc78: crates/bench/benches/crossover.rs
+
+crates/bench/benches/crossover.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/datacentre_hyperloop-7e28319afd7caca6.d: src/lib.rs
+
+/root/repo/target/debug/deps/datacentre_hyperloop-7e28319afd7caca6: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

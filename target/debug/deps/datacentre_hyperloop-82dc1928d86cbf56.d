@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/datacentre_hyperloop-82dc1928d86cbf56.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatacentre_hyperloop-82dc1928d86cbf56.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datacentre_hyperloop-a83c606b34f50ff5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdatacentre_hyperloop-a83c606b34f50ff5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdatacentre_hyperloop-a83c606b34f50ff5.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

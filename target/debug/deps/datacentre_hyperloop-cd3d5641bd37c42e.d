@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/datacentre_hyperloop-cd3d5641bd37c42e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatacentre_hyperloop-cd3d5641bd37c42e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/des_ablation-06ca9e893c3e1be1.d: crates/bench/benches/des_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdes_ablation-06ca9e893c3e1be1.rmeta: crates/bench/benches/des_ablation.rs Cargo.toml
+
+crates/bench/benches/des_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

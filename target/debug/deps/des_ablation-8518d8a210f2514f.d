@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/des_ablation-8518d8a210f2514f.d: crates/bench/benches/des_ablation.rs
+
+/root/repo/target/debug/deps/des_ablation-8518d8a210f2514f: crates/bench/benches/des_ablation.rs
+
+crates/bench/benches/des_ablation.rs:

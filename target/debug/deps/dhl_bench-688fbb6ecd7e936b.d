@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dhl_bench-688fbb6ecd7e936b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/dhl_bench-688fbb6ecd7e936b: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dhl_bench-8f95fb1d3fb22ff7.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdhl_bench-8f95fb1d3fb22ff7.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdhl_bench-8f95fb1d3fb22ff7.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

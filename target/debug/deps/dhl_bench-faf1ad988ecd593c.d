@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dhl_bench-faf1ad988ecd593c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_bench-faf1ad988ecd593c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

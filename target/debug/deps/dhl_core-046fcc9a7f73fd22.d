@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dhl_core-046fcc9a7f73fd22.d: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_core-046fcc9a7f73fd22.rmeta: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bulk.rs:
+crates/core/src/carbon.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/crossover.rs:
+crates/core/src/dse.rs:
+crates/core/src/fleet.rs:
+crates/core/src/launch.rs:
+crates/core/src/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dhl_core-4e27f2fc5a79216a.d: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libdhl_core-4e27f2fc5a79216a.rlib: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libdhl_core-4e27f2fc5a79216a.rmeta: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bulk.rs:
+crates/core/src/carbon.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/crossover.rs:
+crates/core/src/dse.rs:
+crates/core/src/fleet.rs:
+crates/core/src/launch.rs:
+crates/core/src/sensitivity.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dhl_core-9270544f4c1437e4.d: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_core-9270544f4c1437e4.rmeta: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bulk.rs:
+crates/core/src/carbon.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/crossover.rs:
+crates/core/src/dse.rs:
+crates/core/src/fleet.rs:
+crates/core/src/launch.rs:
+crates/core/src/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

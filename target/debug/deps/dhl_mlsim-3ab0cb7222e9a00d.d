@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dhl_mlsim-3ab0cb7222e9a00d.d: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs
+
+/root/repo/target/debug/deps/dhl_mlsim-3ab0cb7222e9a00d: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs
+
+crates/mlsim/src/lib.rs:
+crates/mlsim/src/experiment.rs:
+crates/mlsim/src/fabric.rs:
+crates/mlsim/src/training.rs:
+crates/mlsim/src/workload.rs:

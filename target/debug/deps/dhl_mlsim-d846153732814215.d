@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dhl_mlsim-d846153732814215.d: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_mlsim-d846153732814215.rmeta: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs Cargo.toml
+
+crates/mlsim/src/lib.rs:
+crates/mlsim/src/experiment.rs:
+crates/mlsim/src/fabric.rs:
+crates/mlsim/src/training.rs:
+crates/mlsim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dhl_net-631b77b6e0e3bf18.d: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_net-631b77b6e0e3bf18.rmeta: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/background_traffic.rs:
+crates/net/src/components.rs:
+crates/net/src/energy_proportional.rs:
+crates/net/src/latency.rs:
+crates/net/src/route.rs:
+crates/net/src/topology.rs:
+crates/net/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

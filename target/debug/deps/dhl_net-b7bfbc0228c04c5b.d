@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dhl_net-b7bfbc0228c04c5b.d: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+/root/repo/target/debug/deps/dhl_net-b7bfbc0228c04c5b: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+crates/net/src/lib.rs:
+crates/net/src/background_traffic.rs:
+crates/net/src/components.rs:
+crates/net/src/energy_proportional.rs:
+crates/net/src/latency.rs:
+crates/net/src/route.rs:
+crates/net/src/topology.rs:
+crates/net/src/transfer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dhl_net-d5982950d409c1bc.d: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+/root/repo/target/debug/deps/libdhl_net-d5982950d409c1bc.rlib: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+/root/repo/target/debug/deps/libdhl_net-d5982950d409c1bc.rmeta: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+crates/net/src/lib.rs:
+crates/net/src/background_traffic.rs:
+crates/net/src/components.rs:
+crates/net/src/energy_proportional.rs:
+crates/net/src/latency.rs:
+crates/net/src/route.rs:
+crates/net/src/topology.rs:
+crates/net/src/transfer.rs:

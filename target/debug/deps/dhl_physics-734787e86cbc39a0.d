@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dhl_physics-734787e86cbc39a0.d: crates/physics/src/lib.rs crates/physics/src/braking.rs crates/physics/src/cart.rs crates/physics/src/error.rs crates/physics/src/halbach.rs crates/physics/src/integrator.rs crates/physics/src/kinematics.rs crates/physics/src/levitation.rs crates/physics/src/lim.rs crates/physics/src/stabilisation.rs crates/physics/src/vacuum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_physics-734787e86cbc39a0.rmeta: crates/physics/src/lib.rs crates/physics/src/braking.rs crates/physics/src/cart.rs crates/physics/src/error.rs crates/physics/src/halbach.rs crates/physics/src/integrator.rs crates/physics/src/kinematics.rs crates/physics/src/levitation.rs crates/physics/src/lim.rs crates/physics/src/stabilisation.rs crates/physics/src/vacuum.rs Cargo.toml
+
+crates/physics/src/lib.rs:
+crates/physics/src/braking.rs:
+crates/physics/src/cart.rs:
+crates/physics/src/error.rs:
+crates/physics/src/halbach.rs:
+crates/physics/src/integrator.rs:
+crates/physics/src/kinematics.rs:
+crates/physics/src/levitation.rs:
+crates/physics/src/lim.rs:
+crates/physics/src/stabilisation.rs:
+crates/physics/src/vacuum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dhl_rng-09a41dc852bbe60b.d: crates/rng/src/lib.rs crates/rng/src/check.rs
+
+/root/repo/target/debug/deps/dhl_rng-09a41dc852bbe60b: crates/rng/src/lib.rs crates/rng/src/check.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/check.rs:

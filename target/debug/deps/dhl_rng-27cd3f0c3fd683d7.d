@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dhl_rng-27cd3f0c3fd683d7.d: crates/rng/src/lib.rs crates/rng/src/check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_rng-27cd3f0c3fd683d7.rmeta: crates/rng/src/lib.rs crates/rng/src/check.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+crates/rng/src/check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dhl_rng-778e6d56f98ba36a.d: crates/rng/src/lib.rs crates/rng/src/check.rs
+
+/root/repo/target/debug/deps/libdhl_rng-778e6d56f98ba36a.rlib: crates/rng/src/lib.rs crates/rng/src/check.rs
+
+/root/repo/target/debug/deps/libdhl_rng-778e6d56f98ba36a.rmeta: crates/rng/src/lib.rs crates/rng/src/check.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/check.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dhl_sched-1e5d669b06e1edfd.d: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_sched-1e5d669b06e1edfd.rmeta: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/availability.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

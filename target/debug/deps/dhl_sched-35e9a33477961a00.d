@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dhl_sched-35e9a33477961a00.d: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/dhl_sched-35e9a33477961a00: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/availability.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/scheduler.rs:

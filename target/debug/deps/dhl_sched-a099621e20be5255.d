@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dhl_sched-a099621e20be5255.d: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/libdhl_sched-a099621e20be5255.rlib: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/libdhl_sched-a099621e20be5255.rmeta: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/availability.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/scheduler.rs:

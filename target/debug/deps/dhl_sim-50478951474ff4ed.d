@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dhl_sim-50478951474ff4ed.d: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/dhl_sim-50478951474ff4ed: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/api.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/movement.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:
+crates/sim/src/trace.rs:

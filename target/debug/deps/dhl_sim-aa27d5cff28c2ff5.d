@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dhl_sim-aa27d5cff28c2ff5.d: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_sim-aa27d5cff28c2ff5.rmeta: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/api.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/movement.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dhl_storage-63297d559a16c2d8.d: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_storage-63297d559a16c2d8.rmeta: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/cart.rs:
+crates/storage/src/connectors.rs:
+crates/storage/src/datasets.rs:
+crates/storage/src/devices.rs:
+crates/storage/src/failure.rs:
+crates/storage/src/growth.rs:
+crates/storage/src/thermal.rs:
+crates/storage/src/wear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dhl_storage-75b0a12336e094f8.d: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs
+
+/root/repo/target/debug/deps/libdhl_storage-75b0a12336e094f8.rlib: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs
+
+/root/repo/target/debug/deps/libdhl_storage-75b0a12336e094f8.rmeta: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cart.rs:
+crates/storage/src/connectors.rs:
+crates/storage/src/datasets.rs:
+crates/storage/src/devices.rs:
+crates/storage/src/failure.rs:
+crates/storage/src/growth.rs:
+crates/storage/src/thermal.rs:
+crates/storage/src/wear.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dhl_units-2cfca52b234ff1b9.d: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdhl_units-2cfca52b234ff1b9.rmeta: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs Cargo.toml
+
+crates/units/src/lib.rs:
+crates/units/src/macros.rs:
+crates/units/src/bandwidth.rs:
+crates/units/src/bytes.rs:
+crates/units/src/kinematics.rs:
+crates/units/src/money.rs:
+crates/units/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dhl_units-7af23fa8277709a1.d: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs
+
+/root/repo/target/debug/deps/dhl_units-7af23fa8277709a1: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs
+
+crates/units/src/lib.rs:
+crates/units/src/macros.rs:
+crates/units/src/bandwidth.rs:
+crates/units/src/bytes.rs:
+crates/units/src/kinematics.rs:
+crates/units/src/money.rs:
+crates/units/src/power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_network_energy-0662bb210997d49e.d: crates/bench/benches/fig2_network_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_network_energy-0662bb210997d49e.rmeta: crates/bench/benches/fig2_network_energy.rs Cargo.toml
+
+crates/bench/benches/fig2_network_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

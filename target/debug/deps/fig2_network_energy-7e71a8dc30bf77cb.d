@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_network_energy-7e71a8dc30bf77cb.d: crates/bench/benches/fig2_network_energy.rs
+
+/root/repo/target/debug/deps/fig2_network_energy-7e71a8dc30bf77cb: crates/bench/benches/fig2_network_energy.rs
+
+crates/bench/benches/fig2_network_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_iso_power_sweep-43a5e83d90f11a88.d: crates/bench/benches/fig6_iso_power_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_iso_power_sweep-43a5e83d90f11a88.rmeta: crates/bench/benches/fig6_iso_power_sweep.rs Cargo.toml
+
+crates/bench/benches/fig6_iso_power_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_iso_power_sweep-a122d93929cbce74.d: crates/bench/benches/fig6_iso_power_sweep.rs
+
+/root/repo/target/debug/deps/fig6_iso_power_sweep-a122d93929cbce74: crates/bench/benches/fig6_iso_power_sweep.rs
+
+crates/bench/benches/fig6_iso_power_sweep.rs:

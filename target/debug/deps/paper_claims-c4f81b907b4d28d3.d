@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c4f81b907b4d28d3.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c4f81b907b4d28d3: tests/paper_claims.rs
+
+tests/paper_claims.rs:

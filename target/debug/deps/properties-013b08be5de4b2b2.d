@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-013b08be5de4b2b2.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-013b08be5de4b2b2: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1fa644374b48ae15.d: crates/sched/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1fa644374b48ae15: crates/sched/tests/properties.rs
+
+crates/sched/tests/properties.rs:

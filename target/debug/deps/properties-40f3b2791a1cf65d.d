@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-40f3b2791a1cf65d.d: crates/units/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-40f3b2791a1cf65d: crates/units/tests/properties.rs
+
+crates/units/tests/properties.rs:

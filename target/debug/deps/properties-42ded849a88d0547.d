@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-42ded849a88d0547.d: crates/sched/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-42ded849a88d0547.rmeta: crates/sched/tests/properties.rs Cargo.toml
+
+crates/sched/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5c6bf5a5c18eb832.d: crates/storage/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5c6bf5a5c18eb832: crates/storage/tests/properties.rs
+
+crates/storage/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-700e6dfb3d1f64e2.d: crates/units/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-700e6dfb3d1f64e2.rmeta: crates/units/tests/properties.rs Cargo.toml
+
+crates/units/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

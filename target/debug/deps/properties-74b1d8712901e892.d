@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-74b1d8712901e892.d: crates/storage/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-74b1d8712901e892.rmeta: crates/storage/tests/properties.rs Cargo.toml
+
+crates/storage/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b6d7c630cb1b40b0.d: crates/physics/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b6d7c630cb1b40b0.rmeta: crates/physics/tests/properties.rs Cargo.toml
+
+crates/physics/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

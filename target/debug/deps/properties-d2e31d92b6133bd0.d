@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d2e31d92b6133bd0.d: crates/physics/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d2e31d92b6133bd0: crates/physics/tests/properties.rs
+
+crates/physics/tests/properties.rs:

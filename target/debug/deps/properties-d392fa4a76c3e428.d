@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d392fa4a76c3e428.d: crates/mlsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d392fa4a76c3e428: crates/mlsim/tests/properties.rs
+
+crates/mlsim/tests/properties.rs:

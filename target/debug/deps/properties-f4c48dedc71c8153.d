@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f4c48dedc71c8153.d: crates/mlsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f4c48dedc71c8153.rmeta: crates/mlsim/tests/properties.rs Cargo.toml
+
+crates/mlsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ff1e584fb373ecd4.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ff1e584fb373ecd4: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-7f2f0e3133379b07.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-7f2f0e3133379b07: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-d82df5cb772759f7.d: crates/bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-d82df5cb772759f7.rmeta: crates/bench/src/bin/report.rs Cargo.toml
+
+crates/bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-da3792ea58145c84.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-da3792ea58145c84: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

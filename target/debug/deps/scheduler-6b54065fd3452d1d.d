@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler-6b54065fd3452d1d.d: crates/bench/benches/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler-6b54065fd3452d1d.rmeta: crates/bench/benches/scheduler.rs Cargo.toml
+
+crates/bench/benches/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler-e17f7afcc965eeb4.d: crates/bench/benches/scheduler.rs
+
+/root/repo/target/debug/deps/scheduler-e17f7afcc965eeb4: crates/bench/benches/scheduler.rs
+
+crates/bench/benches/scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-7901c8d2299753e9.d: crates/bench/benches/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-7901c8d2299753e9: crates/bench/benches/sensitivity.rs
+
+crates/bench/benches/sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-b9bef0408305ad06.d: crates/bench/benches/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-b9bef0408305ad06.rmeta: crates/bench/benches/sensitivity.rs Cargo.toml
+
+crates/bench/benches/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_vs_analytical-31528af4ac8f90a8.d: tests/sim_vs_analytical.rs
+
+/root/repo/target/debug/deps/sim_vs_analytical-31528af4ac8f90a8: tests/sim_vs_analytical.rs
+
+tests/sim_vs_analytical.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_vs_analytical-8a12741dbb3f444d.d: tests/sim_vs_analytical.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_vs_analytical-8a12741dbb3f444d.rmeta: tests/sim_vs_analytical.rs Cargo.toml
+
+tests/sim_vs_analytical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_dse-0865609b87a7188a.d: crates/bench/benches/table6_dse.rs
+
+/root/repo/target/debug/deps/table6_dse-0865609b87a7188a: crates/bench/benches/table6_dse.rs
+
+crates/bench/benches/table6_dse.rs:

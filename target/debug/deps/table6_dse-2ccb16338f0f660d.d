@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_dse-2ccb16338f0f660d.d: crates/bench/benches/table6_dse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_dse-2ccb16338f0f660d.rmeta: crates/bench/benches/table6_dse.rs Cargo.toml
+
+crates/bench/benches/table6_dse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

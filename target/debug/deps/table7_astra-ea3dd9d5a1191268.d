@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_astra-ea3dd9d5a1191268.d: crates/bench/benches/table7_astra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_astra-ea3dd9d5a1191268.rmeta: crates/bench/benches/table7_astra.rs Cargo.toml
+
+crates/bench/benches/table7_astra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

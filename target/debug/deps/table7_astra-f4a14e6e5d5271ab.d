@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_astra-f4a14e6e5d5271ab.d: crates/bench/benches/table7_astra.rs
+
+/root/repo/target/debug/deps/table7_astra-f4a14e6e5d5271ab: crates/bench/benches/table7_astra.rs
+
+crates/bench/benches/table7_astra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_cost-3bea2e7d990e29ec.d: crates/bench/benches/table8_cost.rs
+
+/root/repo/target/debug/deps/table8_cost-3bea2e7d990e29ec: crates/bench/benches/table8_cost.rs
+
+crates/bench/benches/table8_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_cost-5392241249bf9e48.d: crates/bench/benches/table8_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_cost-5392241249bf9e48.rmeta: crates/bench/benches/table8_cost.rs Cargo.toml
+
+crates/bench/benches/table8_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

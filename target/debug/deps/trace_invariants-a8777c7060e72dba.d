@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_invariants-a8777c7060e72dba.d: tests/trace_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_invariants-a8777c7060e72dba.rmeta: tests/trace_invariants.rs Cargo.toml
+
+tests/trace_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_invariants-b0b9321716e46584.d: tests/trace_invariants.rs
+
+/root/repo/target/debug/deps/trace_invariants-b0b9321716e46584: tests/trace_invariants.rs
+
+tests/trace_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workspace_api-677207d2ccaa2a97.d: tests/workspace_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkspace_api-677207d2ccaa2a97.rmeta: tests/workspace_api.rs Cargo.toml
+
+tests/workspace_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_api-e7873f5a114724d4.d: tests/workspace_api.rs
+
+/root/repo/target/debug/deps/workspace_api-e7873f5a114724d4: tests/workspace_api.rs
+
+tests/workspace_api.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacentre_backup-34cba784952b4f33.d: examples/datacentre_backup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacentre_backup-34cba784952b4f33.rmeta: examples/datacentre_backup.rs Cargo.toml
+
+examples/datacentre_backup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

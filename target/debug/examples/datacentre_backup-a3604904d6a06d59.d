@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacentre_backup-a3604904d6a06d59.d: examples/datacentre_backup.rs
+
+/root/repo/target/debug/examples/datacentre_backup-a3604904d6a06d59: examples/datacentre_backup.rs
+
+examples/datacentre_backup.rs:

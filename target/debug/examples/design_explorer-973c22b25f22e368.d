@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_explorer-973c22b25f22e368.d: examples/design_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_explorer-973c22b25f22e368.rmeta: examples/design_explorer.rs Cargo.toml
+
+examples/design_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

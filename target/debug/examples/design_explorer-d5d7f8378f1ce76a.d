@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_explorer-d5d7f8378f1ce76a.d: examples/design_explorer.rs
+
+/root/repo/target/debug/examples/design_explorer-d5d7f8378f1ce76a: examples/design_explorer.rs
+
+examples/design_explorer.rs:

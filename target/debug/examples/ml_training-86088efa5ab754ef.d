@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ml_training-86088efa5ab754ef.d: examples/ml_training.rs
+
+/root/repo/target/debug/examples/ml_training-86088efa5ab754ef: examples/ml_training.rs
+
+examples/ml_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ml_training-cb28619eff3e8afd.d: examples/ml_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libml_training-cb28619eff3e8afd.rmeta: examples/ml_training.rs Cargo.toml
+
+examples/ml_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_tenant_scheduler-a8dc389b68c9eac9.d: examples/multi_tenant_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_tenant_scheduler-a8dc389b68c9eac9.rmeta: examples/multi_tenant_scheduler.rs Cargo.toml
+
+examples/multi_tenant_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant_scheduler-b2c5f1da884d4c34.d: examples/multi_tenant_scheduler.rs
+
+/root/repo/target/debug/examples/multi_tenant_scheduler-b2c5f1da884d4c34: examples/multi_tenant_scheduler.rs
+
+examples/multi_tenant_scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/physics_experiment-a3ae1ec29b2897bf.d: examples/physics_experiment.rs
+
+/root/repo/target/debug/examples/physics_experiment-a3ae1ec29b2897bf: examples/physics_experiment.rs
+
+examples/physics_experiment.rs:

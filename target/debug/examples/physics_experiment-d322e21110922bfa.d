@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/physics_experiment-d322e21110922bfa.d: examples/physics_experiment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphysics_experiment-d322e21110922bfa.rmeta: examples/physics_experiment.rs Cargo.toml
+
+examples/physics_experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-08d5fba757ba93b2.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-08d5fba757ba93b2.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-96eefe8d61360526.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-96eefe8d61360526: examples/quickstart.rs
+
+examples/quickstart.rs:

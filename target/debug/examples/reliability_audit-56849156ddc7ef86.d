@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reliability_audit-56849156ddc7ef86.d: examples/reliability_audit.rs
+
+/root/repo/target/debug/examples/reliability_audit-56849156ddc7ef86: examples/reliability_audit.rs
+
+examples/reliability_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reliability_audit-70ab547240db01ee.d: examples/reliability_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreliability_audit-70ab547240db01ee.rmeta: examples/reliability_audit.rs Cargo.toml
+
+examples/reliability_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

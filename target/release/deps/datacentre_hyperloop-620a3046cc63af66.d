@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/datacentre_hyperloop-620a3046cc63af66.d: src/lib.rs
+
+/root/repo/target/release/deps/libdatacentre_hyperloop-620a3046cc63af66.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdatacentre_hyperloop-620a3046cc63af66.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

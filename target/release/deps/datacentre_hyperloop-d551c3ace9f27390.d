@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/datacentre_hyperloop-d551c3ace9f27390.d: src/lib.rs
+
+/root/repo/target/release/deps/libdatacentre_hyperloop-d551c3ace9f27390.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdatacentre_hyperloop-d551c3ace9f27390.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

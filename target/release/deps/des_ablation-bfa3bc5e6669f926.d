@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/des_ablation-bfa3bc5e6669f926.d: crates/bench/benches/des_ablation.rs
+
+/root/repo/target/release/deps/des_ablation-bfa3bc5e6669f926: crates/bench/benches/des_ablation.rs
+
+crates/bench/benches/des_ablation.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dhl_bench-9c860f3a7df39f61.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libdhl_bench-9c860f3a7df39f61.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libdhl_bench-9c860f3a7df39f61.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dhl_core-6fa59d745eb08ffa.d: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/release/deps/libdhl_core-6fa59d745eb08ffa.rlib: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/release/deps/libdhl_core-6fa59d745eb08ffa.rmeta: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bulk.rs:
+crates/core/src/carbon.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/crossover.rs:
+crates/core/src/dse.rs:
+crates/core/src/fleet.rs:
+crates/core/src/launch.rs:
+crates/core/src/sensitivity.rs:

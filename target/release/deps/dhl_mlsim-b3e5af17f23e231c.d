@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dhl_mlsim-b3e5af17f23e231c.d: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs
+
+/root/repo/target/release/deps/libdhl_mlsim-b3e5af17f23e231c.rlib: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs
+
+/root/repo/target/release/deps/libdhl_mlsim-b3e5af17f23e231c.rmeta: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs
+
+crates/mlsim/src/lib.rs:
+crates/mlsim/src/experiment.rs:
+crates/mlsim/src/fabric.rs:
+crates/mlsim/src/training.rs:
+crates/mlsim/src/workload.rs:

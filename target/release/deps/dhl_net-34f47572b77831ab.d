@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dhl_net-34f47572b77831ab.d: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+/root/repo/target/release/deps/libdhl_net-34f47572b77831ab.rlib: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+/root/repo/target/release/deps/libdhl_net-34f47572b77831ab.rmeta: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+crates/net/src/lib.rs:
+crates/net/src/background_traffic.rs:
+crates/net/src/components.rs:
+crates/net/src/energy_proportional.rs:
+crates/net/src/latency.rs:
+crates/net/src/route.rs:
+crates/net/src/topology.rs:
+crates/net/src/transfer.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dhl_physics-bb84243c1136ead5.d: crates/physics/src/lib.rs crates/physics/src/braking.rs crates/physics/src/cart.rs crates/physics/src/error.rs crates/physics/src/halbach.rs crates/physics/src/integrator.rs crates/physics/src/kinematics.rs crates/physics/src/levitation.rs crates/physics/src/lim.rs crates/physics/src/stabilisation.rs crates/physics/src/vacuum.rs
+
+/root/repo/target/release/deps/libdhl_physics-bb84243c1136ead5.rlib: crates/physics/src/lib.rs crates/physics/src/braking.rs crates/physics/src/cart.rs crates/physics/src/error.rs crates/physics/src/halbach.rs crates/physics/src/integrator.rs crates/physics/src/kinematics.rs crates/physics/src/levitation.rs crates/physics/src/lim.rs crates/physics/src/stabilisation.rs crates/physics/src/vacuum.rs
+
+/root/repo/target/release/deps/libdhl_physics-bb84243c1136ead5.rmeta: crates/physics/src/lib.rs crates/physics/src/braking.rs crates/physics/src/cart.rs crates/physics/src/error.rs crates/physics/src/halbach.rs crates/physics/src/integrator.rs crates/physics/src/kinematics.rs crates/physics/src/levitation.rs crates/physics/src/lim.rs crates/physics/src/stabilisation.rs crates/physics/src/vacuum.rs
+
+crates/physics/src/lib.rs:
+crates/physics/src/braking.rs:
+crates/physics/src/cart.rs:
+crates/physics/src/error.rs:
+crates/physics/src/halbach.rs:
+crates/physics/src/integrator.rs:
+crates/physics/src/kinematics.rs:
+crates/physics/src/levitation.rs:
+crates/physics/src/lim.rs:
+crates/physics/src/stabilisation.rs:
+crates/physics/src/vacuum.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dhl_rng-f734e4d212062c6f.d: crates/rng/src/lib.rs crates/rng/src/check.rs
+
+/root/repo/target/release/deps/libdhl_rng-f734e4d212062c6f.rlib: crates/rng/src/lib.rs crates/rng/src/check.rs
+
+/root/repo/target/release/deps/libdhl_rng-f734e4d212062c6f.rmeta: crates/rng/src/lib.rs crates/rng/src/check.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/check.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dhl_sched-1da94725d021304c.d: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/release/deps/libdhl_sched-1da94725d021304c.rlib: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/release/deps/libdhl_sched-1da94725d021304c.rmeta: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/availability.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/scheduler.rs:

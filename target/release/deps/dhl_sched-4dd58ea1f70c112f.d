@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dhl_sched-4dd58ea1f70c112f.d: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/release/deps/libdhl_sched-4dd58ea1f70c112f.rlib: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/release/deps/libdhl_sched-4dd58ea1f70c112f.rmeta: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/availability.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/scheduler.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dhl_sim-9829707faafa3354.d: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdhl_sim-9829707faafa3354.rlib: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdhl_sim-9829707faafa3354.rmeta: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/api.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/movement.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:
+crates/sim/src/trace.rs:

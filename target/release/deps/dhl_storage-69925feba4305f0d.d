@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dhl_storage-69925feba4305f0d.d: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs
+
+/root/repo/target/release/deps/libdhl_storage-69925feba4305f0d.rlib: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs
+
+/root/repo/target/release/deps/libdhl_storage-69925feba4305f0d.rmeta: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cart.rs:
+crates/storage/src/connectors.rs:
+crates/storage/src/datasets.rs:
+crates/storage/src/devices.rs:
+crates/storage/src/failure.rs:
+crates/storage/src/growth.rs:
+crates/storage/src/thermal.rs:
+crates/storage/src/wear.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dhl_units-19dc86945e64a55c.d: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs
+
+/root/repo/target/release/deps/libdhl_units-19dc86945e64a55c.rlib: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs
+
+/root/repo/target/release/deps/libdhl_units-19dc86945e64a55c.rmeta: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs
+
+crates/units/src/lib.rs:
+crates/units/src/macros.rs:
+crates/units/src/bandwidth.rs:
+crates/units/src/bytes.rs:
+crates/units/src/kinematics.rs:
+crates/units/src/money.rs:
+crates/units/src/power.rs:

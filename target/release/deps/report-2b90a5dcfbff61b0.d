@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-2b90a5dcfbff61b0.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-2b90a5dcfbff61b0: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler-b62f35cfddb8a292.d: crates/bench/benches/scheduler.rs
+
+/root/repo/target/release/deps/scheduler-b62f35cfddb8a292: crates/bench/benches/scheduler.rs
+
+crates/bench/benches/scheduler.rs:

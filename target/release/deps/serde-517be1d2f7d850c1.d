@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-517be1d2f7d850c1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-517be1d2f7d850c1.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-517be1d2f7d850c1.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

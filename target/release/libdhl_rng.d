@@ -1,0 +1,1 @@
+/root/repo/target/release/libdhl_rng.rlib: /root/repo/crates/rng/src/check.rs /root/repo/crates/rng/src/lib.rs

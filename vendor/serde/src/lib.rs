@@ -1,0 +1,21 @@
+//! Offline stub of `serde`.
+//!
+//! The build container cannot reach crates.io, so this crate stands in for
+//! the real `serde`: it defines `Serialize`/`Deserialize` as *marker* traits
+//! (no required methods) and re-exports the stub derive macros from the
+//! sibling `serde_derive` stub. Every `#[derive(serde::Serialize)]` and
+//! `T: serde::Serialize` bound in the workspace compiles unchanged; no
+//! actual serialisation happens. To restore the real serde, point the
+//! `serde` entry in the workspace `[workspace.dependencies]` back at
+//! crates.io.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Implemented (emptily) by the
+/// stub derive for every annotated non-generic type.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,58 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal substitute: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! emit *marker* impls of the stub traits in the sibling `serde` stub crate
+//! (see `vendor/serde`). This keeps every `#[derive(serde::Serialize)]`
+//! annotation and `T: serde::Serialize` bound in the codebase compiling —
+//! and trivially satisfiable — without pulling in the real dependency.
+//! Swapping the real serde back in is a two-line change in the workspace
+//! `Cargo.toml`.
+//!
+//! Limitations (accepted for a stub): no actual serialisation is performed,
+//! `#[serde(...)]` attributes are parsed-and-ignored, and generic types get
+//! no impl (none exist in this workspace).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the `struct`/`enum` name in a derive input and whether it has
+/// generic parameters. Leading attributes and visibility are skipped.
+fn item_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Some((name, false)) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Some((name, false)) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datacentre_hyperloop-cecf6cc5082edbf4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdatacentre_hyperloop-cecf6cc5082edbf4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdatacentre_hyperloop-cecf6cc5082edbf4.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

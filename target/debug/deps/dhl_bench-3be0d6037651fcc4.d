@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dhl_bench-3be0d6037651fcc4.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdhl_bench-3be0d6037651fcc4.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdhl_bench-3be0d6037651fcc4.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

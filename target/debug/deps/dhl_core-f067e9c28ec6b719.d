@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dhl_core-f067e9c28ec6b719.d: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libdhl_core-f067e9c28ec6b719.rlib: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libdhl_core-f067e9c28ec6b719.rmeta: crates/core/src/lib.rs crates/core/src/bulk.rs crates/core/src/carbon.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/crossover.rs crates/core/src/dse.rs crates/core/src/fleet.rs crates/core/src/launch.rs crates/core/src/sensitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bulk.rs:
+crates/core/src/carbon.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/crossover.rs:
+crates/core/src/dse.rs:
+crates/core/src/fleet.rs:
+crates/core/src/launch.rs:
+crates/core/src/sensitivity.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dhl_mlsim-cd482038be20ef34.d: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs
+
+/root/repo/target/debug/deps/libdhl_mlsim-cd482038be20ef34.rlib: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs
+
+/root/repo/target/debug/deps/libdhl_mlsim-cd482038be20ef34.rmeta: crates/mlsim/src/lib.rs crates/mlsim/src/experiment.rs crates/mlsim/src/fabric.rs crates/mlsim/src/training.rs crates/mlsim/src/workload.rs
+
+crates/mlsim/src/lib.rs:
+crates/mlsim/src/experiment.rs:
+crates/mlsim/src/fabric.rs:
+crates/mlsim/src/training.rs:
+crates/mlsim/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dhl_net-b9da9d2e31eba021.d: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+/root/repo/target/debug/deps/libdhl_net-b9da9d2e31eba021.rlib: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+/root/repo/target/debug/deps/libdhl_net-b9da9d2e31eba021.rmeta: crates/net/src/lib.rs crates/net/src/background_traffic.rs crates/net/src/components.rs crates/net/src/energy_proportional.rs crates/net/src/latency.rs crates/net/src/route.rs crates/net/src/topology.rs crates/net/src/transfer.rs
+
+crates/net/src/lib.rs:
+crates/net/src/background_traffic.rs:
+crates/net/src/components.rs:
+crates/net/src/energy_proportional.rs:
+crates/net/src/latency.rs:
+crates/net/src/route.rs:
+crates/net/src/topology.rs:
+crates/net/src/transfer.rs:

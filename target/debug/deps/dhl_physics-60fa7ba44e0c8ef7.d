@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dhl_physics-60fa7ba44e0c8ef7.d: crates/physics/src/lib.rs crates/physics/src/braking.rs crates/physics/src/cart.rs crates/physics/src/error.rs crates/physics/src/halbach.rs crates/physics/src/integrator.rs crates/physics/src/kinematics.rs crates/physics/src/levitation.rs crates/physics/src/lim.rs crates/physics/src/stabilisation.rs crates/physics/src/vacuum.rs
+
+/root/repo/target/debug/deps/libdhl_physics-60fa7ba44e0c8ef7.rlib: crates/physics/src/lib.rs crates/physics/src/braking.rs crates/physics/src/cart.rs crates/physics/src/error.rs crates/physics/src/halbach.rs crates/physics/src/integrator.rs crates/physics/src/kinematics.rs crates/physics/src/levitation.rs crates/physics/src/lim.rs crates/physics/src/stabilisation.rs crates/physics/src/vacuum.rs
+
+/root/repo/target/debug/deps/libdhl_physics-60fa7ba44e0c8ef7.rmeta: crates/physics/src/lib.rs crates/physics/src/braking.rs crates/physics/src/cart.rs crates/physics/src/error.rs crates/physics/src/halbach.rs crates/physics/src/integrator.rs crates/physics/src/kinematics.rs crates/physics/src/levitation.rs crates/physics/src/lim.rs crates/physics/src/stabilisation.rs crates/physics/src/vacuum.rs
+
+crates/physics/src/lib.rs:
+crates/physics/src/braking.rs:
+crates/physics/src/cart.rs:
+crates/physics/src/error.rs:
+crates/physics/src/halbach.rs:
+crates/physics/src/integrator.rs:
+crates/physics/src/kinematics.rs:
+crates/physics/src/levitation.rs:
+crates/physics/src/lim.rs:
+crates/physics/src/stabilisation.rs:
+crates/physics/src/vacuum.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dhl_sched-3cac48c0ed2a1f7c.d: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/libdhl_sched-3cac48c0ed2a1f7c.rlib: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/libdhl_sched-3cac48c0ed2a1f7c.rmeta: crates/sched/src/lib.rs crates/sched/src/availability.rs crates/sched/src/placement.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/availability.rs:
+crates/sched/src/placement.rs:
+crates/sched/src/scheduler.rs:

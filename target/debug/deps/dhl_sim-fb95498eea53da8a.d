@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dhl_sim-fb95498eea53da8a.d: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libdhl_sim-fb95498eea53da8a.rlib: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libdhl_sim-fb95498eea53da8a.rmeta: crates/sim/src/lib.rs crates/sim/src/api.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/movement.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/api.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/movement.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dhl_storage-dacacd9f65e38a4c.d: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs
+
+/root/repo/target/debug/deps/libdhl_storage-dacacd9f65e38a4c.rlib: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs
+
+/root/repo/target/debug/deps/libdhl_storage-dacacd9f65e38a4c.rmeta: crates/storage/src/lib.rs crates/storage/src/cart.rs crates/storage/src/connectors.rs crates/storage/src/datasets.rs crates/storage/src/devices.rs crates/storage/src/failure.rs crates/storage/src/growth.rs crates/storage/src/thermal.rs crates/storage/src/wear.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cart.rs:
+crates/storage/src/connectors.rs:
+crates/storage/src/datasets.rs:
+crates/storage/src/devices.rs:
+crates/storage/src/failure.rs:
+crates/storage/src/growth.rs:
+crates/storage/src/thermal.rs:
+crates/storage/src/wear.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dhl_units-18a86f62082f14d3.d: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs
+
+/root/repo/target/debug/deps/libdhl_units-18a86f62082f14d3.rlib: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs
+
+/root/repo/target/debug/deps/libdhl_units-18a86f62082f14d3.rmeta: crates/units/src/lib.rs crates/units/src/macros.rs crates/units/src/bandwidth.rs crates/units/src/bytes.rs crates/units/src/kinematics.rs crates/units/src/money.rs crates/units/src/power.rs
+
+crates/units/src/lib.rs:
+crates/units/src/macros.rs:
+crates/units/src/bandwidth.rs:
+crates/units/src/bytes.rs:
+crates/units/src/kinematics.rs:
+crates/units/src/money.rs:
+crates/units/src/power.rs:

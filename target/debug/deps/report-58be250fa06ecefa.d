@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-58be250fa06ecefa.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-58be250fa06ecefa: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

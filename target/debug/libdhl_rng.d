@@ -1,0 +1,1 @@
+/root/repo/target/debug/libdhl_rng.rlib: /root/repo/crates/rng/src/check.rs /root/repo/crates/rng/src/lib.rs

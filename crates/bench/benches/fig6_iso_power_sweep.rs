@@ -20,7 +20,13 @@ fn main() {
         fig6(
             &workload,
             &configs,
-            &[RouteId::A0, RouteId::A1, RouteId::A2, RouteId::B, RouteId::C],
+            &[
+                RouteId::A0,
+                RouteId::A1,
+                RouteId::A2,
+                RouteId::B,
+                RouteId::C,
+            ],
             &grid,
             16,
         )

@@ -20,9 +20,19 @@ fn main() {
         let bb = p.store(datasets::common_crawl());
         let cc = p.store(datasets::genomics_17pb());
         let mut sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
-        sched.submit(TransferRequest::new(cc, 1, Priority::Background, Seconds::ZERO));
+        sched.submit(TransferRequest::new(
+            cc,
+            1,
+            Priority::Background,
+            Seconds::ZERO,
+        ));
         sched.submit(TransferRequest::new(bb, 1, Priority::Normal, Seconds::ZERO));
-        sched.submit(TransferRequest::new(a, 1, Priority::Urgent, Seconds::new(5.0)));
+        sched.submit(TransferRequest::new(
+            a,
+            1,
+            Priority::Urgent,
+            Seconds::new(5.0),
+        ));
         sched.run().makespan.seconds()
     });
 
@@ -39,7 +49,12 @@ fn main() {
                 downtime: vec![(Seconds::new(100.0), Seconds::new(200.0))],
             });
         sched.submit(TransferRequest::new(bb, 1, Priority::Normal, Seconds::ZERO));
-        sched.submit(TransferRequest::new(a, 1, Priority::Urgent, Seconds::new(5.0)));
+        sched.submit(TransferRequest::new(
+            a,
+            1,
+            Priority::Urgent,
+            Seconds::new(5.0),
+        ));
         sched.run().makespan.seconds()
     });
 }

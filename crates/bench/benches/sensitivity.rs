@@ -10,7 +10,9 @@ use dhl_units::{MetresPerSecondSquared, Seconds};
 fn main() {
     println!("{}", dhl_bench::render_sensitivity());
     let base = DhlConfig::paper_default();
-    let docks: Vec<Seconds> = (0..=100).map(|i| Seconds::new(f64::from(i) * 0.1)).collect();
+    let docks: Vec<Seconds> = (0..=100)
+        .map(|i| Seconds::new(f64::from(i) * 0.1))
+        .collect();
     bench_function("sensitivity/docking_sweep_101_points", || {
         docking_time_sweep(black_box(&base), &docks).len()
     });

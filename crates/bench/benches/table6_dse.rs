@@ -14,7 +14,9 @@ fn main() {
     let speeds: Vec<MetresPerSecond> = (4..=30)
         .map(|v| MetresPerSecond::new(f64::from(v) * 10.0))
         .collect();
-    let lengths: Vec<Metres> = (1..=10).map(|l| Metres::new(f64::from(l) * 100.0)).collect();
+    let lengths: Vec<Metres> = (1..=10)
+        .map(|l| Metres::new(f64::from(l) * 100.0))
+        .collect();
     let counts: Vec<u32> = vec![8, 16, 32, 64, 128];
 
     bench_function("table6/sweep_serial_1350_points", || {

@@ -14,7 +14,9 @@ fn main() {
     let budget = DhlFabric::new(dhl.clone(), 1).track_power();
 
     bench_function("table7/iso_power", || {
-        iso_power(black_box(&workload), black_box(&dhl), budget).rows.len()
+        iso_power(black_box(&workload), black_box(&dhl), budget)
+            .rows
+            .len()
     });
     bench_function("table7/iso_time", || {
         iso_time(black_box(&workload), black_box(&dhl)).rows.len()

@@ -14,7 +14,10 @@ fn main() {
         for d in [100.0, 500.0, 1000.0] {
             for v in [100.0, 200.0, 300.0] {
                 total += model
-                    .total_cost(black_box(Metres::new(d)), black_box(MetresPerSecond::new(v)))
+                    .total_cost(
+                        black_box(Metres::new(d)),
+                        black_box(MetresPerSecond::new(v)),
+                    )
                     .value();
             }
         }

@@ -11,12 +11,11 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report_file;
 
 use std::fmt::Write as _;
 
-use dhl_core::{
-    crossover, paper_dataset, paper_minimal_dhl, paper_table_vi, CostModel, DhlConfig,
-};
+use dhl_core::{crossover, paper_dataset, paper_minimal_dhl, paper_table_vi, CostModel, DhlConfig};
 use dhl_mlsim::{fig6, iso_power, iso_time, DesDhlFabric, DhlFabric, DlrmWorkload};
 use dhl_net::route::{Route, RouteId};
 use dhl_physics::{BrakingSystem, TimeModel};
@@ -29,8 +28,15 @@ use dhl_mlsim::CommFabric as _;
 #[must_use]
 pub fn render_fig2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 2 (right): energy to move 29 PB over 400 Gb/s routes");
-    let _ = writeln!(out, "{:<6} {:>10} {:>14} {:>14}", "route", "power W", "energy MJ", "paper MJ");
+    let _ = writeln!(
+        out,
+        "Fig. 2 (right): energy to move 29 PB over 400 Gb/s routes"
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>10} {:>14} {:>14}",
+        "route", "power W", "energy MJ", "paper MJ"
+    );
     let paper = [13.92, 22.97, 50.05, 174.75, 299.45];
     for (route, want) in Route::all().into_iter().zip(paper) {
         let e = route.transfer_energy(paper_dataset());
@@ -51,11 +57,27 @@ pub fn render_fig2() -> String {
 #[must_use]
 pub fn render_table6() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table VI: DHL design space exploration (29 PB vs 400 Gb/s optical)");
+    let _ = writeln!(
+        out,
+        "Table VI: DHL design space exploration (29 PB vs 400 Gb/s optical)"
+    );
     let _ = writeln!(
         out,
         "{:>5} {:>5} {:>5} | {:>8} {:>8} {:>6} {:>7} {:>8} | {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "m/s", "m", "TB", "kJ", "GB/J", "s", "TB/s", "kW", "speedup", "vsA0", "vsA1", "vsA2", "vsB", "vsC"
+        "m/s",
+        "m",
+        "TB",
+        "kJ",
+        "GB/J",
+        "s",
+        "TB/s",
+        "kW",
+        "speedup",
+        "vsA0",
+        "vsA1",
+        "vsA2",
+        "vsB",
+        "vsC"
     );
     for p in paper_table_vi() {
         let l = &p.launch;
@@ -90,10 +112,18 @@ pub fn render_table7() -> String {
     let budget = DhlFabric::new(dhl.clone(), 1).track_power();
 
     let mut out = String::new();
-    let _ = writeln!(out, "Table VII(a): time per DLRM iteration at fixed {:.2} kW", budget.kilowatts());
+    let _ = writeln!(
+        out,
+        "Table VII(a): time per DLRM iteration at fixed {:.2} kW",
+        budget.kilowatts()
+    );
     let paper_a = [1.0, 5.7, 9.3, 19.9, 69.1, 118.0];
     let a = iso_power(&workload, &dhl, budget);
-    let _ = writeln!(out, "{:<6} {:>10} {:>12} {:>12} {:>12}", "scheme", "kW", "s/iter", "slowdown", "paper");
+    let _ = writeln!(
+        out,
+        "{:<6} {:>10} {:>12} {:>12} {:>12}",
+        "scheme", "kW", "s/iter", "slowdown", "paper"
+    );
     for (row, want) in a.rows.iter().zip(paper_a) {
         let _ = writeln!(
             out,
@@ -108,8 +138,16 @@ pub fn render_table7() -> String {
 
     let b = iso_time(&workload, &dhl);
     let paper_b = [1.0, 6.4, 10.5, 22.8, 79.4, 135.0];
-    let _ = writeln!(out, "\nTable VII(b): communication power at fixed {:.0} s/iter", b.target_time.seconds());
-    let _ = writeln!(out, "{:<6} {:>10} {:>12} {:>12} {:>12}", "scheme", "kW", "s/iter", "power x", "paper");
+    let _ = writeln!(
+        out,
+        "\nTable VII(b): communication power at fixed {:.0} s/iter",
+        b.target_time.seconds()
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>10} {:>12} {:>12} {:>12}",
+        "scheme", "kW", "s/iter", "power x", "paper"
+    );
     for (row, want) in b.rows.iter().zip(paper_b) {
         let _ = writeln!(
             out,
@@ -130,7 +168,11 @@ pub fn render_table8() -> String {
     let m = CostModel::paper();
     let mut out = String::new();
     let _ = writeln!(out, "Table VIII(a): rail cost by distance");
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12} {:>12}", "m", "aluminium", "pvc rail", "pvc tube", "total");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "m", "aluminium", "pvc rail", "pvc tube", "total"
+    );
     for d in [100.0, 500.0, 1000.0] {
         let c = m.rail_cost(Metres::new(d));
         let _ = writeln!(
@@ -144,7 +186,11 @@ pub fn render_table8() -> String {
         );
     }
     let _ = writeln!(out, "\nTable VIII(b): accelerator cost by top speed");
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "m/s", "copper", "vfd", "total");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12}",
+        "m/s", "copper", "vfd", "total"
+    );
     for v in [100.0, 200.0, 300.0] {
         let c = m.lim_cost(MetresPerSecond::new(v));
         let _ = writeln!(
@@ -157,14 +203,19 @@ pub fn render_table8() -> String {
         );
     }
     let _ = writeln!(out, "\nTable VIII(c): overall total cost");
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "m \\ m/s", "100", "200", "300");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12}",
+        "m \\ m/s", "100", "200", "300"
+    );
     for d in [100.0, 500.0, 1000.0] {
         let mut row = format!("{d:>8.0}");
         for v in [100.0, 200.0, 300.0] {
             let _ = write!(
                 row,
                 " {:>12}",
-                m.total_cost(Metres::new(d), MetresPerSecond::new(v)).display_dollars()
+                m.total_cost(Metres::new(d), MetresPerSecond::new(v))
+                    .display_dollars()
             );
         }
         let _ = writeln!(out, "{row}");
@@ -182,7 +233,9 @@ pub fn render_fig6() -> String {
         DhlConfig::paper_default(),
         DhlConfig::with_ssd_count(MetresPerSecond::new(300.0), Metres::new(500.0), 64),
     ];
-    let grid: Vec<Watts> = (1..=32).map(|i| Watts::new(f64::from(i) * 1_000.0)).collect();
+    let grid: Vec<Watts> = (1..=32)
+        .map(|i| Watts::new(f64::from(i) * 1_000.0))
+        .collect();
     let series = fig6(
         &workload,
         &configs,
@@ -191,11 +244,19 @@ pub fn render_fig6() -> String {
         8,
     );
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 6: time per iteration (s) vs communication power (kW), log-scale data");
+    let _ = writeln!(
+        out,
+        "Fig. 6: time per iteration (s) vs communication power (kW), log-scale data"
+    );
     for s in &series {
         let _ = writeln!(out, "  {}:", s.scheme);
         for (p, t) in &s.points {
-            let _ = writeln!(out, "    {:>8.2} kW  {:>12.1} s", p.kilowatts(), t.seconds());
+            let _ = writeln!(
+                out,
+                "    {:>8.2} kW  {:>12.1} s",
+                p.kilowatts(),
+                t.seconds()
+            );
         }
     }
     out
@@ -206,10 +267,21 @@ pub fn render_fig6() -> String {
 pub fn render_crossover() -> String {
     let c = crossover(&paper_minimal_dhl());
     let mut out = String::new();
-    let _ = writeln!(out, "Minimum specifications for DHL to outperform optical (§V-E)");
+    let _ = writeln!(
+        out,
+        "Minimum specifications for DHL to outperform optical (§V-E)"
+    );
     let _ = writeln!(out, "  minimal DHL (10 m, 10 m/s, 360 GB cart):");
-    let _ = writeln!(out, "    one-way trip time  {:>8.3} s   (paper: 7.2 s)", c.dhl_time.seconds());
-    let _ = writeln!(out, "    launch energy      {:>8.2} J   (paper: 'minuscule')", c.dhl_energy.value());
+    let _ = writeln!(
+        out,
+        "    one-way trip time  {:>8.3} s   (paper: 7.2 s)",
+        c.dhl_time.seconds()
+    );
+    let _ = writeln!(
+        out,
+        "    launch energy      {:>8.2} J   (paper: 'minuscule')",
+        c.dhl_energy.value()
+    );
     let _ = writeln!(
         out,
         "    breakeven dataset  {:>8.1} GB  (paper: 360 GB)",
@@ -230,7 +302,10 @@ pub fn render_crossover() -> String {
 pub fn render_des_ablation() -> String {
     let dataset = Bytes::from_petabytes(29.0);
     let mut out = String::new();
-    let _ = writeln!(out, "DES ablations: 29 PB bulk transfer (analytical model vs simulator)");
+    let _ = writeln!(
+        out,
+        "DES ablations: 29 PB bulk transfer (analytical model vs simulator)"
+    );
     let _ = writeln!(
         out,
         "{:<42} {:>12} {:>12} {:>10}",
@@ -248,8 +323,14 @@ pub fn render_des_ablation() -> String {
     );
 
     let variants: Vec<(String, SimConfig)> = vec![
-        ("DES serial (1 cart, 1 dock)".into(), SimConfig::paper_serial()),
-        ("DES pipelined (8 carts, 4 docks)".into(), SimConfig::paper_default()),
+        (
+            "DES serial (1 cart, 1 dock)".into(),
+            SimConfig::paper_serial(),
+        ),
+        (
+            "DES pipelined (8 carts, 4 docks)".into(),
+            SimConfig::paper_default(),
+        ),
         ("DES pipelined + dual track".into(), {
             let mut c = SimConfig::paper_default();
             c.dual_track = true;
@@ -316,7 +397,11 @@ pub fn render_sensitivity() -> String {
     let base = DhlConfig::paper_default();
     let mut out = String::new();
     let _ = writeln!(out, "Sensitivity: dock/undock time (§V-A observation a)");
-    let _ = writeln!(out, "{:>8} {:>10} {:>10} {:>12}", "dock s", "trip s", "TB/s", "dock frac");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>10} {:>12}",
+        "dock s", "trip s", "TB/s", "dock frac"
+    );
     for row in docking_time_sweep(&base, &[0.0, 1.0, 2.0, 3.0, 5.0].map(Seconds::new)) {
         let _ = writeln!(
             out,
@@ -329,7 +414,11 @@ pub fn render_sensitivity() -> String {
     }
 
     let _ = writeln!(out, "\nSensitivity: acceleration rate (§V-A note)");
-    let _ = writeln!(out, "{:>10} {:>10} {:>10} {:>10}", "m/s^2", "peak kW", "LIM m", "trip s");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10}",
+        "m/s^2", "peak kW", "LIM m", "trip s"
+    );
     for row in acceleration_sweep(
         &base,
         &[250.0, 500.0, 1000.0, 2000.0].map(MetresPerSecondSquared::new),
@@ -345,7 +434,11 @@ pub fn render_sensitivity() -> String {
     }
 
     let _ = writeln!(out, "\nProjection: NAND density scaling (§II-A)");
-    let _ = writeln!(out, "{:>6} {:>12} {:>10} {:>10}", "x", "cart TB", "TB/s", "GB/J");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>10} {:>10}",
+        "x", "cart TB", "TB/s", "GB/J"
+    );
     for row in density_scaling(&base, &[1.0, 2.0, 4.0, 8.0]) {
         let _ = writeln!(
             out,
@@ -357,8 +450,15 @@ pub fn render_sensitivity() -> String {
         );
     }
 
-    let _ = writeln!(out, "\nTraining campaigns: comm energy, DHL vs route B at 1.75 kW (§II-D.3)");
-    let _ = writeln!(out, "{:>8} {:>8} {:>14} {:>14} {:>8}", "models", "iters", "DHL MJ", "optical MJ", "saving");
+    let _ = writeln!(
+        out,
+        "\nTraining campaigns: comm energy, DHL vs route B at 1.75 kW (§II-D.3)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>14} {:>14} {:>8}",
+        "models", "iters", "DHL MJ", "optical MJ", "saving"
+    );
     let optical = OpticalFabric::max_for_power(dhl_net::route::Route::b(), Watts::new(1_750.0));
     for (models, iters) in [(1u32, 1u32), (5, 10), (20, 100)] {
         let campaign = TrainingCampaign::paper_default(models, iters);
@@ -385,7 +485,10 @@ pub fn render_fleet() -> String {
     use dhl_units::BytesPerSecond;
 
     let mut out = String::new();
-    let _ = writeln!(out, "Fleet sizing: dollars per sustained TB/s (Table VIII + carts)");
+    let _ = writeln!(
+        out,
+        "Fleet sizing: dollars per sustained TB/s (Table VIII + carts)"
+    );
     let _ = writeln!(
         out,
         "{:<22} {:>8} {:>8} {:>10} {:>12} {:>12} {:>12}",
@@ -437,6 +540,65 @@ pub fn all_reports() -> Vec<(&'static str, ReportFn)> {
     ]
 }
 
+/// Runs the full machine-readable benchmark suite: every renderer timed
+/// under [`harness::bench_function`], plus simulator- and scheduler-backed
+/// cases that attach their [`dhl_obs`] metrics snapshots.
+///
+/// Honours `DHL_BENCH_FAST` (see [`harness::fast_mode`]) for CI smoke runs.
+#[must_use]
+pub fn run_bench_suite() -> Vec<report_file::BenchCase> {
+    use dhl_sched::placement::Placement;
+    use dhl_sched::scheduler::{Priority, Scheduler, TransferRequest};
+    use dhl_storage::datasets;
+    use dhl_units::Seconds;
+    use report_file::BenchCase;
+
+    let mut cases = Vec::new();
+    for (name, render) in all_reports() {
+        cases.push(BenchCase {
+            result: harness::bench_function(&format!("render/{name}"), render),
+            metrics: None,
+        });
+    }
+
+    // DES-backed case: a 2 PB bulk transfer, with the simulator's own
+    // observability snapshot attached.
+    let sim_run = || {
+        DhlSystem::new(SimConfig::paper_default())
+            .expect("valid paper config")
+            .run_bulk_transfer(Bytes::from_petabytes(2.0))
+            .expect("converges")
+    };
+    let result = harness::bench_function("sim/bulk_transfer_2pb", || sim_run().movements);
+    cases.push(BenchCase {
+        result,
+        metrics: Some(sim_run().metrics),
+    });
+
+    // Scheduler-backed case: a small multi-tenant mix.
+    let sched_run = || {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let a = p.store(datasets::laion_5b());
+        let b = p.store(datasets::common_crawl());
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p).expect("valid");
+        sched.submit(TransferRequest::new(b, 1, Priority::Normal, Seconds::ZERO));
+        sched.submit(TransferRequest::new(
+            a,
+            1,
+            Priority::Urgent,
+            Seconds::new(5.0),
+        ));
+        sched.run()
+    };
+    let result =
+        harness::bench_function("sched/multi_tenant_mix", || sched_run().makespan.seconds());
+    cases.push(BenchCase {
+        result,
+        metrics: Some(sched_run().metrics),
+    });
+    cases
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,7 +632,10 @@ mod tests {
     #[test]
     fn table8_matches_paper_cells() {
         let s = render_table8();
-        for cell in ["$733", "$3,665", "$7,330", "$8,792", "$10,904", "$14,512", "$9,525", "$14,569", "$21,842"] {
+        for cell in [
+            "$733", "$3,665", "$7,330", "$8,792", "$10,904", "$14,512", "$9,525", "$14,569",
+            "$21,842",
+        ] {
             assert!(s.contains(cell), "missing {cell} in:\n{s}");
         }
     }

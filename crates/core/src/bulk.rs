@@ -186,9 +186,18 @@ mod tests {
             max_speed = max_speed.max(c.time_speedup);
         }
         assert!((min_red - 1.6).abs() < 0.05, "min reduction {min_red}");
-        assert!((max_red - 376.1).abs() / 376.1 < 0.01, "max reduction {max_red}");
-        assert!((min_speed - 114.8).abs() / 114.8 < 0.015, "min speedup {min_speed}");
-        assert!((max_speed - 646.4).abs() / 646.4 < 0.015, "max speedup {max_speed}");
+        assert!(
+            (max_red - 376.1).abs() / 376.1 < 0.01,
+            "max reduction {max_red}"
+        );
+        assert!(
+            (min_speed - 114.8).abs() / 114.8 < 0.015,
+            "min speedup {min_speed}"
+        );
+        assert!(
+            (max_speed - 646.4).abs() / 646.4 < 0.015,
+            "max speedup {max_speed}"
+        );
     }
 
     #[test]

@@ -113,7 +113,9 @@ mod tests {
         let grid = GridModel::us_average();
         // 1 kWh = 3.6 MJ.
         assert!((grid.emissions_kg(Joules::from_megajoules(3.6)) - 0.39).abs() < 1e-12);
-        assert!((grid.electricity_cost(Joules::from_megajoules(3.6)).value() - 0.083).abs() < 1e-12);
+        assert!(
+            (grid.electricity_cost(Joules::from_megajoules(3.6)).value() - 0.083).abs() < 1e-12
+        );
     }
 
     #[test]

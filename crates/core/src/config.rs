@@ -45,11 +45,7 @@ impl DhlConfig {
     /// SSDs (256 TB, 282 g).
     #[must_use]
     pub fn paper_default() -> Self {
-        Self::with_ssd_count(
-            MetresPerSecond::new(200.0),
-            Metres::new(500.0),
-            32,
-        )
+        Self::with_ssd_count(MetresPerSecond::new(200.0), Metres::new(500.0), 32)
     }
 
     /// A configuration whose cart carries `ssd_count` of the paper's 8 TB
@@ -112,12 +108,8 @@ impl DhlConfig {
             }
         }
         // The trip must fit acceleration and braking ramps.
-        dhl_physics::TripKinematics::new(
-            self.track_length,
-            self.max_speed,
-            self.lim.acceleration(),
-        )
-        .map(|_| ())
+        dhl_physics::TripKinematics::new(self.track_length, self.max_speed, self.lim.acceleration())
+            .map(|_| ())
     }
 
     /// Length of the LIM needed for this speed (Table V: 5/20/45 m).
@@ -154,12 +146,12 @@ mod tests {
 
     #[test]
     fn table_v_cart_variants() {
-        for (n, tb, grams) in [(16, 128.0, 160.96), (32, 256.0, 281.92), (64, 512.0, 523.84)] {
-            let cfg = DhlConfig::with_ssd_count(
-                MetresPerSecond::new(200.0),
-                Metres::new(500.0),
-                n,
-            );
+        for (n, tb, grams) in [
+            (16, 128.0, 160.96),
+            (32, 256.0, 281.92),
+            (64, 512.0, 523.84),
+        ] {
+            let cfg = DhlConfig::with_ssd_count(MetresPerSecond::new(200.0), Metres::new(500.0), n);
             assert_eq!(cfg.cart_capacity.terabytes(), tb);
             assert!((cfg.cart_mass.grams() - grams).abs() < 0.01);
         }
@@ -168,11 +160,7 @@ mod tests {
     #[test]
     fn table_v_lim_lengths() {
         for (v, l) in [(100.0, 5.0), (200.0, 20.0), (300.0, 45.0)] {
-            let cfg = DhlConfig::with_ssd_count(
-                MetresPerSecond::new(v),
-                Metres::new(500.0),
-                32,
-            );
+            let cfg = DhlConfig::with_ssd_count(MetresPerSecond::new(v), Metres::new(500.0), 32);
             assert_eq!(cfg.lim_length().value(), l);
         }
     }

@@ -79,7 +79,10 @@ pub fn sweep(
     for &v in speeds {
         for &l in lengths {
             for &n in ssd_counts {
-                out.push(DsePoint::evaluate(DhlConfig::with_ssd_count(v, l, n), dataset));
+                out.push(DsePoint::evaluate(
+                    DhlConfig::with_ssd_count(v, l, n),
+                    dataset,
+                ));
             }
         }
     }
@@ -125,7 +128,9 @@ pub fn sweep_parallel(
         }
     });
 
-    out.into_iter().map(|p| p.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|p| p.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -157,8 +162,9 @@ mod tests {
 
     #[test]
     fn parallel_sweep_matches_serial() {
-        let speeds: Vec<MetresPerSecond> =
-            (10..30).map(|v| MetresPerSecond::new(v as f64 * 10.0)).collect();
+        let speeds: Vec<MetresPerSecond> = (10..30)
+            .map(|v| MetresPerSecond::new(v as f64 * 10.0))
+            .collect();
         let lengths = [Metres::new(500.0), Metres::new(1000.0)];
         let counts = [16, 32];
         let serial = sweep(&speeds, &lengths, &counts, paper_dataset());
@@ -178,8 +184,9 @@ mod tests {
     fn speed_monotonically_trades_energy_for_time() {
         // Along the speed axis at fixed length/capacity: faster = more
         // energy, less time.
-        let speeds: Vec<MetresPerSecond> =
-            [100.0, 150.0, 200.0, 250.0, 300.0].map(MetresPerSecond::new).into();
+        let speeds: Vec<MetresPerSecond> = [100.0, 150.0, 200.0, 250.0, 300.0]
+            .map(MetresPerSecond::new)
+            .into();
         let points = sweep(&speeds, &[Metres::new(500.0)], &[32], paper_dataset());
         for pair in points.windows(2) {
             assert!(pair[0].launch.energy < pair[1].launch.energy);

@@ -123,8 +123,7 @@ pub fn plan_for_bandwidth(
 
     let infra_cost_one = infra.total_cost(cfg.track_length, cfg.max_speed);
     let infrastructure_cost = infra_cost_one * f64::from(tracks);
-    let cart_cost =
-        carts.cart_cost(cfg.cart_capacity) * f64::from(carts_per_track * tracks);
+    let cart_cost = carts.cart_cost(cfg.cart_capacity) * f64::from(carts_per_track * tracks);
     FleetPlan {
         tracks,
         carts_per_track,

@@ -76,8 +76,7 @@ pub fn acceleration_sweep(
         .iter()
         .map(|&a| {
             let mut cfg = base.clone();
-            cfg.lim = LinearInductionMotor::new(cfg.lim.efficiency(), a)
-                .expect("positive rate");
+            cfg.lim = LinearInductionMotor::new(cfg.lim.efficiency(), a).expect("positive rate");
             let metrics = LaunchMetrics::evaluate(&cfg);
             AccelerationSensitivityRow {
                 acceleration: a,
@@ -108,8 +107,7 @@ pub fn density_scaling(base: &DhlConfig, factors: &[f64]) -> Vec<DensityScalingR
         .iter()
         .map(|&factor| {
             let mut cfg = base.clone();
-            cfg.cart_capacity =
-                Bytes::new((cfg.cart_capacity.as_f64() * factor).round() as u64);
+            cfg.cart_capacity = Bytes::new((cfg.cart_capacity.as_f64() * factor).round() as u64);
             let metrics = LaunchMetrics::evaluate(&cfg);
             DensityScalingRow {
                 density_factor: factor,
@@ -138,18 +136,13 @@ mod tests {
     #[test]
     fn docking_dominates_and_shrinking_it_pays() {
         let base = DhlConfig::paper_default();
-        let rows = docking_time_sweep(
-            &base,
-            &[0.0, 1.0, 2.0, 3.0, 5.0].map(Seconds::new),
-        );
+        let rows = docking_time_sweep(&base, &[0.0, 1.0, 2.0, 3.0, 5.0].map(Seconds::new));
         // At the paper's 3 s, docking is ~70 % of the trip.
         let at3 = &rows[3];
         assert!((at3.docking_fraction - 6.0 / 8.6).abs() < 1e-9);
         // Zero docking collapses the trip to 2.6 s and triples bandwidth.
         assert!((rows[0].metrics.trip_time.seconds() - 2.6).abs() < 1e-9);
-        assert!(
-            rows[0].metrics.bandwidth.value() > 3.0 * at3.metrics.bandwidth.value()
-        );
+        assert!(rows[0].metrics.bandwidth.value() > 3.0 * at3.metrics.bandwidth.value());
         // Energy is untouched by docking time.
         for r in &rows {
             assert_eq!(r.metrics.energy, at3.metrics.energy);
@@ -163,15 +156,11 @@ mod tests {
     #[test]
     fn halving_acceleration_halves_peak_power() {
         let base = DhlConfig::paper_default();
-        let rows = acceleration_sweep(
-            &base,
-            &[500.0, 1000.0].map(MetresPerSecondSquared::new),
-        );
+        let rows = acceleration_sweep(&base, &[500.0, 1000.0].map(MetresPerSecondSquared::new));
         let half = &rows[0];
         let full = &rows[1];
         assert!(
-            (half.metrics.peak_power.value() / full.metrics.peak_power.value() - 0.5).abs()
-                < 1e-12
+            (half.metrics.peak_power.value() / full.metrics.peak_power.value() - 0.5).abs() < 1e-12
         );
         // At the cost of a doubled LIM (40 m vs 20 m)...
         assert_eq!(half.lim_length.value(), 2.0 * full.lim_length.value());
@@ -210,12 +199,10 @@ mod tests {
             assert_eq!(r.metrics.peak_power, today.metrics.peak_power);
             // ...k× the data rate and data-per-joule.
             assert!(
-                (r.metrics.bandwidth.value() / today.metrics.bandwidth.value() - k).abs()
-                    < 1e-9
+                (r.metrics.bandwidth.value() / today.metrics.bandwidth.value() - k).abs() < 1e-9
             );
             assert!(
-                (r.metrics.efficiency.value() / today.metrics.efficiency.value() - k).abs()
-                    < 1e-9
+                (r.metrics.efficiency.value() / today.metrics.efficiency.value() - k).abs() < 1e-9
             );
         }
         // An 8× density future: 2 PB carts at 238 TB/s embodied.
@@ -226,11 +213,7 @@ mod tests {
     #[test]
     fn sweeps_accept_the_speed_variants() {
         for v in [100.0, 300.0] {
-            let cfg = DhlConfig::with_ssd_count(
-                MetresPerSecond::new(v),
-                Metres::new(500.0),
-                32,
-            );
+            let cfg = DhlConfig::with_ssd_count(MetresPerSecond::new(v), Metres::new(500.0), 32);
             assert_eq!(docking_time_sweep(&cfg, &[Seconds::new(3.0)]).len(), 1);
             assert_eq!(
                 acceleration_sweep(&cfg, &[MetresPerSecondSquared::new(1000.0)]).len(),

@@ -20,9 +20,7 @@ fn launch_metrics_are_internally_consistent() {
         let m = LaunchMetrics::evaluate(&cfg);
         // Bandwidth × time = capacity.
         let recovered = m.bandwidth.value() * m.trip_time.seconds();
-        assert!(
-            (recovered - cfg.cart_capacity.as_f64()).abs() < 1e-6 * cfg.cart_capacity.as_f64()
-        );
+        assert!((recovered - cfg.cart_capacity.as_f64()).abs() < 1e-6 * cfg.cart_capacity.as_f64());
         // Efficiency × energy = capacity (in GB).
         let gb = m.efficiency.value() * m.energy.value();
         assert!((gb - cfg.cart_capacity.gigabytes()).abs() < 1e-6 * cfg.cart_capacity.gigabytes());

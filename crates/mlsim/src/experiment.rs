@@ -235,9 +235,7 @@ mod tests {
                 "{}: power increase {got} vs paper {want}",
                 row.scheme
             );
-            assert!(
-                (row.time_per_iteration.seconds() - t.target_time.seconds()).abs() < 1e-6
-            );
+            assert!((row.time_per_iteration.seconds() - t.target_time.seconds()).abs() < 1e-6);
         }
     }
 
@@ -290,7 +288,11 @@ mod tests {
             &workload,
             &[DhlConfig::paper_default()],
             &[RouteId::A0],
-            &[Watts::new(1_749.3), Watts::new(3_498.6), Watts::new(5_247.9)],
+            &[
+                Watts::new(1_749.3),
+                Watts::new(3_498.6),
+                Watts::new(5_247.9),
+            ],
             3,
         );
         let dhl = &series[0];

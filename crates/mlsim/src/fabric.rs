@@ -42,8 +42,7 @@ impl OpticalFabric {
     #[must_use]
     pub fn max_for_power(route: Route, budget: Watts) -> Self {
         Self {
-            links: ParallelLinks::max_for_power(route, budget)
-                .expect("budget must be positive"),
+            links: ParallelLinks::max_for_power(route, budget).expect("budget must be positive"),
         }
     }
 
@@ -68,7 +67,11 @@ impl OpticalFabric {
 
 impl CommFabric for OpticalFabric {
     fn name(&self) -> String {
-        format!("{}×{:.1}", self.links.route().name(), self.links.link_count())
+        format!(
+            "{}×{:.1}",
+            self.links.route().name(),
+            self.links.link_count()
+        )
     }
 
     fn delivery_time(&self, data: Bytes) -> Seconds {
@@ -255,9 +258,18 @@ mod tests {
     #[test]
     fn max_for_power_floors_but_keeps_one() {
         let cfg = DhlConfig::paper_default;
-        assert_eq!(DhlFabric::max_for_power(cfg(), Watts::new(1_750.0)).tracks(), 1);
-        assert_eq!(DhlFabric::max_for_power(cfg(), Watts::new(3_600.0)).tracks(), 2);
-        assert_eq!(DhlFabric::max_for_power(cfg(), Watts::new(100.0)).tracks(), 1);
+        assert_eq!(
+            DhlFabric::max_for_power(cfg(), Watts::new(1_750.0)).tracks(),
+            1
+        );
+        assert_eq!(
+            DhlFabric::max_for_power(cfg(), Watts::new(3_600.0)).tracks(),
+            2
+        );
+        assert_eq!(
+            DhlFabric::max_for_power(cfg(), Watts::new(100.0)).tracks(),
+            1
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod fabric;
 pub mod training;
 pub mod workload;
 
-pub use experiment::{fig6, iso_power, iso_time, Fig6Series, IsoPowerTable, IsoTimeTable, SchemeResult};
+pub use experiment::{
+    fig6, iso_power, iso_time, Fig6Series, IsoPowerTable, IsoTimeTable, SchemeResult,
+};
 pub use fabric::{CommFabric, DesDhlFabric, DhlFabric, OpticalFabric};
 pub use training::{CampaignCost, TrainingCampaign};
 pub use workload::DlrmWorkload;

@@ -66,8 +66,10 @@ impl TrainingCampaign {
     /// Iteration time once the dataset is resident locally.
     #[must_use]
     pub fn local_iteration_time(&self) -> Seconds {
-        self.workload
-            .iteration_time(self.local_read_bandwidth.transfer_time(self.workload.dataset))
+        self.workload.iteration_time(
+            self.local_read_bandwidth
+                .transfer_time(self.workload.dataset),
+        )
     }
 
     /// Evaluates the campaign over a fabric.
@@ -82,8 +84,7 @@ impl TrainingCampaign {
         let first_iter = self.workload.iteration_time(delivery);
         let local_iter = self.local_iteration_time();
 
-        let per_model_local =
-            local_iter * f64::from(self.iterations_per_model.saturating_sub(1));
+        let per_model_local = local_iter * f64::from(self.iterations_per_model.saturating_sub(1));
         let per_model = first_iter + per_model_local;
         let total_time = per_model * f64::from(self.models);
 
@@ -145,8 +146,14 @@ mod tests {
         let e1 = campaign_1.evaluate(&f).comm_energy.value();
         let e_iters = campaign_many_iters.evaluate(&f).comm_energy.value();
         let e_models = campaign_many_models.evaluate(&f).comm_energy.value();
-        assert!((e_iters - e1).abs() < 1e-6, "iterations reuse resident data");
-        assert!((e_models - 10.0 * e1).abs() < 1e-3, "each model re-collects");
+        assert!(
+            (e_iters - e1).abs() < 1e-6,
+            "iterations reuse resident data"
+        );
+        assert!(
+            (e_models - 10.0 * e1).abs() < 1e-3,
+            "each model re-collects"
+        );
     }
 
     #[test]

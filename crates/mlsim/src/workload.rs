@@ -92,10 +92,10 @@ mod tests {
         // paper reports these iteration times.
         let w = DlrmWorkload::paper_dlrm();
         let cases: [(f64, f64); 5] = [
-            (24.0, 7_680.0),     // A0
-            (39.6, 12_500.0),    // A1
-            (86.2875, 26_900.0), // A2
-            (301.2875, 93_300.0), // B
+            (24.0, 7_680.0),       // A0
+            (39.6, 12_500.0),      // A1
+            (86.2875, 26_900.0),   // A2
+            (301.2875, 93_300.0),  // B
             (516.2875, 159_000.0), // C
         ];
         for (route_power, paper_time) in cases {

@@ -45,7 +45,12 @@ fn iso_power_dhl_always_wins() {
             Watts::from_kilowatts(budget_kw),
         );
         for row in &table.rows[1..] {
-            assert!(row.factor_vs_dhl > 1.0, "{}: {}", row.scheme, row.factor_vs_dhl);
+            assert!(
+                row.factor_vs_dhl > 1.0,
+                "{}: {}",
+                row.scheme,
+                row.factor_vs_dhl
+            );
         }
     });
 }
@@ -57,9 +62,7 @@ fn iso_time_matches_target_exactly() {
         let cfg = DhlConfig::with_ssd_count(MetresPerSecond::new(speed), Metres::new(500.0), 32);
         let table = iso_time(&DlrmWorkload::paper_dlrm(), &cfg);
         for row in &table.rows {
-            assert!(
-                (row.time_per_iteration.seconds() - table.target_time.seconds()).abs() < 1e-6
-            );
+            assert!((row.time_per_iteration.seconds() - table.target_time.seconds()).abs() < 1e-6);
         }
         // Factors ordered by route cost.
         let f: Vec<f64> = table.rows[1..].iter().map(|r| r.factor_vs_dhl).collect();

@@ -6,11 +6,89 @@
 //! against an *optimistically green* network rather than an always-on one
 //! — the strongest-possible optical baseline.
 
+use dhl_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 use dhl_units::{Bytes, Joules, Seconds, Watts};
 
 use crate::route::Route;
+
+/// Per-phase breakdown of a duty cycle's time and energy: how long the link
+/// spent waking, transferring, and idling inside one window, and what each
+/// phase cost. Produced by [`SleepCapableRoute::phases`];
+/// [`SleepCapableRoute::energy_over_window`] is its total.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseEnergy {
+    /// Time re-training optics / exiting low-power idle before the burst.
+    pub wake_time: Seconds,
+    /// Energy drawn during wake (full active power).
+    pub wake_energy: Joules,
+    /// Time moving bits at line rate.
+    pub transfer_time: Seconds,
+    /// Energy drawn while transferring.
+    pub transfer_energy: Joules,
+    /// Remainder of the window spent asleep (zero if the burst overruns).
+    pub idle_time: Seconds,
+    /// Energy drawn while idle (`idle_fraction` of active power).
+    pub idle_energy: Joules,
+}
+
+impl PhaseEnergy {
+    /// Total energy across all three phases.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.wake_energy + self.transfer_energy + self.idle_energy
+    }
+
+    /// Fraction of the total spent on useful bit movement (0 when the
+    /// total is zero).
+    #[must_use]
+    pub fn transfer_fraction(&self) -> f64 {
+        let total = self.total().value();
+        if total > 0.0 {
+            self.transfer_energy.value() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Records the breakdown into an observability registry under
+    /// `net.<prefix>.{wake,transfer,idle}_{s,j}` gauges.
+    pub fn record(&self, metrics: &mut MetricsRegistry, prefix: &'static str) {
+        let (ws, ts, is_, wj, tj, ij) = match prefix {
+            "eee" => (
+                "net.eee.wake_s",
+                "net.eee.transfer_s",
+                "net.eee.idle_s",
+                "net.eee.wake_j",
+                "net.eee.transfer_j",
+                "net.eee.idle_j",
+            ),
+            "on_off" => (
+                "net.on_off.wake_s",
+                "net.on_off.transfer_s",
+                "net.on_off.idle_s",
+                "net.on_off.wake_j",
+                "net.on_off.transfer_j",
+                "net.on_off.idle_j",
+            ),
+            _ => (
+                "net.wake_s",
+                "net.transfer_s",
+                "net.idle_s",
+                "net.wake_j",
+                "net.transfer_j",
+                "net.idle_j",
+            ),
+        };
+        metrics.set_gauge(ws, self.wake_time.seconds());
+        metrics.set_gauge(ts, self.transfer_time.seconds());
+        metrics.set_gauge(is_, self.idle_time.seconds());
+        metrics.set_gauge(wj, self.wake_energy.value());
+        metrics.set_gauge(tj, self.transfer_energy.value());
+        metrics.set_gauge(ij, self.idle_energy.value());
+    }
+}
 
 /// A route whose endpoints sleep between transfers.
 ///
@@ -89,19 +167,35 @@ impl SleepCapableRoute {
         &self.route
     }
 
+    /// Per-phase time/energy accounting for one `data` burst inside a
+    /// `window`: wake at full power, transfer at full power, then idle at
+    /// `idle_fraction` power for whatever remains. If the burst overruns
+    /// the window the idle phase is simply zero (the link never sleeps).
+    #[must_use]
+    pub fn phases(&self, data: Bytes, window: Seconds) -> PhaseEnergy {
+        let wake_time = self.wake_latency;
+        let transfer_time = self.route.transfer_time(data);
+        let idle_time = (window - transfer_time - wake_time).max(Seconds::ZERO);
+        let power = self.route.power();
+        PhaseEnergy {
+            wake_time,
+            wake_energy: power * wake_time,
+            transfer_time,
+            transfer_energy: power * transfer_time,
+            idle_time,
+            idle_energy: power * self.idle_fraction * idle_time,
+        }
+    }
+
     /// Energy to serve one `data` burst inside a `window` (e.g. one backup
     /// per day): active power while transferring (plus wake), idle power
-    /// for the remainder.
+    /// for the remainder — the total of [`SleepCapableRoute::phases`].
     ///
     /// Returns the active-only energy if the transfer does not fit in the
     /// window (the link simply never sleeps).
     #[must_use]
     pub fn energy_over_window(&self, data: Bytes, window: Seconds) -> Joules {
-        let active_time = self.route.transfer_time(data) + self.wake_latency;
-        let active = self.route.power() * active_time;
-        let idle_time = (window - active_time).max(Seconds::ZERO);
-        let idle = self.route.power() * self.idle_fraction * idle_time;
-        active + idle
+        self.phases(data, window).total()
     }
 
     /// Average power over the window.
@@ -176,13 +270,52 @@ mod tests {
     }
 
     #[test]
+    fn phases_partition_the_window_and_sum_to_the_total() {
+        let r = SleepCapableRoute::on_off(Route::c());
+        let p = r.phases(BACKUP, DAY);
+        // The three phases tile the whole window...
+        let covered = p.wake_time + p.transfer_time + p.idle_time;
+        assert!((covered.seconds() - DAY.seconds()).abs() < 1e-6);
+        // ...and their energies sum to the legacy total.
+        let total = r.energy_over_window(BACKUP, DAY);
+        assert!((p.total().value() - total.value()).abs() < 1e-6);
+        assert!(p.transfer_fraction() > 0.9, "link nearly saturated by 4 PB");
+        // Wake at full power for exactly the 2 s re-train.
+        assert!((p.wake_energy.value() - Route::c().power().value() * 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overrunning_burst_has_no_idle_phase() {
+        let r = SleepCapableRoute::on_off(Route::a0());
+        let p = r.phases(Bytes::from_petabytes(29.0), DAY);
+        assert_eq!(p.idle_time, Seconds::ZERO);
+        assert_eq!(p.idle_energy, Joules::ZERO);
+        assert!(p.transfer_time > DAY);
+    }
+
+    #[test]
+    fn phase_breakdown_records_into_a_registry() {
+        let mut m = dhl_obs::MetricsRegistry::enabled();
+        let r = SleepCapableRoute::eee(Route::c());
+        let p = r.phases(Bytes::from_terabytes(250.0), DAY);
+        p.record(&mut m, "eee");
+        let snap = m.snapshot();
+        assert!(
+            (snap.gauge("net.eee.transfer_s").unwrap() - p.transfer_time.seconds()).abs() < 1e-9
+        );
+        assert!((snap.gauge("net.eee.idle_j").unwrap() - p.idle_energy.value()).abs() < 1e-9);
+        assert_eq!(snap.gauge("net.eee.wake_s"), Some(1e-3));
+        // An unknown prefix falls back to the bare names.
+        p.record(&mut m, "custom");
+        assert!(m.snapshot().gauge("net.transfer_s").is_some());
+    }
+
+    #[test]
     fn clamping_of_custom_profiles() {
         let r = SleepCapableRoute::new(Route::a0(), 2.0, Seconds::new(-5.0));
         let e = r.energy_over_window(Bytes::from_terabytes(1.0), DAY);
-        let always = SleepCapableRoute::always_on(Route::a0()).energy_over_window(
-            Bytes::from_terabytes(1.0),
-            DAY,
-        );
+        let always = SleepCapableRoute::always_on(Route::a0())
+            .energy_over_window(Bytes::from_terabytes(1.0), DAY);
         assert!((e.value() - always.value()).abs() < 1e-6);
     }
 }

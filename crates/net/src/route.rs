@@ -273,10 +273,22 @@ mod tests {
 
     #[test]
     fn through_switches_matches_paper_routes() {
-        assert_eq!(Route::through_switches(RouteId::A1, 0).power(), Route::a1().power());
-        assert_eq!(Route::through_switches(RouteId::A2, 1).power(), Route::a2().power());
-        assert_eq!(Route::through_switches(RouteId::B, 3).power(), Route::b().power());
-        assert_eq!(Route::through_switches(RouteId::C, 5).power(), Route::c().power());
+        assert_eq!(
+            Route::through_switches(RouteId::A1, 0).power(),
+            Route::a1().power()
+        );
+        assert_eq!(
+            Route::through_switches(RouteId::A2, 1).power(),
+            Route::a2().power()
+        );
+        assert_eq!(
+            Route::through_switches(RouteId::B, 3).power(),
+            Route::b().power()
+        );
+        assert_eq!(
+            Route::through_switches(RouteId::C, 5).power(),
+            Route::c().power()
+        );
     }
 
     #[test]

@@ -183,7 +183,7 @@ mod tests {
         let t = FatTree::figure_2();
         let storage = NodeAddress::new(0, 0, 0);
         let cases = [
-            (NodeAddress::new(0, 0, 1), 50.05), // A2: same rack via ToR
+            (NodeAddress::new(0, 0, 1), 50.05),  // A2: same rack via ToR
             (NodeAddress::new(0, 3, 2), 174.75), // B: same aisle
             (NodeAddress::new(1, 1, 1), 299.45), // C: across aisles
         ];

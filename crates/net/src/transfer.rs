@@ -42,7 +42,11 @@ pub struct InvalidLinkCount {
 
 impl core::fmt::Display for InvalidLinkCount {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "link count must be positive and finite, got {}", self.count)
+        write!(
+            f,
+            "link count must be positive and finite, got {}",
+            self.count
+        )
     }
 }
 
@@ -129,9 +133,8 @@ mod tests {
         let bundle = ParallelLinks::single(Route::b());
         assert!((bundle.transfer_time(DATASET).seconds() - 580_000.0).abs() < 1e-6);
         assert!(
-            (bundle.transfer_energy(DATASET).value()
-                - Route::b().transfer_energy(DATASET).value())
-            .abs()
+            (bundle.transfer_energy(DATASET).value() - Route::b().transfer_energy(DATASET).value())
+                .abs()
                 < 1e-3
         );
     }

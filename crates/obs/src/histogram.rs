@@ -1,0 +1,247 @@
+//! A log-bucketed histogram for non-negative `f64` observations.
+//!
+//! Buckets are powers of two: bucket `i` covers `[2^(MIN_EXP + i),
+//! 2^(MIN_EXP + i + 1))`, spanning roughly one nanosecond to three
+//! centuries when observations are in seconds. Values below the range land
+//! in the underflow bucket, values above in the overflow bucket, so no
+//! observation is ever dropped. Recording is O(1) with no allocation after
+//! construction; quantiles are estimated from the bucket mass with the
+//! geometric midpoint of the resolved bucket, clamped into the exact
+//! `[min, max]` observed.
+
+/// Exponent of the first regular bucket's lower bound (`2^-30` ≈ 0.93 ns).
+pub const MIN_EXP: i32 = -30;
+
+/// Number of regular buckets. The last regular bucket's upper bound is
+/// `2^(MIN_EXP + BUCKETS)` ≈ 1.7e10 (about 545 years in seconds).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size log₂-bucketed histogram.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Histogram {
+    /// `[underflow, regular buckets…, overflow]`.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS + 2],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Index into `counts` for a value (0 = underflow, BUCKETS+1 = overflow).
+    fn slot(value: f64) -> usize {
+        if value < Self::bucket_lower_bound(0) {
+            return 0;
+        }
+        let exp = value.log2().floor() as i32;
+        let idx = exp - MIN_EXP;
+        if idx < 0 {
+            0
+        } else if idx as usize >= BUCKETS {
+            BUCKETS + 1
+        } else {
+            idx as usize + 1
+        }
+    }
+
+    /// Lower bound of regular bucket `i` (`0 <= i < BUCKETS`).
+    #[must_use]
+    pub fn bucket_lower_bound(i: usize) -> f64 {
+        f64::powi(2.0, MIN_EXP + i as i32)
+    }
+
+    /// Records one observation. Negative, NaN, and infinite values are
+    /// counted in the underflow/overflow buckets but excluded from
+    /// `min`/`max`/`sum` only when non-finite.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+            self.counts[Self::slot(value.max(0.0))] += 1;
+        } else {
+            self.counts[BUCKETS + 1] += 1;
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of finite observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest finite observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.min.is_finite() {
+            self.min
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest finite observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.max.is_finite() {
+            self.max
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean of finite observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`: the geometric midpoint of the
+    /// bucket holding the `q`-th observation, clamped to the observed
+    /// `[min, max]`. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (slot, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let estimate = match slot {
+                    0 => self.min(),
+                    s if s == BUCKETS + 1 => self.max(),
+                    s => {
+                        let lo = Self::bucket_lower_bound(s - 1);
+                        // Geometric midpoint of [lo, 2·lo).
+                        lo * std::f64::consts::SQRT_2
+                    }
+                };
+                return estimate.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_lower_bound(0), f64::powi(2.0, MIN_EXP));
+        assert_eq!(Histogram::bucket_lower_bound(30), 1.0);
+        assert_eq!(Histogram::bucket_lower_bound(31), 2.0);
+        // A value exactly on a boundary lands in the bucket it opens.
+        assert_eq!(Histogram::slot(1.0), 31);
+        assert_eq!(Histogram::slot(1.999), 31);
+        assert_eq!(Histogram::slot(2.0), 32);
+    }
+
+    #[test]
+    fn out_of_range_values_hit_underflow_and_overflow() {
+        assert_eq!(Histogram::slot(0.0), 0);
+        assert_eq!(Histogram::slot(1e-12), 0);
+        assert_eq!(Histogram::slot(1e30), BUCKETS + 1);
+        let mut h = Histogram::new();
+        h.record(-5.0); // negative: counted, bucketed as underflow
+        h.record(1e30);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.max(), 1e30);
+    }
+
+    #[test]
+    fn nan_is_ignored_and_infinity_counted_without_poisoning_stats() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        h.record(1.0);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 1.0);
+        assert_eq!(h.sum(), 1.0);
+    }
+
+    #[test]
+    fn exact_stats_track_observations() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+        assert_eq!(h.mean(), 2.5);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracketed() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i) * 1e-3); // 1 ms .. 1 s
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        assert!(h.min() <= p50 && p50 <= p95 && p95 <= h.max());
+        // Log-bucket resolution is a factor of two: p50 within [0.25, 1.0].
+        assert!((0.25..=1.0).contains(&p50), "p50 = {p50}");
+        assert!(p95 >= 0.5, "p95 = {p95}");
+    }
+
+    #[test]
+    fn single_observation_quantiles_collapse_to_it() {
+        let mut h = Histogram::new();
+        h.record(0.125);
+        assert_eq!(h.quantile(0.0), 0.125);
+        assert_eq!(h.quantile(0.5), 0.125);
+        assert_eq!(h.quantile(1.0), 0.125);
+    }
+}

@@ -1,0 +1,492 @@
+//! `dhl-obs`: the observability substrate for the DHL reproduction.
+//!
+//! A zero-dependency (std-only) metrics layer the simulators, scheduler,
+//! network models, and bench harness all record into:
+//!
+//! - [`MetricsRegistry`] — named counters, gauges, and log-bucketed
+//!   [`Histogram`]s behind a single enable flag. When disabled every
+//!   operation is a branch and an immediate return: no allocation, no map
+//!   lookup, no clock read.
+//! - [`SpanTimer`] / [`Stopwatch`] — RAII and detached wall-clock timers
+//!   that feed histograms.
+//! - [`MetricsSnapshot`] — a deterministic, ordered, plain-data view of a
+//!   registry, exportable as JSON or NDJSON and comparable across runs.
+//! - [`json`] — the minimal JSON writer/parser the exporters and the bench
+//!   regression checker share.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dhl_obs::MetricsRegistry;
+//!
+//! let mut reg = MetricsRegistry::enabled();
+//! reg.inc("events", 3);
+//! reg.set_gauge("queue_depth", 7.0);
+//! reg.observe("transit_s", 8.6);
+//! {
+//!     let _span = reg.span("setup_s"); // records wall time on drop
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("events"), Some(3));
+//! assert!(snap.to_json().contains("transit_s"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub use histogram::Histogram;
+
+/// A registry of named metrics.
+///
+/// Names are `&'static str` by design: every call site names its metric
+/// with a literal, recording needs no allocation, and snapshots are
+/// deterministic (BTreeMap order). A disabled registry rejects every
+/// operation after a single branch.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// A registry that records.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// A registry that drops every operation (the zero-overhead default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether the registry records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Increments counter `name` by `by`.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert(name, value);
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Starts an RAII span: wall-clock seconds from now until the guard
+    /// drops are recorded into histogram `name`. On a disabled registry the
+    /// clock is never read.
+    pub fn span(&mut self, name: &'static str) -> SpanTimer<'_> {
+        let start = self.enabled.then(Instant::now);
+        SpanTimer {
+            registry: self,
+            name,
+            start,
+        }
+    }
+
+    /// Records a detached [`Stopwatch`]'s elapsed time into histogram
+    /// `name` and returns the elapsed seconds.
+    pub fn observe_elapsed(&mut self, name: &'static str, watch: &Stopwatch) -> f64 {
+        let secs = watch.elapsed_secs();
+        self.observe(name, secs);
+        secs
+    }
+
+    /// A deterministic snapshot of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| HistogramSummary {
+                    name: (*k).to_string(),
+                    count: h.count(),
+                    min: h.min(),
+                    max: h.max(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                })
+                .collect(),
+        }
+    }
+
+    /// Drops everything recorded, keeping the enable flag.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+/// RAII wall-clock span over a [`MetricsRegistry`] histogram.
+///
+/// Created by [`MetricsRegistry::span`]; records elapsed seconds on drop.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    registry: &'a mut MetricsRegistry,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let secs = start.elapsed().as_secs_f64();
+            self.registry.observe(self.name, secs);
+        }
+    }
+}
+
+/// A detached wall-clock timer for spans that cannot hold a registry
+/// borrow (hot loops that also record other metrics).
+#[derive(Copy, Clone, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// Summary statistics of one histogram at snapshot time.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Smallest finite observation.
+    pub min: f64,
+    /// Largest finite observation.
+    pub max: f64,
+    /// Mean of finite observations.
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+}
+
+/// A plain-data, deterministic view of a registry: sorted by metric name,
+/// comparable across runs, exportable as JSON or NDJSON.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, name);
+            out.push(':');
+            json::write_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, &h.name);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count.to_string());
+            for (key, value) in [
+                ("min", h.min),
+                ("max", h.max),
+                ("mean", h.mean),
+                ("p50", h.p50),
+                ("p95", h.p95),
+            ] {
+                out.push_str(",\"");
+                out.push_str(key);
+                out.push_str("\":");
+                json::write_f64(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot as NDJSON: one `{"metric": ..., "type": ...}`
+    /// object per line, suitable for appending to a log stream.
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::with_capacity(256);
+        for (name, v) in &self.counters {
+            out.push_str("{\"metric\":");
+            json::write_escaped(&mut out, name);
+            out.push_str(",\"type\":\"counter\",\"value\":");
+            out.push_str(&v.to_string());
+            out.push_str("}\n");
+        }
+        for (name, v) in &self.gauges {
+            out.push_str("{\"metric\":");
+            json::write_escaped(&mut out, name);
+            out.push_str(",\"type\":\"gauge\",\"value\":");
+            json::write_f64(&mut out, *v);
+            out.push_str("}\n");
+        }
+        for h in &self.histograms {
+            out.push_str("{\"metric\":");
+            json::write_escaped(&mut out, &h.name);
+            out.push_str(",\"type\":\"histogram\",\"count\":");
+            out.push_str(&h.count.to_string());
+            for (key, value) in [
+                ("min", h.min),
+                ("max", h.max),
+                ("mean", h.mean),
+                ("p50", h.p50),
+                ("p95", h.p95),
+            ] {
+                out.push_str(",\"");
+                out.push_str(key);
+                out.push_str("\":");
+                json::write_f64(&mut out, value);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut reg = MetricsRegistry::disabled();
+        reg.inc("a", 5);
+        reg.set_gauge("b", 1.0);
+        reg.observe("c", 2.0);
+        {
+            let _span = reg.span("d");
+        }
+        let watch = Stopwatch::start();
+        reg.observe_elapsed("e", &watch);
+        assert!(!reg.is_enabled());
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn disabled_span_never_reads_the_clock() {
+        let mut reg = MetricsRegistry::disabled();
+        let span = reg.span("x");
+        assert!(span.start.is_none(), "disabled span must not start a clock");
+    }
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.inc("events", 2);
+        reg.inc("events", 3);
+        reg.set_gauge("depth", 4.0);
+        reg.set_gauge("depth", 7.5); // gauges overwrite
+        reg.observe("lat", 0.5);
+        reg.observe("lat", 1.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("events"), Some(5));
+        assert_eq!(snap.gauge("depth"), Some(7.5));
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 1.5);
+        assert_eq!(h.mean, 1.0);
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("missing"), None);
+        assert!(snap.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_and_sorted() {
+        let build = || {
+            let mut reg = MetricsRegistry::enabled();
+            // Insertion order deliberately unsorted.
+            reg.inc("zeta", 1);
+            reg.inc("alpha", 2);
+            reg.observe("mid", 3.0);
+            reg.set_gauge("gamma", 4.0);
+            reg.snapshot()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(a.counters[0].0, "alpha");
+        assert_eq!(a.counters[1].0, "zeta");
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let mut reg = MetricsRegistry::enabled();
+        {
+            let _span = reg.span("scope_s");
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("scope_s").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 0.0);
+    }
+
+    #[test]
+    fn stopwatch_elapsed_is_monotone() {
+        let w = Stopwatch::start();
+        let a = w.elapsed_secs();
+        let b = w.elapsed_secs();
+        assert!(b >= a && a >= 0.0);
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.inc("n \"quoted\"", 7);
+        reg.set_gauge("g", 2.5);
+        reg.observe("h", 1.0);
+        let snap = reg.snapshot();
+        let v = json::parse(&snap.to_json()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("n \"quoted\""))
+                .and_then(json::JsonValue::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("g"))
+                .and_then(json::JsonValue::as_f64),
+            Some(2.5)
+        );
+        let h = v.get("histograms").and_then(|h| h.get("h")).unwrap();
+        assert_eq!(h.get("count").and_then(json::JsonValue::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn ndjson_is_one_valid_object_per_line() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.inc("a", 1);
+        reg.set_gauge("b", 2.0);
+        reg.observe("c", 3.0);
+        let nd = reg.snapshot().to_ndjson();
+        let lines: Vec<_> = nd.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let v = json::parse(line).unwrap();
+            assert!(v.get("metric").is_some());
+            assert!(v.get("type").is_some());
+        }
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enablement() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.inc("a", 1);
+        reg.reset();
+        assert!(reg.snapshot().is_empty());
+        assert!(reg.is_enabled());
+        reg.inc("a", 1);
+        assert_eq!(reg.snapshot().counter("a"), Some(1));
+    }
+}

@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn eddy_current_is_free() {
-        assert_eq!(BrakingSystem::EddyCurrent.decel_energy(CART, V), Joules::ZERO);
+        assert_eq!(
+            BrakingSystem::EddyCurrent.decel_energy(CART, V),
+            Joules::ZERO
+        );
     }
 
     #[test]

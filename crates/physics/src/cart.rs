@@ -218,7 +218,10 @@ mod tests {
     fn rejects_non_positive_masses() {
         assert!(matches!(
             CartMassModel::new(Kilograms::ZERO, Kilograms::ZERO, 0.1, 0.15),
-            Err(PhysicsError::NonPositive { what: "ssd mass", .. })
+            Err(PhysicsError::NonPositive {
+                what: "ssd mass",
+                ..
+            })
         ));
         assert!(matches!(
             CartMassModel::new(
@@ -227,7 +230,10 @@ mod tests {
                 0.1,
                 0.15
             ),
-            Err(PhysicsError::NonPositive { what: "frame mass", .. })
+            Err(PhysicsError::NonPositive {
+                what: "frame mass",
+                ..
+            })
         ));
     }
 
@@ -247,8 +253,6 @@ mod tests {
         .unwrap();
         let light = CartMassModel::paper_default();
         // Doubling per-SSD mass for 32 drives equals 64 light drives.
-        assert!(
-            (heavy.budget(32).total.value() - light.budget(64).total.value()).abs() < 1e-12
-        );
+        assert!((heavy.budget(32).total.value() - light.budget(64).total.value()).abs() < 1e-12);
     }
 }

@@ -115,8 +115,7 @@ impl HalbachArray {
     pub fn surface_field_tesla(&self) -> f64 {
         let k = 2.0 * core::f64::consts::PI / self.wavelength.value();
         let m = f64::from(self.segments_per_wavelength);
-        let segment_factor =
-            (core::f64::consts::PI / m).sin() / (core::f64::consts::PI / m);
+        let segment_factor = (core::f64::consts::PI / m).sin() / (core::f64::consts::PI / m);
         self.remanence_tesla * (1.0 - (-k * self.thickness.value()).exp()) * segment_factor
     }
 
@@ -232,7 +231,9 @@ mod tests {
         let a = array();
         let cart = Kilograms::from_grams(281.92);
         let magnets = cart * 0.10;
-        let margin = a.lift_force(magnets, Metres::from_millimetres(10.0)).value()
+        let margin = a
+            .lift_force(magnets, Metres::from_millimetres(10.0))
+            .value()
             / (cart * STANDARD_GRAVITY).value();
         assert!(margin > 1.5, "margin {margin}");
         assert!(margin < 5.0, "margin {margin} suspiciously large");
@@ -258,10 +259,10 @@ mod tests {
 
     #[test]
     fn more_segments_raise_the_field() {
-        let coarse = HalbachArray::new(1.3, Metres::new(0.04), Metres::new(0.01), 2, 7500.0)
-            .unwrap();
-        let fine = HalbachArray::new(1.3, Metres::new(0.04), Metres::new(0.01), 16, 7500.0)
-            .unwrap();
+        let coarse =
+            HalbachArray::new(1.3, Metres::new(0.04), Metres::new(0.01), 2, 7500.0).unwrap();
+        let fine =
+            HalbachArray::new(1.3, Metres::new(0.04), Metres::new(0.01), 16, 7500.0).unwrap();
         assert!(fine.surface_field_tesla() > coarse.surface_field_tesla());
     }
 

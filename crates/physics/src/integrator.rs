@@ -10,9 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dhl_units::{
-    Joules, Kilograms, Metres, MetresPerSecond, Newtons, Seconds,
-};
+use dhl_units::{Joules, Kilograms, Metres, MetresPerSecond, Newtons, Seconds};
 
 use crate::{LevitationModel, LinearInductionMotor, PhysicsError, VacuumTube};
 
@@ -217,9 +215,13 @@ mod tests {
         .unwrap()
         .motion_time(TimeModel::FullTrapezoid);
         // RK4 with real drag agrees with the ideal trapezoid to < 1 %.
-        let rel = (traj.motion_time.seconds() - analytical.seconds()).abs()
-            / analytical.seconds();
-        assert!(rel < 0.01, "integrated {} vs analytical {}", traj.motion_time.seconds(), analytical.seconds());
+        let rel = (traj.motion_time.seconds() - analytical.seconds()).abs() / analytical.seconds();
+        assert!(
+            rel < 0.01,
+            "integrated {} vs analytical {}",
+            traj.motion_time.seconds(),
+            analytical.seconds()
+        );
     }
 
     #[test]

@@ -251,7 +251,11 @@ mod tests {
 
     #[test]
     fn non_positive_inputs_are_rejected() {
-        for (l, v, a) in [(0.0, 200.0, 1000.0), (500.0, 0.0, 1000.0), (500.0, 200.0, 0.0)] {
+        for (l, v, a) in [
+            (0.0, 200.0, 1000.0),
+            (500.0, 0.0, 1000.0),
+            (500.0, 200.0, 0.0),
+        ] {
             assert!(TripKinematics::new(
                 Metres::new(l),
                 MetresPerSecond::new(v),

@@ -11,8 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use dhl_units::{
-    Joules, Kilograms, Metres, MetresPerSecond, MetresPerSecondSquared, Newtons,
-    STANDARD_GRAVITY,
+    Joules, Kilograms, Metres, MetresPerSecond, MetresPerSecondSquared, Newtons, STANDARD_GRAVITY,
 };
 
 use crate::PhysicsError;
@@ -41,10 +40,7 @@ impl LiftDragCurve {
     /// # Errors
     ///
     /// [`PhysicsError::NonPositive`] if either parameter is not positive.
-    pub fn new(
-        asymptotic_ratio: f64,
-        half_speed: MetresPerSecond,
-    ) -> Result<Self, PhysicsError> {
+    pub fn new(asymptotic_ratio: f64, half_speed: MetresPerSecond) -> Result<Self, PhysicsError> {
         if asymptotic_ratio.is_nan() || asymptotic_ratio <= 0.0 {
             return Err(PhysicsError::NonPositive {
                 what: "lift-to-drag ratio",
@@ -296,7 +292,8 @@ mod tests {
     fn drag_scales_linearly_with_mass_and_distance() {
         let lev = LevitationModel::paper_default();
         let base = lev.coasting_drag_loss(CART, Metres::new(500.0));
-        let double_mass = lev.coasting_drag_loss(Kilograms::new(CART.value() * 2.0), Metres::new(500.0));
+        let double_mass =
+            lev.coasting_drag_loss(Kilograms::new(CART.value() * 2.0), Metres::new(500.0));
         let double_dist = lev.coasting_drag_loss(CART, Metres::new(1000.0));
         assert!((double_mass.value() - 2.0 * base.value()).abs() < 1e-9);
         assert!((double_dist.value() - 2.0 * base.value()).abs() < 1e-9);

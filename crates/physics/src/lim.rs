@@ -188,8 +188,7 @@ mod tests {
 
     #[test]
     fn perfect_efficiency_gives_pure_kinetic_energy() {
-        let lim =
-            LinearInductionMotor::new(1.0, LinearInductionMotor::PAPER_ACCELERATION).unwrap();
+        let lim = LinearInductionMotor::new(1.0, LinearInductionMotor::PAPER_ACCELERATION).unwrap();
         let e = lim.accel_energy(Kilograms::new(1.0), MetresPerSecond::new(10.0));
         assert!((e.value() - 50.0).abs() < 1e-12);
     }
@@ -219,8 +218,7 @@ mod tests {
     fn lower_acceleration_cuts_peak_power_proportionally() {
         // §V-A's "Note": reducing the acceleration rate reduces peak power.
         let fast = LinearInductionMotor::paper_default();
-        let slow =
-            LinearInductionMotor::new(0.75, MetresPerSecondSquared::new(500.0)).unwrap();
+        let slow = LinearInductionMotor::new(0.75, MetresPerSecondSquared::new(500.0)).unwrap();
         let m = paper_cart();
         let v = MetresPerSecond::new(200.0);
         assert!(

@@ -204,10 +204,7 @@ mod tests {
         assert_eq!(tube().pump_power().value(), 500.0);
         let long = VacuumTube::paper_default(Metres::new(1000.0)).unwrap();
         assert_eq!(long.pump_power().value(), 1000.0);
-        assert_eq!(
-            tube().pump_energy(Seconds::new(10.0)).value(),
-            5000.0
-        );
+        assert_eq!(tube().pump_energy(Seconds::new(10.0)).value(), 5000.0);
     }
 
     #[test]
@@ -224,8 +221,6 @@ mod tests {
         assert!(VacuumTube::new(0.0, 0.01, 1.0, Metres::new(1.0), Watts::ZERO).is_err());
         assert!(VacuumTube::new(1.0, 0.0, 1.0, Metres::new(1.0), Watts::ZERO).is_err());
         assert!(VacuumTube::new(1.0, 0.01, 0.0, Metres::new(1.0), Watts::ZERO).is_err());
-        assert!(
-            VacuumTube::new(1.0, 0.01, 1.0, Metres::new(1.0), Watts::new(-1.0)).is_err()
-        );
+        assert!(VacuumTube::new(1.0, 0.01, 1.0, Metres::new(1.0), Watts::new(-1.0)).is_err());
     }
 }

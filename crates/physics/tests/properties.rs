@@ -1,8 +1,8 @@
 //! Property-based tests of the physics substrate's invariants.
 
 use dhl_physics::{
-    BrakingSystem, CartMassModel, LevitationModel, LinearInductionMotor, TimeModel,
-    TripKinematics, VacuumTube,
+    BrakingSystem, CartMassModel, LevitationModel, LinearInductionMotor, TimeModel, TripKinematics,
+    VacuumTube,
 };
 use dhl_rng::check::forall;
 use dhl_units::{Kilograms, Metres, MetresPerSecond, MetresPerSecondSquared, Watts};
@@ -47,8 +47,7 @@ fn lim_efficiency_never_creates_energy() {
         let eta = g.f64_in(0.01, 1.0);
         let m = g.f64_in(0.01, 100.0);
         let v = g.f64_in(1.0, 1000.0);
-        let lim =
-            LinearInductionMotor::new(eta, LinearInductionMotor::PAPER_ACCELERATION).unwrap();
+        let lim = LinearInductionMotor::new(eta, LinearInductionMotor::PAPER_ACCELERATION).unwrap();
         let electrical = lim.accel_energy(Kilograms::new(m), MetresPerSecond::new(v));
         let kinetic = dhl_units::kinetic_energy(Kilograms::new(m), MetresPerSecond::new(v));
         assert!(electrical.value() >= kinetic.value());

@@ -69,7 +69,10 @@ pub trait Rng {
     ///
     /// Panics if the range is empty or non-finite.
     fn random_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range [{lo}, {hi})"
+        );
         lo + self.random_f64() * (hi - lo)
     }
 }

@@ -263,7 +263,10 @@ mod tests {
     fn datasets_are_tracked_independently() {
         let mut t = AvailabilityTracker::new();
         t.record_transit(DatasetId(1), Seconds::new(0.0), Seconds::new(10.0));
-        assert_eq!(t.state_at(DatasetId(2), Seconds::new(5.0)), DataState::AtRest);
+        assert_eq!(
+            t.state_at(DatasetId(2), Seconds::new(5.0)),
+            DataState::AtRest
+        );
         assert_eq!(
             t.state_at(DatasetId(1), Seconds::new(5.0)),
             DataState::InTransit

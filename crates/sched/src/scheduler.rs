@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use dhl_obs::{MetricsRegistry, MetricsSnapshot, Stopwatch};
 use dhl_rng::{DeterministicRng, Rng};
 use serde::{Deserialize, Serialize};
 
@@ -63,7 +64,12 @@ pub struct TransferRequest {
 impl TransferRequest {
     /// A request with zero dwell (pure transfer).
     #[must_use]
-    pub fn new(dataset: DatasetId, destination: usize, priority: Priority, arrival: Seconds) -> Self {
+    pub fn new(
+        dataset: DatasetId,
+        destination: usize,
+        priority: Priority,
+        arrival: Seconds,
+    ) -> Self {
         Self {
             dataset,
             destination,
@@ -141,7 +147,10 @@ impl RequestOutcome {
 }
 
 /// Result of running the scheduler to completion.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+///
+/// Equality compares the *schedule* only: [`ScheduleOutcome::metrics`]
+/// carries wall-clock observability data and is excluded from `PartialEq`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ScheduleOutcome {
     /// Outcomes in completion order.
     pub completed: Vec<RequestOutcome>,
@@ -151,6 +160,18 @@ pub struct ScheduleOutcome {
     pub total_energy: Joules,
     /// Fraction of the makespan the track spent occupied.
     pub track_utilisation: f64,
+    /// Observability snapshot: placement-latency histogram, retry and
+    /// downtime accounting, wall-clock run time.
+    pub metrics: MetricsSnapshot,
+}
+
+impl PartialEq for ScheduleOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.completed == other.completed
+            && self.makespan == other.makespan
+            && self.total_energy == other.total_energy
+            && self.track_utilisation == other.track_utilisation
+    }
 }
 
 /// Errors from submitting or running the scheduler.
@@ -194,6 +215,7 @@ pub struct Scheduler {
     availability: AvailabilityTracker,
     policy: Policy,
     faults: Option<FaultAwareness>,
+    metrics: MetricsRegistry,
 }
 
 impl Scheduler {
@@ -213,7 +235,23 @@ impl Scheduler {
             availability: AvailabilityTracker::new(),
             policy: Policy::PriorityFifo,
             faults: None,
+            metrics: MetricsRegistry::enabled(),
         })
+    }
+
+    /// The observability registry (metrics accumulate across runs).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Enables or disables metric recording (clears recorded metrics).
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        self.metrics = if enabled {
+            MetricsRegistry::enabled()
+        } else {
+            MetricsRegistry::disabled()
+        };
     }
 
     /// Sets the within-class ordering discipline.
@@ -307,9 +345,7 @@ impl Scheduler {
             let (_, rb) = &self.queue[b];
             let class = rb.priority.cmp(&ra.priority);
             let within = match policy {
-                Policy::PriorityFifo => {
-                    ra.arrival.partial_cmp(&rb.arrival).expect("finite")
-                }
+                Policy::PriorityFifo => ra.arrival.partial_cmp(&rb.arrival).expect("finite"),
                 Policy::ShortestJobFirst => job_size(ra).cmp(&job_size(rb)),
             };
             class.then(within)
@@ -327,6 +363,7 @@ impl Scheduler {
             .as_ref()
             .map(|f| DeterministicRng::seed_from_u64(f.seed));
 
+        let watch = Stopwatch::start();
         let mut track_free = 0.0f64;
         let mut track_busy = 0.0f64;
         // Destination docks: earliest-free times per endpoint.
@@ -368,16 +405,17 @@ impl Scheduler {
                         .min_by(|a, b| a.partial_cmp(b).expect("finite"))
                         .expect("rack has docks");
                     let mut depart = req.arrival.seconds().max(track_free).max(*dock);
-                    depart = self.availability.next_track_up(Seconds::new(depart)).seconds();
+                    depart = self
+                        .availability
+                        .next_track_up(Seconds::new(depart))
+                        .seconds();
                     let arrive = depart + cost.total_time.seconds();
                     started = started.min(depart);
                     track_free = arrive;
                     track_busy += cost.total_time.seconds();
 
                     let lost = match (&self.faults, loss_rng.as_mut()) {
-                        (Some(f), Some(rng)) => {
-                            rng.random_bool(f.loss_probability.clamp(0.0, 1.0))
-                        }
+                        (Some(f), Some(rng)) => rng.random_bool(f.loss_probability.clamp(0.0, 1.0)),
                         _ => false,
                     };
 
@@ -388,8 +426,10 @@ impl Scheduler {
                         arrive + req.dwell.seconds()
                     };
                     let mut back_depart = ready_back.max(track_free);
-                    back_depart =
-                        self.availability.next_track_up(Seconds::new(back_depart)).seconds();
+                    back_depart = self
+                        .availability
+                        .next_track_up(Seconds::new(back_depart))
+                        .seconds();
                     let home = back_depart + cost.total_time.seconds();
                     track_free = home;
                     track_busy += cost.total_time.seconds();
@@ -424,6 +464,20 @@ impl Scheduler {
             }
 
             total_energy += energy;
+            self.metrics.inc("sched.requests", 1);
+            self.metrics.inc("sched.deliveries", deliveries);
+            self.metrics.inc("sched.redeliveries", redeliveries);
+            self.metrics.inc("sched.abandoned", abandoned);
+            // Queueing latency until the first cart could depart: the
+            // placement-latency figure a client of the scheduler feels.
+            self.metrics
+                .observe("sched.placement_latency_s", started - req.arrival.seconds());
+            if deliveries > 0 {
+                self.metrics.observe(
+                    "sched.delivery_latency_s",
+                    delivered - req.arrival.seconds(),
+                );
+            }
             outcomes.push(RequestOutcome {
                 id,
                 started: Seconds::new(started),
@@ -442,15 +496,27 @@ impl Scheduler {
             .last()
             .map(|o| o.completed)
             .unwrap_or(Seconds::ZERO);
+        let track_utilisation = if makespan.seconds() > 0.0 {
+            track_busy / makespan.seconds()
+        } else {
+            0.0
+        };
+        self.metrics
+            .set_gauge("sched.makespan_s", makespan.seconds());
+        self.metrics
+            .set_gauge("sched.track_utilisation", track_utilisation);
+        self.metrics.set_gauge(
+            "sched.track_downtime_s",
+            self.availability.total_track_downtime().seconds(),
+        );
+        self.metrics
+            .set_gauge("sched.wall_time_s", watch.elapsed_secs());
         Ok(ScheduleOutcome {
-            track_utilisation: if makespan.seconds() > 0.0 {
-                track_busy / makespan.seconds()
-            } else {
-                0.0
-            },
+            track_utilisation,
             completed: outcomes,
             makespan,
             total_energy,
+            metrics: self.metrics.snapshot(),
         })
     }
 }
@@ -481,7 +547,12 @@ mod tests {
     #[test]
     fn single_request_round_trip_accounting() {
         let (mut sched, small, _) = setup();
-        sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO));
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
         let out = sched.run();
         assert_eq!(out.completed.len(), 1);
         let r = &out.completed[0];
@@ -496,10 +567,18 @@ mod tests {
     #[test]
     fn urgent_requests_jump_the_queue() {
         let (mut sched, small, big) = setup();
-        let slow = sched.submit(
-            TransferRequest::new(big, 1, Priority::Background, Seconds::ZERO),
-        );
-        let fast = sched.submit(TransferRequest::new(small, 1, Priority::Urgent, Seconds::ZERO));
+        let slow = sched.submit(TransferRequest::new(
+            big,
+            1,
+            Priority::Background,
+            Seconds::ZERO,
+        ));
+        let fast = sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Urgent,
+            Seconds::ZERO,
+        ));
         let out = sched.run();
         let by_id: HashMap<RequestId, &RequestOutcome> =
             out.completed.iter().map(|o| (o.id, o)).collect();
@@ -511,9 +590,18 @@ mod tests {
     #[test]
     fn fifo_within_a_priority_class() {
         let (mut sched, small, _) = setup();
-        let first = sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO));
-        let second =
-            sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::new(1.0)));
+        let first = sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
+        let second = sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::new(1.0),
+        ));
         let out = sched.run();
         assert_eq!(out.completed[0].id, first);
         assert_eq!(out.completed[1].id, second);
@@ -524,7 +612,12 @@ mod tests {
     #[test]
     fn makespan_scales_with_cart_count() {
         let (mut sched, _, big) = setup();
-        sched.submit(TransferRequest::new(big, 1, Priority::Normal, Seconds::ZERO));
+        sched.submit(TransferRequest::new(
+            big,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
         let out = sched.run();
         // 36 carts × (out + back) = 72 × 8.6 s on a serial track.
         assert!((out.makespan.seconds() - 72.0 * 8.6).abs() < 1.0);
@@ -547,7 +640,12 @@ mod tests {
     #[test]
     fn invalid_requests_are_rejected_before_any_scheduling() {
         let (mut sched, small, _) = setup();
-        sched.submit(TransferRequest::new(DatasetId(999), 1, Priority::Normal, Seconds::ZERO));
+        sched.submit(TransferRequest::new(
+            DatasetId(999),
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
         assert!(matches!(
             sched.try_run(),
             Err(SchedulerError::UnknownDataset(DatasetId(999)))
@@ -556,7 +654,12 @@ mod tests {
         let mut placement = Placement::new(Bytes::from_terabytes(256.0));
         let _ = placement.store(datasets::laion_5b());
         let mut sched2 = Scheduler::new(SimConfig::paper_default(), placement).unwrap();
-        sched2.submit(TransferRequest::new(small, 0, Priority::Normal, Seconds::ZERO));
+        sched2.submit(TransferRequest::new(
+            small,
+            0,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
         assert!(matches!(
             sched2.try_run(),
             Err(SchedulerError::InvalidDestination(0))
@@ -575,7 +678,12 @@ mod tests {
     #[test]
     fn energy_matches_movement_count() {
         let (mut sched, _, big) = setup();
-        sched.submit(TransferRequest::new(big, 1, Priority::Normal, Seconds::ZERO));
+        sched.submit(TransferRequest::new(
+            big,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
         let out = sched.run();
         let per_movement = out.total_energy.value() / 72.0;
         assert!((per_movement - 15_191.0).abs() < 100.0, "{per_movement}");
@@ -593,10 +701,19 @@ mod tests {
                 Seconds::ZERO,
                 Seconds::new(100.0),
             )]));
-        sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO));
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
         let out = sched.run();
         let r = &out.completed[0];
-        assert!((r.started.seconds() - 100.0).abs() < 1e-9, "{}", r.started.seconds());
+        assert!(
+            (r.started.seconds() - 100.0).abs() < 1e-9,
+            "{}",
+            r.started.seconds()
+        );
         assert!((r.delivered.seconds() - 108.6).abs() < 1e-9);
         assert_eq!(r.redeliveries, 0);
         assert_eq!(
@@ -685,12 +802,132 @@ mod tests {
     #[test]
     fn availability_reflects_transit_windows() {
         let (mut sched, small, _) = setup();
-        sched.submit(TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO));
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
         let _ = sched.run();
         let tracker = sched.availability();
         use crate::availability::DataState;
-        assert_eq!(tracker.state_at(small, Seconds::new(4.0)), DataState::InTransit);
-        assert_eq!(tracker.state_at(small, Seconds::new(100.0)), DataState::AtRest);
+        assert_eq!(
+            tracker.state_at(small, Seconds::new(4.0)),
+            DataState::InTransit
+        );
+        assert_eq!(
+            tracker.state_at(small, Seconds::new(100.0)),
+            DataState::AtRest
+        );
+    }
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::*;
+    use dhl_storage::datasets;
+    use dhl_units::Bytes;
+
+    fn setup() -> (Scheduler, DatasetId) {
+        let mut placement = Placement::new(Bytes::from_terabytes(256.0));
+        let small = placement.store(datasets::laion_5b()); // 1 cart
+        let sched = Scheduler::new(SimConfig::paper_default(), placement).unwrap();
+        (sched, small)
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_outcome() {
+        let (mut sched, small) = setup();
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::new(1.0),
+        ));
+        let out = sched.run();
+        let m = &out.metrics;
+        assert!(!m.is_empty());
+        assert_eq!(m.counter("sched.requests"), Some(2));
+        assert_eq!(m.counter("sched.deliveries"), Some(2));
+        assert_eq!(m.counter("sched.redeliveries"), Some(0));
+        assert_eq!(m.counter("sched.abandoned"), Some(0));
+        assert!((m.gauge("sched.makespan_s").unwrap() - out.makespan.seconds()).abs() < 1e-9);
+        assert!((m.gauge("sched.track_utilisation").unwrap() - out.track_utilisation).abs() < 1e-9);
+        assert_eq!(m.gauge("sched.track_downtime_s"), Some(0.0));
+        let lat = m.histogram("sched.placement_latency_s").unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.min, 0.0, "first request departs immediately");
+        let del = m.histogram("sched.delivery_latency_s").unwrap();
+        assert_eq!(del.count, 2);
+        // One-way transit is 8.6 s; every delivery latency is at least that.
+        assert!(del.min >= 8.6 - 1e-9, "{}", del.min);
+    }
+
+    #[test]
+    fn downtime_gauge_tracks_the_availability_tracker() {
+        let (sched, small) = setup();
+        let mut sched = sched.with_faults(FaultAwareness::downtime_only(vec![(
+            Seconds::ZERO,
+            Seconds::new(100.0),
+        )]));
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
+        let out = sched.run();
+        assert_eq!(out.metrics.gauge("sched.track_downtime_s"), Some(100.0));
+        let lat = out.metrics.histogram("sched.placement_latency_s").unwrap();
+        assert!(
+            (lat.min - 100.0).abs() < 1.0,
+            "departure waited out the outage"
+        );
+    }
+
+    #[test]
+    fn retries_and_abandonment_are_counted() {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ds = p.store(datasets::laion_5b());
+        let mut s = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_faults(FaultAwareness {
+                loss_probability: 1.0,
+                max_attempts: 3,
+                seed: 1,
+                downtime: Vec::new(),
+            });
+        s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+        let out = s.run();
+        let m = &out.metrics;
+        assert_eq!(m.counter("sched.deliveries"), Some(0));
+        assert_eq!(m.counter("sched.redeliveries"), Some(2));
+        assert_eq!(m.counter("sched.abandoned"), Some(1));
+        assert!(
+            m.histogram("sched.delivery_latency_s").is_none(),
+            "nothing landed, so no delivery latency was observed"
+        );
+    }
+
+    #[test]
+    fn disabled_registry_yields_an_empty_snapshot() {
+        let (mut sched, small) = setup();
+        sched.set_metrics_enabled(false);
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
+        let out = sched.run();
+        assert!(out.metrics.is_empty());
+        assert_eq!(out.completed.len(), 1, "scheduling itself is unaffected");
     }
 }
 
@@ -729,7 +966,10 @@ mod policy_tests {
     }
 
     fn mean_delivery(out: &ScheduleOutcome) -> f64 {
-        out.completed.iter().map(|o| o.delivered.seconds()).sum::<f64>()
+        out.completed
+            .iter()
+            .map(|o| o.delivered.seconds())
+            .sum::<f64>()
             / out.completed.len() as f64
     }
 

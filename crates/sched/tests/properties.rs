@@ -63,7 +63,12 @@ fn schedule_serialises_without_overlap() {
         let ids: Vec<_> = sizes.iter().map(|&tb| p.store(dataset(tb))).collect();
         let mut sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
         for id in &ids {
-            sched.submit(TransferRequest::new(*id, 1, Priority::Normal, Seconds::ZERO));
+            sched.submit(TransferRequest::new(
+                *id,
+                1,
+                Priority::Normal,
+                Seconds::ZERO,
+            ));
         }
         let out = sched.run();
         assert_eq!(out.completed.len(), ids.len());
@@ -84,7 +89,12 @@ fn priorities_always_finish_urgent_first() {
         let u = p.store(dataset(urgent_tb));
         let b = p.store(dataset(background_tb));
         let mut sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
-        let bid = sched.submit(TransferRequest::new(b, 1, Priority::Background, Seconds::ZERO));
+        let bid = sched.submit(TransferRequest::new(
+            b,
+            1,
+            Priority::Background,
+            Seconds::ZERO,
+        ));
         let uid = sched.submit(TransferRequest::new(u, 1, Priority::Urgent, Seconds::ZERO));
         let out = sched.run();
         let pos = |id| out.completed.iter().position(|o| o.id == id).unwrap();
@@ -129,32 +139,33 @@ fn transit_time_is_bounded_by_makespan() {
 
 #[test]
 fn lossy_schedules_never_lose_deliveries_within_budget() {
-    forall("lossy_schedules_never_lose_deliveries_within_budget", 24, |g| {
-        // Shard losses below the retry budget must never shrink the
-        // delivered byte count — retries extend the schedule instead.
-        let tb = g.f64_in(256.0, 2_000.0);
-        let loss = g.f64_in(0.0, 0.5);
-        let seed = g.u64_in(0, u64::MAX);
-        let mut p = Placement::new(Bytes::from_terabytes(256.0));
-        let id = p.store(dataset(tb));
-        let mut sched = Scheduler::new(SimConfig::paper_default(), p)
-            .unwrap()
-            .with_faults(FaultAwareness {
-                loss_probability: loss,
-                max_attempts: u32::MAX,
-                seed,
-                downtime: Vec::new(),
-            });
-        sched.submit(TransferRequest::new(id, 1, Priority::Normal, Seconds::ZERO));
-        let out = sched.run();
-        let o = &out.completed[0];
-        assert_eq!(o.abandoned, 0);
-        let shards = Bytes::from_terabytes(tb).div_ceil(Bytes::from_terabytes(256.0));
-        assert_eq!(o.deliveries, shards);
-        // Every redelivery adds a full round trip to the makespan.
-        assert!(
-            out.makespan.seconds()
-                >= (2 * (shards + o.redeliveries)) as f64 * 8.6 - 1e-6
-        );
-    });
+    forall(
+        "lossy_schedules_never_lose_deliveries_within_budget",
+        24,
+        |g| {
+            // Shard losses below the retry budget must never shrink the
+            // delivered byte count — retries extend the schedule instead.
+            let tb = g.f64_in(256.0, 2_000.0);
+            let loss = g.f64_in(0.0, 0.5);
+            let seed = g.u64_in(0, u64::MAX);
+            let mut p = Placement::new(Bytes::from_terabytes(256.0));
+            let id = p.store(dataset(tb));
+            let mut sched = Scheduler::new(SimConfig::paper_default(), p)
+                .unwrap()
+                .with_faults(FaultAwareness {
+                    loss_probability: loss,
+                    max_attempts: u32::MAX,
+                    seed,
+                    downtime: Vec::new(),
+                });
+            sched.submit(TransferRequest::new(id, 1, Priority::Normal, Seconds::ZERO));
+            let out = sched.run();
+            let o = &out.completed[0];
+            assert_eq!(o.abandoned, 0);
+            let shards = Bytes::from_terabytes(tb).div_ceil(Bytes::from_terabytes(256.0));
+            assert_eq!(o.deliveries, shards);
+            // Every redelivery adds a full round trip to the makespan.
+            assert!(out.makespan.seconds() >= (2 * (shards + o.redeliveries)) as f64 * 8.6 - 1e-6);
+        },
+    );
 }

@@ -298,7 +298,10 @@ impl DhlApi {
     }
 
     fn rack_of(&self, cart: CartId) -> Result<EndpointId, ApiError> {
-        let c = self.carts.get(cart).ok_or(ApiError::CartNotDocked { cart })?;
+        let c = self
+            .carts
+            .get(cart)
+            .ok_or(ApiError::CartNotDocked { cart })?;
         if c.endpoint == 0 {
             return Err(ApiError::CartNotDocked { cart });
         }
@@ -317,7 +320,9 @@ impl DhlApi {
 
     fn inject_failures(&mut self, cart: CartId, duration: Seconds) -> Result<(), ApiError> {
         if let Some((rel, rng)) = self.reliability.as_mut() {
-            let failed = rel.failure.sample_failures(rng, rel.ssds_per_cart, duration);
+            let failed = rel
+                .failure
+                .sample_failures(rng, rel.ssds_per_cart, duration);
             if !rel.raid.tolerates(failed) {
                 return Err(ApiError::DataLoss {
                     cart,

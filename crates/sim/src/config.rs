@@ -78,7 +78,11 @@ impl RepressurisationSpec {
     /// nominal pressure and full speed (`F = ½ρv²C_dA` via
     /// [`VacuumTube::aero_drag`], so `v_deg = v_max·√(ρ_nom/ρ_deg)`).
     #[must_use]
-    pub fn degraded_speed(&self, max_speed: MetresPerSecond, track_length: Metres) -> MetresPerSecond {
+    pub fn degraded_speed(
+        &self,
+        max_speed: MetresPerSecond,
+        track_length: Metres,
+    ) -> MetresPerSecond {
         let Ok(nominal) = VacuumTube::paper_default(track_length) else {
             return max_speed;
         };
@@ -399,7 +403,9 @@ impl SimConfig {
             }
         }
         if self.num_carts == 0 {
-            return Err(ConfigError::BadFleet("fleet must contain at least one cart".into()));
+            return Err(ConfigError::BadFleet(
+                "fleet must contain at least one cart".into(),
+            ));
         }
         if self.endpoints[0].docks < self.num_carts {
             return Err(ConfigError::BadFleet(format!(
@@ -571,11 +577,17 @@ mod tests {
         assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
 
         let mut f = FaultSpec::stress();
-        f.repressurisation.as_mut().unwrap().probability_per_movement = -0.1;
+        f.repressurisation
+            .as_mut()
+            .unwrap()
+            .probability_per_movement = -0.1;
         assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
 
         let mut f = FaultSpec::stress();
-        f.repressurisation.as_mut().unwrap().degraded_pressure_millibar = 0.0;
+        f.repressurisation
+            .as_mut()
+            .unwrap()
+            .degraded_pressure_millibar = 0.0;
         assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
     }
 

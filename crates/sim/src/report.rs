@@ -1,12 +1,20 @@
 //! Simulation result reports.
 
+use dhl_obs::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 use dhl_units::{Bytes, BytesPerSecond, Joules, Seconds, Watts};
 
 /// Outcome of a bulk-transfer simulation (§V-B, via DES rather than the
 /// closed-form model).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+///
+/// Equality compares the *simulation* outcome only: the [`metrics`] snapshot
+/// carries wall-clock observability data (span timers, events/second) that
+/// legitimately differs between two otherwise identical runs, so it is
+/// excluded from `PartialEq`.
+///
+/// [`metrics`]: BulkTransferReport::metrics
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BulkTransferReport {
     /// Time until every shard was delivered and every cart was home.
     pub completion_time: Seconds,
@@ -38,6 +46,29 @@ pub struct BulkTransferReport {
     /// Fault-injection and recovery accounting (all zeros when
     /// `SimConfig::faults` is `None`).
     pub reliability: ReliabilityReport,
+    /// Observability snapshot from the simulator's [`dhl_obs`] registry:
+    /// deterministic event/launch/retry counters plus wall-clock pacing
+    /// gauges. Excluded from equality (see the type-level docs).
+    pub metrics: MetricsSnapshot,
+}
+
+impl PartialEq for BulkTransferReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.completion_time == other.completion_time
+            && self.delivered == other.delivered
+            && self.deliveries == other.deliveries
+            && self.deliveries_by_endpoint == other.deliveries_by_endpoint
+            && self.movements == other.movements
+            && self.total_energy == other.total_energy
+            && self.average_power == other.average_power
+            && self.embodied_bandwidth == other.embodied_bandwidth
+            && self.track_busy_time == other.track_busy_time
+            && self.max_carts_in_flight == other.max_carts_in_flight
+            && self.events_processed == other.events_processed
+            && self.ssd_failures == other.ssd_failures
+            && self.data_loss_events == other.data_loss_events
+            && self.reliability == other.reliability
+    }
 }
 
 /// Recovery-path accounting for a bulk transfer under fault injection.
@@ -104,6 +135,7 @@ mod tests {
             ssd_failures: 0,
             data_loss_events: 0,
             reliability: ReliabilityReport::default(),
+            metrics: MetricsSnapshot::default(),
         }
     }
 
@@ -126,6 +158,17 @@ mod tests {
     }
 
     #[test]
+    fn metrics_are_excluded_from_report_equality() {
+        let a = sample();
+        let mut b = sample();
+        b.metrics.counters.push(("sim.events".into(), 42));
+        assert_eq!(a, b, "observability data must not affect outcome equality");
+        let mut c = sample();
+        c.deliveries = 99;
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn reliability_report_defaults_to_zero() {
         let r = ReliabilityReport::default();
         assert_eq!(r.redeliveries, 0);
@@ -133,6 +176,9 @@ mod tests {
         assert_eq!(r.goodput, BytesPerSecond::ZERO);
         assert_eq!(r.throughput, BytesPerSecond::ZERO);
         assert!(r.track_downtime.is_empty());
-        assert_eq!(r.cart_stalls + r.connector_replacements + r.repressurisations, 0);
+        assert_eq!(
+            r.cart_stalls + r.connector_replacements + r.repressurisations,
+            0
+        );
     }
 }

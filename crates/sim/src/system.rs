@@ -13,6 +13,7 @@
 
 use std::collections::VecDeque;
 
+use dhl_obs::{MetricsRegistry, Stopwatch};
 use dhl_rng::{DeterministicRng, Rng};
 use dhl_storage::connectors::DockingConnector;
 use dhl_units::{Bytes, Joules, MetresPerSecond, Seconds, Watts};
@@ -170,7 +171,10 @@ impl core::fmt::Display for SimError {
         match self {
             Self::Config(e) => write!(f, "invalid configuration: {e}"),
             Self::EventBudgetExhausted { events } => {
-                write!(f, "simulation exceeded its event budget after {events} events")
+                write!(
+                    f,
+                    "simulation exceeded its event budget after {events} events"
+                )
             }
             Self::DeliveryAbandoned { endpoint, attempts } => {
                 write!(
@@ -254,6 +258,11 @@ pub struct DhlSystem {
     connector_replacements: u64,
     repressurisations: u64,
     abandoned: Option<(EndpointId, u32)>,
+    /// Observability registry: deterministic sim-domain counters and
+    /// histograms, plus wall-clock pacing gauges per run. Enabled by
+    /// default; `set_metrics_enabled(false)` turns every recording into a
+    /// single branch.
+    metrics: MetricsRegistry,
 }
 
 impl DhlSystem {
@@ -324,7 +333,23 @@ impl DhlSystem {
             connector_replacements: 0,
             repressurisations: 0,
             abandoned: None,
+            metrics: MetricsRegistry::enabled(),
         })
+    }
+
+    /// The observability registry (metrics accumulate across runs).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Enables or disables metric recording (clears recorded metrics).
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        self.metrics = if enabled {
+            MetricsRegistry::enabled()
+        } else {
+            MetricsRegistry::disabled()
+        };
     }
 
     /// The configuration in effect.
@@ -413,6 +438,7 @@ impl DhlSystem {
         if let Some(rep) = &faults.repressurisation {
             if rng.random_bool(rep.probability_per_movement) {
                 self.repressurisations += 1;
+                self.metrics.inc("sim.repressurisations", 1);
                 let until = now + rep.duration.seconds();
                 let track = &mut self.tracks[idx];
                 track.degraded_until = track.degraded_until.max(until);
@@ -449,6 +475,7 @@ impl DhlSystem {
             // The stalled cart blocks everything behind it on this track
             // from the moment it departs; carts already ahead are unaffected.
             self.cart_stalls += 1;
+            self.metrics.inc("sim.cart_stalls", 1);
             track.blocked_by = Some(m.cart);
             track.blocked_since = now;
         }
@@ -456,6 +483,9 @@ impl DhlSystem {
 
         self.total_energy += cost.energy;
         self.movements += 1;
+        self.metrics.inc("sim.carts_launched", 1);
+        self.metrics
+            .observe("sim.transit_s", cost.total_time.seconds());
 
         let cart = &mut self.carts[m.cart];
         cart.location = CartLocation::Moving {
@@ -472,7 +502,8 @@ impl DhlSystem {
         });
         cart.trips += 1;
 
-        self.queue.schedule(self.cfg.undock_time, Ev::UndockDone { cart: m.cart });
+        self.queue
+            .schedule(self.cfg.undock_time, Ev::UndockDone { cart: m.cart });
         self.record(TraceEventKind::Launch {
             cart: m.cart,
             from: m.from,
@@ -486,6 +517,8 @@ impl DhlSystem {
 
     fn try_launch(&mut self) {
         let now = self.queue.now().seconds();
+        self.metrics
+            .observe("sim.queue_depth", self.pending.len() as f64);
         let mut wakeup: Option<f64> = None;
         loop {
             let mut launched = None;
@@ -520,8 +553,7 @@ impl DhlSystem {
         if let Some(at) = wakeup {
             if !self.wakeup_scheduled {
                 self.wakeup_scheduled = true;
-                self.queue
-                    .schedule_at(Seconds::new(at), Ev::TryLaunch);
+                self.queue.schedule_at(Seconds::new(at), Ev::TryLaunch);
             }
         }
     }
@@ -616,6 +648,7 @@ impl DhlSystem {
                         conn.replace();
                         let _ = conn.mate();
                         self.connector_replacements += 1;
+                        self.metrics.inc("sim.connector_replacements", 1);
                         dock += replacement;
                     }
                 }
@@ -639,12 +672,16 @@ impl DhlSystem {
                     self.record(TraceEventKind::TrackRestored { track: idx });
                 }
                 self.carts[cart].location = CartLocation::Docked(m.to);
-                self.record(TraceEventKind::Docked { cart, endpoint: m.to });
+                self.record(TraceEventKind::Docked {
+                    cart,
+                    endpoint: m.to,
+                });
                 let lost = self.sample_in_flight_failures(m.payload, m.cost.total_time);
 
                 if self.cfg.endpoints[m.to].kind == EndpointKind::Rack {
                     self.mission.done += 1;
                     self.mission.gross_delivered += m.payload;
+                    self.metrics.inc("sim.deliveries", 1);
                     if lost && self.cfg.faults.is_some() {
                         self.fail_delivery(cart, &m);
                     } else {
@@ -703,8 +740,10 @@ impl DhlSystem {
             .failure
             .sample_failures(rng, spec.ssds_per_cart, exposure);
         self.ssd_failures += u64::from(failed);
+        self.metrics.inc("sim.ssd_failures", u64::from(failed));
         if !spec.raid.tolerates(failed) {
             self.data_loss_events += 1;
+            self.metrics.inc("sim.data_loss_events", 1);
             return true;
         }
         false
@@ -726,10 +765,12 @@ impl DhlSystem {
         });
         // The whole round trip was wasted work.
         self.retry_time_s += 2.0 * m.cost.total_time.seconds();
+        self.metrics.inc("sim.delivery_failures", 1);
         if m.attempt >= max_attempts {
             self.abandoned = Some((m.to, m.attempt));
         } else {
             self.redeliveries += 1;
+            self.metrics.inc("sim.redeliveries", 1);
             self.mission.total_deliveries += 1;
             self.redelivery_queue
                 .push_back((m.to, m.payload, m.attempt + 1));
@@ -752,9 +793,7 @@ impl DhlSystem {
             .carts
             .iter()
             .all(|c| matches!(c.location, CartLocation::Docked(0)));
-        if self.mission.done >= self.mission.total_deliveries
-            && all_home
-            && self.pending.is_empty()
+        if self.mission.done >= self.mission.total_deliveries && all_home && self.pending.is_empty()
         {
             self.mission.completion_time = Some(self.queue.now().seconds());
         }
@@ -837,6 +876,8 @@ impl DhlSystem {
                 self.schedule_delivery_for(cart);
             }
         }
+        let events_before = self.queue.events_processed();
+        let watch = Stopwatch::start();
         self.try_launch();
 
         while let Some((_, ev)) = self.queue.pop() {
@@ -853,6 +894,20 @@ impl DhlSystem {
         self.check_completion();
 
         let completion = Seconds::new(self.mission.completion_time.unwrap_or(0.0));
+        let events_this_run = self.queue.events_processed() - events_before;
+        let wall = watch.elapsed_secs();
+        self.metrics.inc("sim.events", events_this_run);
+        self.metrics
+            .set_gauge("sim.completion_s", completion.seconds());
+        self.metrics.set_gauge("sim.wall_time_s", wall);
+        if wall > 0.0 {
+            self.metrics.set_gauge(
+                "sim.sim_seconds_per_wall_second",
+                completion.seconds() / wall,
+            );
+            self.metrics
+                .set_gauge("sim.events_per_wall_second", events_this_run as f64 / wall);
+        }
         let average_power = if completion.seconds() > 0.0 {
             self.total_energy / completion
         } else {
@@ -882,6 +937,7 @@ impl DhlSystem {
             ssd_failures: self.ssd_failures,
             data_loss_events: self.data_loss_events,
             reliability: self.reliability_report(completion),
+            metrics: self.metrics.snapshot(),
         })
     }
 
@@ -1019,7 +1075,10 @@ mod tests {
         let report = run(SimConfig::paper_default(), 29.0);
         // 4 rack docks bound the outbound pipeline depth.
         assert!(report.max_carts_in_flight <= 4);
-        assert!(report.max_carts_in_flight >= 2, "pipelining should overlap carts");
+        assert!(
+            report.max_carts_in_flight >= 2,
+            "pipelining should overlap carts"
+        );
     }
 
     #[test]
@@ -1131,6 +1190,83 @@ mod tests {
         let report = run(SimConfig::paper_serial(), 29.0);
         let kw = report.average_power.kilowatts();
         assert!((kw - 1.77).abs() < 0.1, "got {kw}");
+    }
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::*;
+    use crate::config::FaultSpec;
+
+    #[test]
+    fn bulk_transfer_report_carries_a_metrics_snapshot() {
+        let report = DhlSystem::new(SimConfig::paper_default())
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(2.0))
+            .unwrap();
+        let m = &report.metrics;
+        assert!(!m.is_empty());
+        assert_eq!(m.counter("sim.carts_launched"), Some(report.movements));
+        assert_eq!(m.counter("sim.deliveries"), Some(report.deliveries));
+        assert_eq!(m.counter("sim.events"), Some(report.events_processed));
+        assert_eq!(
+            m.gauge("sim.completion_s"),
+            Some(report.completion_time.seconds())
+        );
+        let transit = m.histogram("sim.transit_s").unwrap();
+        assert_eq!(transit.count, report.movements);
+        // Every paper_default movement is the same 500 m hop: 8.6 s.
+        assert!((transit.min - 8.6).abs() < 1e-9);
+        assert!((transit.max - 8.6).abs() < 1e-9);
+        assert!(m.histogram("sim.queue_depth").is_some());
+        assert!(m.gauge("sim.wall_time_s").unwrap_or(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn sim_domain_metrics_are_deterministic_across_identical_runs() {
+        let run = || {
+            DhlSystem::new(SimConfig::paper_default())
+                .unwrap()
+                .run_bulk_transfer(Bytes::from_petabytes(1.0))
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.metrics.counters, b.metrics.counters);
+        assert_eq!(a.metrics.histograms, b.metrics.histograms);
+        // Gauges include wall-clock pacing, which may differ — but the
+        // reports still compare equal because metrics are excluded.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disabled_metrics_leave_the_snapshot_empty() {
+        let mut sys = DhlSystem::new(SimConfig::paper_default()).unwrap();
+        sys.set_metrics_enabled(false);
+        let report = sys.run_bulk_transfer(Bytes::from_petabytes(1.0)).unwrap();
+        assert!(report.metrics.is_empty());
+        assert!(!sys.metrics().is_enabled());
+        // The simulation itself is unaffected.
+        assert_eq!(report.deliveries, 4);
+    }
+
+    #[test]
+    fn fault_metrics_mirror_reliability_counters() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.faults = Some(FaultSpec {
+            cart_stall: Some(crate::config::CartStallSpec {
+                probability_per_movement: 0.2,
+                repair_time: Seconds::new(120.0),
+            }),
+            ..FaultSpec::recovery_only()
+        });
+        let report = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(4.0))
+            .unwrap();
+        assert_eq!(
+            report.metrics.counter("sim.cart_stalls"),
+            Some(report.reliability.cart_stalls)
+        );
     }
 }
 
@@ -1338,11 +1474,17 @@ mod fault_tests {
         let mut cfg = lossy_recovering_config(11);
         cfg.faults = None;
         let dataset = Bytes::from_petabytes(2.0);
-        let report = DhlSystem::new(cfg).unwrap().run_bulk_transfer(dataset).unwrap();
+        let report = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(dataset)
+            .unwrap();
         assert!(report.data_loss_events > 0);
         assert_eq!(report.deliveries, 8);
         assert_eq!(report.delivered, dataset);
-        assert_eq!(report.reliability, crate::report::ReliabilityReport::default());
+        assert_eq!(
+            report.reliability,
+            crate::report::ReliabilityReport::default()
+        );
     }
 
     #[test]
@@ -1358,7 +1500,10 @@ mod fault_tests {
         let mut sys = DhlSystem::new(cfg).unwrap();
         sys.enable_trace(1 << 16);
         let report = sys.run_bulk_transfer(Bytes::from_petabytes(4.0)).unwrap();
-        assert!(report.reliability.cart_stalls > 0, "20% stall rate over 32 trips");
+        assert!(
+            report.reliability.cart_stalls > 0,
+            "20% stall rate over 32 trips"
+        );
         let downtime: f64 = report
             .reliability
             .track_downtime
@@ -1435,7 +1580,10 @@ mod fault_tests {
             }),
             ..FaultSpec::recovery_only()
         });
-        let report = DhlSystem::new(cfg).unwrap().run_bulk_transfer(Bytes::from_petabytes(4.0)).unwrap();
+        let report = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(4.0))
+            .unwrap();
         assert!(report.reliability.repressurisations > 0);
         let clean = DhlSystem::new(SimConfig::paper_default())
             .unwrap()
@@ -1462,7 +1610,10 @@ mod fault_tests {
             ..FaultSpec::stress()
         });
         let dataset = Bytes::from_petabytes(2.0);
-        let report = DhlSystem::new(cfg).unwrap().run_bulk_transfer(dataset).unwrap();
+        let report = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(dataset)
+            .unwrap();
         assert_eq!(report.delivered, dataset);
     }
 }

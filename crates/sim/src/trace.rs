@@ -185,7 +185,13 @@ mod tests {
         let mut trace = Trace::with_capacity(2);
         trace.record(Seconds::new(1.0), TraceEventKind::EnterTube { cart: 0 });
         trace.record(Seconds::new(2.0), TraceEventKind::BeginDock { cart: 0 });
-        trace.record(Seconds::new(3.0), TraceEventKind::Docked { cart: 0, endpoint: 1 });
+        trace.record(
+            Seconds::new(3.0),
+            TraceEventKind::Docked {
+                cart: 0,
+                endpoint: 1,
+            },
+        );
         assert_eq!(trace.events().len(), 2);
         assert_eq!(trace.dropped(), 1);
     }
@@ -193,8 +199,22 @@ mod tests {
     #[test]
     fn cart_filter() {
         let mut trace = Trace::with_capacity(100);
-        trace.record(Seconds::new(0.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
-        trace.record(Seconds::new(0.5), TraceEventKind::Launch { cart: 1, from: 0, to: 1 });
+        trace.record(
+            Seconds::new(0.0),
+            TraceEventKind::Launch {
+                cart: 0,
+                from: 0,
+                to: 1,
+            },
+        );
+        trace.record(
+            Seconds::new(0.5),
+            TraceEventKind::Launch {
+                cart: 1,
+                from: 0,
+                to: 1,
+            },
+        );
         trace.record(Seconds::new(3.0), TraceEventKind::EnterTube { cart: 0 });
         assert_eq!(trace.for_cart(0).len(), 2);
         assert_eq!(trace.for_cart(1).len(), 1);
@@ -205,15 +225,41 @@ mod tests {
     fn well_formed_lifecycle_accepted() {
         let mut trace = Trace::with_capacity(100);
         let seq = [
-            ev(0.0, TraceEventKind::Launch { cart: 0, from: 0, to: 1 }),
+            ev(
+                0.0,
+                TraceEventKind::Launch {
+                    cart: 0,
+                    from: 0,
+                    to: 1,
+                },
+            ),
             ev(3.0, TraceEventKind::EnterTube { cart: 0 }),
             ev(5.6, TraceEventKind::BeginDock { cart: 0 }),
-            ev(8.6, TraceEventKind::Docked { cart: 0, endpoint: 1 }),
+            ev(
+                8.6,
+                TraceEventKind::Docked {
+                    cart: 0,
+                    endpoint: 1,
+                },
+            ),
             ev(8.6, TraceEventKind::ProcessingDone { cart: 0 }),
-            ev(9.0, TraceEventKind::Launch { cart: 0, from: 1, to: 0 }),
+            ev(
+                9.0,
+                TraceEventKind::Launch {
+                    cart: 0,
+                    from: 1,
+                    to: 0,
+                },
+            ),
             ev(12.0, TraceEventKind::EnterTube { cart: 0 }),
             ev(14.6, TraceEventKind::BeginDock { cart: 0 }),
-            ev(17.6, TraceEventKind::Docked { cart: 0, endpoint: 0 }),
+            ev(
+                17.6,
+                TraceEventKind::Docked {
+                    cart: 0,
+                    endpoint: 0,
+                },
+            ),
         ];
         for (t, k) in seq {
             trace.record(t, k);
@@ -225,24 +271,58 @@ mod tests {
     fn malformed_lifecycles_rejected() {
         // Docked without ever launching.
         let mut t1 = Trace::with_capacity(10);
-        t1.record(Seconds::new(1.0), TraceEventKind::Docked { cart: 0, endpoint: 1 });
+        t1.record(
+            Seconds::new(1.0),
+            TraceEventKind::Docked {
+                cart: 0,
+                endpoint: 1,
+            },
+        );
         assert!(!t1.lifecycle_is_well_formed(0));
 
         // Launch twice in a row.
         let mut t2 = Trace::with_capacity(10);
-        t2.record(Seconds::new(0.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
-        t2.record(Seconds::new(1.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
+        t2.record(
+            Seconds::new(0.0),
+            TraceEventKind::Launch {
+                cart: 0,
+                from: 0,
+                to: 1,
+            },
+        );
+        t2.record(
+            Seconds::new(1.0),
+            TraceEventKind::Launch {
+                cart: 0,
+                from: 0,
+                to: 1,
+            },
+        );
         assert!(!t2.lifecycle_is_well_formed(0));
 
         // Time going backwards.
         let mut t3 = Trace::with_capacity(10);
-        t3.record(Seconds::new(5.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
+        t3.record(
+            Seconds::new(5.0),
+            TraceEventKind::Launch {
+                cart: 0,
+                from: 0,
+                to: 1,
+            },
+        );
         t3.record(Seconds::new(4.0), TraceEventKind::EnterTube { cart: 0 });
         assert!(!t3.lifecycle_is_well_formed(0));
 
         // Mid-flight at end of trace.
         let mut t4 = Trace::with_capacity(10);
-        t4.record(Seconds::new(0.0), TraceEventKind::Launch { cart: 0, from: 0, to: 1 });
+        t4.record(
+            Seconds::new(0.0),
+            TraceEventKind::Launch {
+                cart: 0,
+                from: 0,
+                to: 1,
+            },
+        );
         assert!(!t4.lifecycle_is_well_formed(0));
     }
 
@@ -256,29 +336,68 @@ mod tests {
     fn fault_events_fit_the_lifecycle() {
         let mut trace = Trace::with_capacity(100);
         let seq = [
-            ev(0.0, TraceEventKind::Launch { cart: 0, from: 0, to: 1 }),
+            ev(
+                0.0,
+                TraceEventKind::Launch {
+                    cart: 0,
+                    from: 0,
+                    to: 1,
+                },
+            ),
             ev(3.0, TraceEventKind::EnterTube { cart: 0 }),
             ev(4.0, TraceEventKind::CartStalled { cart: 0, track: 0 }),
             ev(64.0, TraceEventKind::BeginDock { cart: 0 }),
-            ev(67.0, TraceEventKind::Docked { cart: 0, endpoint: 1 }),
-            ev(67.0, TraceEventKind::DeliveryFailed { cart: 0, endpoint: 1, attempt: 1 }),
-            ev(68.0, TraceEventKind::Launch { cart: 0, from: 1, to: 0 }),
+            ev(
+                67.0,
+                TraceEventKind::Docked {
+                    cart: 0,
+                    endpoint: 1,
+                },
+            ),
+            ev(
+                67.0,
+                TraceEventKind::DeliveryFailed {
+                    cart: 0,
+                    endpoint: 1,
+                    attempt: 1,
+                },
+            ),
+            ev(
+                68.0,
+                TraceEventKind::Launch {
+                    cart: 0,
+                    from: 1,
+                    to: 0,
+                },
+            ),
             ev(71.0, TraceEventKind::EnterTube { cart: 0 }),
             ev(73.6, TraceEventKind::BeginDock { cart: 0 }),
-            ev(76.6, TraceEventKind::Docked { cart: 0, endpoint: 0 }),
+            ev(
+                76.6,
+                TraceEventKind::Docked {
+                    cart: 0,
+                    endpoint: 0,
+                },
+            ),
         ];
         for (t, k) in seq {
             trace.record(t, k);
         }
         assert!(trace.lifecycle_is_well_formed(0));
         // TrackRestored belongs to no cart.
-        trace.record(Seconds::new(80.0), TraceEventKind::TrackRestored { track: 0 });
+        trace.record(
+            Seconds::new(80.0),
+            TraceEventKind::TrackRestored { track: 0 },
+        );
         assert_eq!(trace.for_cart(0).len(), 10);
         assert!(trace.lifecycle_is_well_formed(0));
 
         // A stall outside the tube is malformed.
         let mut bad = Trace::with_capacity(10);
-        bad.record(Seconds::new(0.0), TraceEventKind::CartStalled { cart: 0, track: 0 });
+        bad.record(
+            Seconds::new(0.0),
+            TraceEventKind::CartStalled { cart: 0, track: 0 },
+        );
         assert!(!bad.lifecycle_is_well_formed(0));
     }
 }

@@ -98,9 +98,7 @@ fn faster_carts_finish_sooner() {
         slow.max_speed = MetresPerSecond::new(100.0);
         let mut fast = SimConfig::paper_default();
         fast.max_speed = MetresPerSecond::new(300.0);
-        assert!(
-            run(fast, tb).completion_time.seconds() <= run(slow, tb).completion_time.seconds()
-        );
+        assert!(run(fast, tb).completion_time.seconds() <= run(slow, tb).completion_time.seconds());
     });
 }
 

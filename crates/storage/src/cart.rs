@@ -188,7 +188,8 @@ impl CartStorage {
     /// Time to read the full cart through a docking station.
     #[must_use]
     pub fn full_read_time(&self, link: PcieLink) -> Seconds {
-        self.docked_read_bandwidth(link).transfer_time(self.capacity())
+        self.docked_read_bandwidth(link)
+            .transfer_time(self.capacity())
     }
 
     /// Time to write the full cart through a docking station.
@@ -255,15 +256,18 @@ mod tests {
         let narrow = PcieLink::new(PcieGeneration::Gen4, 16); // ~31.5 GB/s
         let wide = PcieLink::new(PcieGeneration::Gen6, 64); // ~484 GB/s
         assert_eq!(cart.docked_read_bandwidth(narrow), narrow.bandwidth());
-        assert_eq!(cart.docked_read_bandwidth(wide), cart.aggregate_read_bandwidth());
+        assert_eq!(
+            cart.docked_read_bandwidth(wide),
+            cart.aggregate_read_bandwidth()
+        );
     }
 
     #[test]
     fn full_read_time_is_plausible() {
         // 256 TB at 227.2 GB/s ≈ 1127 s — this is why the paper pipelines
         // cart deliveries behind SSD reads.
-        let t = CartStorage::paper_default()
-            .full_read_time(PcieLink::new(PcieGeneration::Gen6, 64));
+        let t =
+            CartStorage::paper_default().full_read_time(PcieLink::new(PcieGeneration::Gen6, 64));
         assert!((t.seconds() - 1126.7).abs() < 1.0);
     }
 

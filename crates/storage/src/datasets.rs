@@ -273,7 +273,10 @@ mod tests {
 
     #[test]
     fn meta_dataset_family() {
-        let sizes: Vec<f64> = meta_ml_datasets().iter().map(|d| d.size.petabytes()).collect();
+        let sizes: Vec<f64> = meta_ml_datasets()
+            .iter()
+            .map(|d| d.size.petabytes())
+            .collect();
         assert_eq!(sizes, vec![3.0, 13.0, 29.0]);
     }
 }

@@ -287,7 +287,8 @@ mod tests {
         assert!(raid.tolerates(0));
         assert!(!raid.tolerates(1));
         assert_eq!(
-            raid.usable_capacity(dhl_units::Bytes::from_terabytes(256.0)).terabytes(),
+            raid.usable_capacity(dhl_units::Bytes::from_terabytes(256.0))
+                .terabytes(),
             256.0
         );
     }

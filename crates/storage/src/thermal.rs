@@ -117,7 +117,11 @@ mod tests {
             CartStorage::paper_default(),
             CartStorage::paper_large(),
         ] {
-            assert!(bay.can_sustain_full_load(&cart), "{} SSDs", cart.ssd_count());
+            assert!(
+                bay.can_sustain_full_load(&cart),
+                "{} SSDs",
+                cart.ssd_count()
+            );
             assert_eq!(bay.bandwidth_derating(&cart), 1.0);
         }
     }

@@ -142,7 +142,10 @@ mod tests {
         let e = EnduranceModel::rocket_4_plus_8tb();
         let dwpd = e.dwpd(&StorageDevice::sabrent_rocket_4_plus());
         assert!((dwpd - 0.3836).abs() < 0.001, "{dwpd}");
-        assert_eq!(e.full_rewrites(&StorageDevice::sabrent_rocket_4_plus()), 700);
+        assert_eq!(
+            e.full_rewrites(&StorageDevice::sabrent_rocket_4_plus()),
+            700
+        );
     }
 
     #[test]

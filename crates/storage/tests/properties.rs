@@ -62,9 +62,7 @@ fn failure_probability_is_monotone_in_time() {
         let (t1, t2) = (g.f64_in(0.0, 1e9), g.f64_in(0.0, 1e9));
         let m = FailureModel::new(afr);
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
-        assert!(
-            m.failure_probability(Seconds::new(lo)) <= m.failure_probability(Seconds::new(hi))
-        );
+        assert!(m.failure_probability(Seconds::new(lo)) <= m.failure_probability(Seconds::new(hi)));
     });
 }
 
@@ -100,22 +98,26 @@ fn raid_survival_is_monotone_in_parity() {
 
 #[test]
 fn raid_survival_is_antitone_in_failure_probability() {
-    forall("raid_survival_is_antitone_in_failure_probability", 256, |g| {
-        // Riskier drives can only hurt: survival is non-increasing in the
-        // per-drive trip failure probability for every layout.
-        let raid = RaidConfig::new(g.u32_in(1, 64), g.u32_in(0, 16)).unwrap();
-        let (p1, p2) = (g.f64_in(0.0, 1.0), g.f64_in(0.0, 1.0));
-        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        let safer = raid.trip_survival_probability(lo);
-        let riskier = raid.trip_survival_probability(hi);
-        assert!(
-            riskier <= safer + 1e-12,
-            "survival rose from {safer} to {riskier} as p went {lo} -> {hi}"
-        );
-        // And both ends pin to certainty.
-        assert!((raid.trip_survival_probability(0.0) - 1.0).abs() < 1e-12);
-        assert!(raid.trip_survival_probability(1.0) < 1e-12);
-    });
+    forall(
+        "raid_survival_is_antitone_in_failure_probability",
+        256,
+        |g| {
+            // Riskier drives can only hurt: survival is non-increasing in the
+            // per-drive trip failure probability for every layout.
+            let raid = RaidConfig::new(g.u32_in(1, 64), g.u32_in(0, 16)).unwrap();
+            let (p1, p2) = (g.f64_in(0.0, 1.0), g.f64_in(0.0, 1.0));
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let safer = raid.trip_survival_probability(lo);
+            let riskier = raid.trip_survival_probability(hi);
+            assert!(
+                riskier <= safer + 1e-12,
+                "survival rose from {safer} to {riskier} as p went {lo} -> {hi}"
+            );
+            // And both ends pin to certainty.
+            assert!((raid.trip_survival_probability(0.0) - 1.0).abs() < 1e-12);
+            assert!(raid.trip_survival_probability(1.0) < 1e-12);
+        },
+    );
 }
 
 #[test]

@@ -152,9 +152,7 @@ mod tests {
         assert!((ssd.gigabytes_per_second() - 7.1).abs() < 1e-9);
         let link = GigabitsPerSecond::new(400.0);
         assert!((link.bytes_per_second().gigabytes_per_second() - 50.0).abs() < 1e-9);
-        assert!(
-            (BytesPerSecond::from_terabytes_per_second(1.0).value() - 1e12).abs() < 1e-3
-        );
+        assert!((BytesPerSecond::from_terabytes_per_second(1.0).value() - 1e12).abs() < 1e-3);
     }
 
     #[test]

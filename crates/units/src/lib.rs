@@ -45,8 +45,8 @@ mod power;
 
 pub use bandwidth::{BytesPerSecond, GigabitsPerSecond, GigabytesPerJoule};
 pub use bytes::{
-    Bytes, EXABYTE, GIBIBYTE, GIGABYTE, KIBIBYTE, KILOBYTE, MEBIBYTE, MEGABYTE, PEBIBYTE,
-    PETABYTE, TEBIBYTE, TERABYTE,
+    Bytes, EXABYTE, GIBIBYTE, GIGABYTE, KIBIBYTE, KILOBYTE, MEBIBYTE, MEGABYTE, PEBIBYTE, PETABYTE,
+    TEBIBYTE, TERABYTE,
 };
 pub use kinematics::{
     kinetic_energy, Kilograms, Metres, MetresPerSecond, MetresPerSecondSquared, Newtons,

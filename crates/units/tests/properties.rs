@@ -27,7 +27,11 @@ fn bytes_div_ceil_covers_exactly() {
 #[test]
 fn bytes_sum_is_associative_with_u64() {
     forall("bytes_sum_is_associative_with_u64", 256, |g| {
-        let (a, b, c) = (g.u64_in(0, 1 << 40), g.u64_in(0, 1 << 40), g.u64_in(0, 1 << 40));
+        let (a, b, c) = (
+            g.u64_in(0, 1 << 40),
+            g.u64_in(0, 1 << 40),
+            g.u64_in(0, 1 << 40),
+        );
         let lhs = (Bytes::new(a) + Bytes::new(b)) + Bytes::new(c);
         let rhs = Bytes::new(a) + (Bytes::new(b) + Bytes::new(c));
         assert_eq!(lhs, rhs);

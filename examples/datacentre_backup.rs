@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // DHL variants, simulated end to end.
     let variants: Vec<(&str, SimConfig)> = vec![
         ("DHL serial (paper accounting)", SimConfig::paper_serial()),
-        ("DHL pipelined (8 carts, 4 docks)", SimConfig::paper_default()),
+        (
+            "DHL pipelined (8 carts, 4 docks)",
+            SimConfig::paper_default(),
+        ),
         ("DHL dual track", {
             let mut c = SimConfig::paper_default();
             c.dual_track = true;

@@ -6,8 +6,7 @@
 //! ```
 
 use datacentre_hyperloop::core::{
-    acceleration_sweep, density_scaling, docking_time_sweep, sweep_parallel, CostModel,
-    DhlConfig,
+    acceleration_sweep, density_scaling, docking_time_sweep, sweep_parallel, CostModel, DhlConfig,
 };
 use datacentre_hyperloop::units::{
     Bytes, Metres, MetresPerSecond, MetresPerSecondSquared, Seconds,
@@ -15,26 +14,29 @@ use datacentre_hyperloop::units::{
 
 fn main() {
     // 1. A 135-point sweep (vs the paper's 13), in parallel.
-    let speeds: Vec<MetresPerSecond> =
-        (2..=10).map(|v| MetresPerSecond::new(f64::from(v) * 30.0)).collect();
+    let speeds: Vec<MetresPerSecond> = (2..=10)
+        .map(|v| MetresPerSecond::new(f64::from(v) * 30.0))
+        .collect();
     let lengths: Vec<Metres> = [100.0, 250.0, 500.0, 750.0, 1000.0].map(Metres::new).into();
     let counts = [16, 32, 64];
-    let points = sweep_parallel(
-        &speeds,
-        &lengths,
-        &counts,
-        Bytes::from_petabytes(29.0),
-        8,
-    );
+    let points = sweep_parallel(&speeds, &lengths, &counts, Bytes::from_petabytes(29.0), 8);
     let best_eff = points
         .iter()
         .max_by(|a, b| {
-            a.launch.efficiency.value().total_cmp(&b.launch.efficiency.value())
+            a.launch
+                .efficiency
+                .value()
+                .total_cmp(&b.launch.efficiency.value())
         })
         .expect("non-empty sweep");
     let best_bw = points
         .iter()
-        .max_by(|a, b| a.launch.bandwidth.value().total_cmp(&b.launch.bandwidth.value()))
+        .max_by(|a, b| {
+            a.launch
+                .bandwidth
+                .value()
+                .total_cmp(&b.launch.bandwidth.value())
+        })
         .expect("non-empty sweep");
     println!("explored {} design points:", points.len());
     println!(
@@ -93,10 +95,7 @@ fn main() {
     }
 
     // 5. What does the best design cost to build?
-    let cost = CostModel::paper().total_cost(
-        best_bw.config.track_length,
-        best_bw.config.max_speed,
-    );
+    let cost = CostModel::paper().total_cost(best_bw.config.track_length, best_bw.config.max_speed);
     println!(
         "\nthe best-bandwidth design costs {} in commodity materials",
         cost.display_dollars()

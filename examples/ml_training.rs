@@ -18,7 +18,8 @@ fn main() {
 
     println!(
         "DLRM over {} — fixed communication power {:.2} kW",
-        workload.dataset, budget.kilowatts()
+        workload.dataset,
+        budget.kilowatts()
     );
     let table = iso_power(&workload, &dhl, budget);
     println!("{:<8} {:>12} {:>12}", "scheme", "s/iter", "slowdown");
@@ -52,7 +53,9 @@ fn main() {
         DhlConfig::with_ssd_count(MetresPerSecond::new(100.0), Metres::new(500.0), 16),
         dhl,
     ];
-    let grid: Vec<Watts> = (1..=8).map(|i| Watts::new(f64::from(i) * 1_750.0)).collect();
+    let grid: Vec<Watts> = (1..=8)
+        .map(|i| Watts::new(f64::from(i) * 1_750.0))
+        .collect();
     println!("\nFig. 6 slice (power → s/iter):");
     for series in fig6(&workload, &configs, &[RouteId::A0, RouteId::C], &grid, 8) {
         let pts: Vec<String> = series

@@ -27,16 +27,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut sched = Scheduler::new(SimConfig::paper_default(), placement)?;
     let ids = [
-        ("backup (background)", sched.submit(
-            TransferRequest::new(backup, 1, Priority::Background, Seconds::ZERO),
-        )),
-        ("analytics (normal)", sched.submit(
-            TransferRequest::new(analytics, 1, Priority::Normal, Seconds::ZERO)
-                .with_dwell(Seconds::new(30.0)),
-        )),
-        ("training (urgent)", sched.submit(
-            TransferRequest::new(training, 1, Priority::Urgent, Seconds::new(5.0)),
-        )),
+        (
+            "backup (background)",
+            sched.submit(TransferRequest::new(
+                backup,
+                1,
+                Priority::Background,
+                Seconds::ZERO,
+            )),
+        ),
+        (
+            "analytics (normal)",
+            sched.submit(
+                TransferRequest::new(analytics, 1, Priority::Normal, Seconds::ZERO)
+                    .with_dwell(Seconds::new(30.0)),
+            ),
+        ),
+        (
+            "training (urgent)",
+            sched.submit(TransferRequest::new(
+                training,
+                1,
+                Priority::Urgent,
+                Seconds::new(5.0),
+            )),
+        ),
     ];
 
     let outcome = sched.run();

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let read_time = api.read(cart, Bytes::from_terabytes(42.0))?;
     api.write(cart, Bytes::from_terabytes(1.0))?;
     api.close(cart)?; // send it home
-    println!("\nAPI session: opened, read 42 TB in {:.0} s, wrote 1 TB, closed.", read_time.seconds());
+    println!(
+        "\nAPI session: opened, read 42 TB in {:.0} s, wrote 1 TB, closed.",
+        read_time.seconds()
+    );
     println!(
         "  wall clock {:.1} s, energy {:.1} kJ",
         api.now().seconds(),

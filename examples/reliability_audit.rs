@@ -9,9 +9,7 @@
 
 use datacentre_hyperloop::core::{annualise, DhlConfig, GridModel};
 use datacentre_hyperloop::net::route::Route;
-use datacentre_hyperloop::sim::{
-    DhlSystem, FaultSpec, ReliabilitySpec, SimConfig, SimError,
-};
+use datacentre_hyperloop::sim::{DhlSystem, FaultSpec, ReliabilitySpec, SimConfig, SimError};
 use datacentre_hyperloop::storage::connectors::ConnectorKind;
 use datacentre_hyperloop::storage::failure::{FailureModel, RaidConfig};
 use datacentre_hyperloop::storage::wear::{CartWear, EnduranceModel};
@@ -64,10 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rel = &recovered.reliability;
     println!(
         "  {} deliveries ({} redeliveries), {} lost then re-served; all {} delivered",
-        recovered.deliveries,
-        rel.redeliveries,
-        recovered.data_loss_events,
-        recovered.delivered
+        recovered.deliveries, rel.redeliveries, recovered.data_loss_events, recovered.delivered
     );
     println!(
         "  goodput {:.1} MB/s vs gross throughput {:.1} MB/s ({:.1} h of retry traffic)",
@@ -80,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // instead of silent degradation.
     let mut bounded = lossy;
     bounded.reliability.as_mut().expect("set above").failure = FailureModel::new(0.999);
-    bounded.faults.as_mut().expect("set above").max_delivery_attempts = 2;
+    bounded
+        .faults
+        .as_mut()
+        .expect("set above")
+        .max_delivery_attempts = 2;
     match DhlSystem::new(bounded)?.run_bulk_transfer(Bytes::from_terabytes(512.0)) {
         Err(SimError::DeliveryAbandoned { endpoint, attempts }) => println!(
             "  (budget of 2 attempts at 99.9% AFR: shard for endpoint {endpoint} abandoned\n   after {attempts} attempts — surfaced as a typed error, not lost silently)"
@@ -95,9 +94,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let campaign = Bytes::from_petabytes(58.0);
     let mut mech = SimConfig::paper_serial();
     let mut spec = FaultSpec::stress();
-    spec.cart_stall.as_mut().expect("stress stalls").probability_per_movement = 0.05;
-    spec.repressurisation.as_mut().expect("stress leaks").probability_per_movement = 0.02;
-    spec.docking_connector.as_mut().expect("stress connectors").kind = ConnectorKind::M2;
+    spec.cart_stall
+        .as_mut()
+        .expect("stress stalls")
+        .probability_per_movement = 0.05;
+    spec.repressurisation
+        .as_mut()
+        .expect("stress leaks")
+        .probability_per_movement = 0.02;
+    spec.docking_connector
+        .as_mut()
+        .expect("stress connectors")
+        .kind = ConnectorKind::M2;
     mech.faults = Some(spec);
     let mech_report = DhlSystem::new(mech)?.run_bulk_transfer(campaign)?;
     let mrel = &mech_report.reliability;
@@ -141,16 +149,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 6. Carbon: daily 29 PB restaging for a year, DHL vs route C.
     let grid = GridModel::us_average();
     let baseline = Route::c().transfer_energy(dataset);
-    let dhl_energy = datacentre_hyperloop::core::BulkTransfer::evaluate(
-        &DhlConfig::paper_default(),
-        dataset,
-    )
-    .energy;
+    let dhl_energy =
+        datacentre_hyperloop::core::BulkTransfer::evaluate(&DhlConfig::paper_default(), dataset)
+            .energy;
     let year = annualise(&grid, baseline, dhl_energy, 365.0);
     println!(
         "\nCarbon (daily restaging, US grid): {:.1} t CO2e and {} of electricity\n  saved per year vs optical route C.",
         year.kg_co2e_saved / 1000.0,
         year.usd_saved.display_dollars()
     );
+
+    // 7. Observability: every report carries the simulator's dhl-obs
+    // snapshot — the same counters the audit above summarised, exportable
+    // as NDJSON for log pipelines.
+    let metrics = &mech_report.metrics;
+    assert!(
+        !metrics.is_empty(),
+        "fault-injected runs always record metrics"
+    );
+    println!(
+        "\nObservability snapshot of the mechanical-fault run ({} counters, {} gauges, {} histograms):",
+        metrics.counters.len(),
+        metrics.gauges.len(),
+        metrics.histograms.len()
+    );
+    // Only the counters are printed: they are deterministic per seed,
+    // whereas the gauges include wall-clock pacing that varies run to run.
+    for line in metrics
+        .to_ndjson()
+        .lines()
+        .filter(|l| l.contains("\"counter\""))
+    {
+        println!("  {line}");
+    }
     Ok(())
 }

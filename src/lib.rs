@@ -34,9 +34,9 @@
 
 pub use dhl_core as core;
 pub use dhl_mlsim as mlsim;
-pub use dhl_sched as sched;
 pub use dhl_net as net;
 pub use dhl_physics as physics;
+pub use dhl_sched as sched;
 pub use dhl_sim as sim;
 pub use dhl_storage as storage;
 pub use dhl_units as units;

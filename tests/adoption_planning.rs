@@ -52,7 +52,10 @@ fn five_year_adoption_plan_holds_together() {
     for _ in 0..(2 * 365) {
         wear.record_write(cfg.cart_capacity);
     }
-    assert!(wear.is_worn_out(), "two years of daily restaging exceeds TBW");
+    assert!(
+        wear.is_worn_out(),
+        "two years of daily restaging exceeds TBW"
+    );
     let life = endurance.lifetime(Bytes::from_terabytes(8.0));
     assert!(life.days() > 365.0 && life.days() < 3.0 * 365.0);
 
@@ -63,8 +66,10 @@ fn five_year_adoption_plan_holds_together() {
     let baseline = Route::c().transfer_energy(dataset);
     let year = annualise(&GridModel::us_average(), baseline, dhl_energy, 365.0);
     assert!(year.kg_co2e_saved > 10_000.0);
-    assert!(year.usd_saved.value() * 6.0 > CostModel::paper().total_cost(
-        cfg.track_length,
-        cfg.max_speed,
-    ).value());
+    assert!(
+        year.usd_saved.value() * 6.0
+            > CostModel::paper()
+                .total_cost(cfg.track_length, cfg.max_speed,)
+                .value()
+    );
 }

@@ -42,7 +42,11 @@ fn abstract_simulation_speedups_5_7x_to_118x_iso_power() {
     let factors: Vec<f64> = table.rows[1..].iter().map(|r| r.factor_vs_dhl).collect();
     // Paper: 5.7× (A0) to 118× (C); ours within 15 %.
     assert!((factors[0] - 5.7).abs() / 5.7 < 0.15, "A0 {}", factors[0]);
-    assert!((factors[4] - 118.0).abs() / 118.0 < 0.15, "C {}", factors[4]);
+    assert!(
+        (factors[4] - 118.0).abs() / 118.0 < 0.15,
+        "C {}",
+        factors[4]
+    );
 }
 
 #[test]
@@ -51,8 +55,16 @@ fn abstract_power_reductions_6_4x_to_135x_iso_time() {
     let factors: Vec<f64> = table.rows[1..].iter().map(|r| r.factor_vs_dhl).collect();
     // Paper: 6.4× (A0) to 135× (C); ours run up to ~1.45× higher because
     // our derived DHL iteration is faster than the paper's (1212 vs 1350 s).
-    assert!(factors[0] / 6.4 > 1.0 && factors[0] / 6.4 < 1.45, "A0 {}", factors[0]);
-    assert!(factors[4] / 135.0 > 1.0 && factors[4] / 135.0 < 1.45, "C {}", factors[4]);
+    assert!(
+        factors[0] / 6.4 > 1.0 && factors[0] / 6.4 < 1.45,
+        "A0 {}",
+        factors[0]
+    );
+    assert!(
+        factors[4] / 135.0 > 1.0 && factors[4] / 135.0 < 1.45,
+        "C {}",
+        factors[4]
+    );
 }
 
 #[test]
@@ -110,7 +122,9 @@ fn fig2_route_energies_exact() {
         (RouteId::C, 299.45),
     ];
     for (id, mj) in expected {
-        let got = Route::from_id(id).transfer_energy(paper_dataset()).megajoules();
+        let got = Route::from_id(id)
+            .transfer_energy(paper_dataset())
+            .megajoules();
         assert!((got - mj).abs() < 0.005, "{id}: {got}");
     }
 }

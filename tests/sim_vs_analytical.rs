@@ -26,7 +26,9 @@ fn serial_sim_config(speed: f64, length: f64, ssds: u32) -> SimConfig {
         },
     ];
     cfg.cart_capacity = StorageDevice::sabrent_rocket_4_plus().capacity * u64::from(ssds);
-    cfg.cart_mass = dhl_physics::CartMassModel::paper_default().budget(ssds).total;
+    cfg.cart_mass = dhl_physics::CartMassModel::paper_default()
+        .budget(ssds)
+        .total;
     cfg
 }
 
@@ -35,11 +37,7 @@ fn des_matches_analytical_for_every_table_vi_point() {
     let dataset = Bytes::from_petabytes(29.0);
     for (speed, length, ssds) in datacentre_hyperloop::core::TABLE_VI_ROWS {
         let analytical = BulkTransfer::evaluate(
-            &DhlConfig::with_ssd_count(
-                MetresPerSecond::new(speed),
-                Metres::new(length),
-                ssds,
-            ),
+            &DhlConfig::with_ssd_count(MetresPerSecond::new(speed), Metres::new(length), ssds),
             dataset,
         );
         let report = DhlSystem::new(serial_sim_config(speed, length, ssds))
@@ -47,7 +45,10 @@ fn des_matches_analytical_for_every_table_vi_point() {
             .run_bulk_transfer(dataset)
             .unwrap();
 
-        assert_eq!(report.deliveries, analytical.deliveries, "{speed}/{length}/{ssds}");
+        assert_eq!(
+            report.deliveries, analytical.deliveries,
+            "{speed}/{length}/{ssds}"
+        );
         assert_eq!(report.movements, analytical.movements);
         // Times agree exactly: the serial DES is the analytical model.
         let dt = (report.completion_time.seconds() - analytical.time.seconds()).abs();

@@ -2,9 +2,7 @@
 //! invariants: well-formed cart lifecycles, dock-capacity limits, and the
 //! single-track no-two-directions rule.
 
-use datacentre_hyperloop::sim::{
-    DhlSystem, SimConfig, TraceEventKind,
-};
+use datacentre_hyperloop::sim::{DhlSystem, SimConfig, TraceEventKind};
 use datacentre_hyperloop::units::Bytes;
 
 fn traced_run(cfg: SimConfig, pb: f64) -> datacentre_hyperloop::sim::Trace {
@@ -80,8 +78,7 @@ fn single_track_never_carries_two_directions() {
             }
             TraceEventKind::EnterTube { cart } => {
                 in_tube.insert(cart, headed_out[cart]);
-                let dirs: std::collections::HashSet<bool> =
-                    in_tube.values().copied().collect();
+                let dirs: std::collections::HashSet<bool> = in_tube.values().copied().collect();
                 assert!(
                     dirs.len() <= 1,
                     "mixed directions in tube at t={}",
@@ -199,7 +196,10 @@ fn no_launch_enters_a_stalled_track() {
         }
     }
     assert!(blocked.is_empty(), "trace ended with a track still blocked");
-    assert!(stall_windows > 0, "config should produce at least one stall");
+    assert!(
+        stall_windows > 0,
+        "config should produce at least one stall"
+    );
 }
 
 #[test]
@@ -228,7 +228,10 @@ fn every_failed_delivery_is_redelivered_or_abandoned() {
     // Completion proves every byte landed: failures were all re-served.
     assert_eq!(report.delivered, Bytes::from_petabytes(pb));
     assert_eq!(total_failures, report.reliability.redeliveries);
-    assert!(total_failures > 0, "lossy config should fail some deliveries");
+    assert!(
+        total_failures > 0,
+        "lossy config should fail some deliveries"
+    );
     // Every failure triggered exactly one extra outbound launch.
     let shards = Bytes::from_petabytes(pb).div_ceil(Bytes::from_terabytes(256.0));
     assert_eq!(launches, shards + total_failures);

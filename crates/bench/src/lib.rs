@@ -19,7 +19,7 @@ use dhl_core::{crossover, paper_dataset, paper_minimal_dhl, paper_table_vi, Cost
 use dhl_mlsim::{fig6, iso_power, iso_time, DesDhlFabric, DhlFabric, DlrmWorkload};
 use dhl_net::route::{Route, RouteId};
 use dhl_physics::{BrakingSystem, TimeModel};
-use dhl_sim::{DhlSystem, SimConfig};
+use dhl_sim::{DhlSystem, IntegritySpec, SimConfig};
 use dhl_units::{Bytes, Metres, MetresPerSecond, Watts};
 
 use dhl_mlsim::CommFabric as _;
@@ -573,6 +573,24 @@ pub fn run_bench_suite() -> Vec<report_file::BenchCase> {
     cases.push(BenchCase {
         result,
         metrics: Some(sim_run().metrics),
+    });
+
+    // The same transfer with verify-on-dock enabled (clean corruption
+    // model): measures the delivery state machine's scrub overhead.
+    let verify_run = || {
+        let mut cfg = SimConfig::paper_default();
+        cfg.integrity = Some(IntegritySpec::verification_only());
+        DhlSystem::new(cfg)
+            .expect("valid paper config")
+            .run_bulk_transfer(Bytes::from_petabytes(2.0))
+            .expect("converges")
+    };
+    let result = harness::bench_function("sim/verify_on_dock_2pb", || {
+        verify_run().integrity.shards_scanned
+    });
+    cases.push(BenchCase {
+        result,
+        metrics: Some(verify_run().metrics),
     });
 
     // Scheduler-backed case: a small multi-tenant mix.

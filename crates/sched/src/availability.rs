@@ -117,6 +117,14 @@ impl AvailabilityTracker {
         Seconds::new(total)
     }
 
+    /// Number of transit windows recorded for a dataset. Every cart trip —
+    /// including redelivery and reshipment retries — adds one window, so
+    /// this is the dataset's total track-load figure.
+    #[must_use]
+    pub fn transit_count(&self, dataset: DatasetId) -> usize {
+        self.windows.get(&dataset).map_or(0, Vec::len)
+    }
+
     /// Number of datasets with any recorded transit.
     #[must_use]
     pub fn tracked_datasets(&self) -> usize {

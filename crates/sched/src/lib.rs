@@ -42,8 +42,8 @@ pub mod placement;
 pub mod scheduler;
 
 pub use availability::{AvailabilityTracker, DataState};
-pub use placement::{CartContents, DatasetId, Placement};
+pub use placement::{CartContents, DatasetId, ParityPlan, Placement};
 pub use scheduler::{
-    FaultAwareness, Policy, Priority, RequestId, RequestOutcome, ScheduleOutcome, Scheduler,
-    TransferRequest,
+    FaultAwareness, IntegrityAwareness, Policy, Priority, RequestId, RequestOutcome,
+    ScheduleOutcome, Scheduler, TransferRequest,
 };

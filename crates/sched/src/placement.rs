@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use dhl_storage::datasets::Dataset;
+use dhl_storage::failure::RaidConfig;
 use dhl_units::Bytes;
 
 /// Opaque handle for a stored dataset.
@@ -159,6 +160,69 @@ impl Placement {
         ids.sort();
         ids
     }
+
+    /// Trades parity level against payload capacity for shipping a dataset
+    /// over a route with per-drive corruption probability
+    /// `drive_corruption_probability`.
+    ///
+    /// Picks the *smallest* parity level whose per-cart survival probability
+    /// meets `target_survival`, since every parity drive displaces payload:
+    /// a `d+p` layout leaves `d/(d+p)` of each cart usable, so higher parity
+    /// means more carts (and more track time) for the same dataset. Falls
+    /// back to the maximum-parity layout when no level reaches the target,
+    /// so callers always get the most durable plan the cart admits.
+    ///
+    /// Returns `None` for an unknown dataset or `drives_per_cart == 0`.
+    #[must_use]
+    pub fn plan_parity(
+        &self,
+        id: DatasetId,
+        drives_per_cart: u32,
+        drive_corruption_probability: f64,
+        target_survival: f64,
+    ) -> Option<ParityPlan> {
+        let size = self.size_of(id)?;
+        if drives_per_cart == 0 {
+            return None;
+        }
+        let mut fallback = None;
+        for parity in 0..drives_per_cart {
+            let raid = RaidConfig::new(drives_per_cart - parity, parity)
+                .expect("data drives >= 1 by loop bound");
+            let survival = raid.trip_survival_probability(drive_corruption_probability);
+            let usable = raid.usable_capacity(self.cart_capacity);
+            let carts_required = if usable.is_zero() {
+                u64::MAX
+            } else {
+                size.div_ceil(usable)
+            };
+            let plan = ParityPlan {
+                raid,
+                survival_probability: survival,
+                usable_per_cart: usable,
+                carts_required,
+            };
+            if survival >= target_survival {
+                return Some(plan);
+            }
+            fallback = Some(plan);
+        }
+        fallback
+    }
+}
+
+/// A parity/capacity trade-off chosen by [`Placement::plan_parity`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ParityPlan {
+    /// The chosen per-cart RAID layout.
+    pub raid: RaidConfig,
+    /// Probability a cart's payload survives one trip under the route's
+    /// corruption probability.
+    pub survival_probability: f64,
+    /// Payload bytes each cart carries after parity overhead.
+    pub usable_per_cart: Bytes,
+    /// Carts needed to ship the dataset at this parity level.
+    pub carts_required: u64,
 }
 
 #[cfg(test)]

@@ -117,6 +117,41 @@ impl FaultAwareness {
     }
 }
 
+/// Scheduler-level integrity awareness: verify-on-dock dock time plus a
+/// per-delivery probability that the scrub rejects the payload and the cart
+/// must re-ship it. Rejected deliveries re-enter the queue at their original
+/// priority (like in-transit losses), and every extra round trip is recorded
+/// in the [`AvailabilityTracker`], so reshipment load is visible to clients
+/// asking when their data is at rest.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct IntegrityAwareness {
+    /// Probability that verify-on-dock finds corruption beyond the RAID
+    /// tolerance and the delivery must be re-shipped (clamped into `[0, 1]`
+    /// at sampling time).
+    pub reshipment_probability: f64,
+    /// Dock time added to every delivery for the checksum scrub. Charged
+    /// whether or not the payload passes.
+    pub verify_time: Seconds,
+    /// Attempts per cart before the shard is abandoned. Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Seed for the deterministic reshipment-sampling stream (independent of
+    /// the fault-awareness loss stream).
+    pub seed: u64,
+}
+
+impl IntegrityAwareness {
+    /// Verification that always passes: charges scrub time, never re-ships.
+    #[must_use]
+    pub fn verification_only(verify_time: Seconds) -> Self {
+        Self {
+            reshipment_probability: 0.0,
+            verify_time,
+            max_attempts: 1,
+            seed: 0,
+        }
+    }
+}
+
 /// Per-request outcome.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct RequestOutcome {
@@ -134,6 +169,9 @@ pub struct RequestOutcome {
     pub energy: Joules,
     /// Extra round trips caused by in-transit losses (0 without faults).
     pub redeliveries: u64,
+    /// Extra round trips caused by verify-on-dock rejections (0 without
+    /// integrity awareness).
+    pub reshipments: u64,
     /// Shards given up after exhausting their attempt budget.
     pub abandoned: u64,
 }
@@ -215,6 +253,7 @@ pub struct Scheduler {
     availability: AvailabilityTracker,
     policy: Policy,
     faults: Option<FaultAwareness>,
+    integrity: Option<IntegrityAwareness>,
     metrics: MetricsRegistry,
 }
 
@@ -235,6 +274,7 @@ impl Scheduler {
             availability: AvailabilityTracker::new(),
             policy: Policy::PriorityFifo,
             faults: None,
+            integrity: None,
             metrics: MetricsRegistry::enabled(),
         })
     }
@@ -265,6 +305,14 @@ impl Scheduler {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultAwareness) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Enables integrity awareness: verify-on-dock dock time and reshipment
+    /// retries for deliveries the scrub rejects.
+    #[must_use]
+    pub fn with_integrity(mut self, integrity: IntegrityAwareness) -> Self {
+        self.integrity = Some(integrity);
         self
     }
 
@@ -362,6 +410,14 @@ impl Scheduler {
             .faults
             .as_ref()
             .map(|f| DeterministicRng::seed_from_u64(f.seed));
+        let mut reship_rng = self
+            .integrity
+            .as_ref()
+            .map(|i| DeterministicRng::seed_from_u64(i.seed));
+        let verify_s = self
+            .integrity
+            .as_ref()
+            .map_or(0.0, |i| i.verify_time.seconds());
 
         let watch = Stopwatch::start();
         let mut track_free = 0.0f64;
@@ -391,6 +447,7 @@ impl Scheduler {
             let mut energy = Joules::ZERO;
             let mut deliveries = 0u64;
             let mut redeliveries = 0u64;
+            let mut reshipments = 0u64;
             let mut abandoned = 0u64;
 
             for _cart in &carts {
@@ -418,12 +475,28 @@ impl Scheduler {
                         (Some(f), Some(rng)) => rng.random_bool(f.loss_probability.clamp(0.0, 1.0)),
                         _ => false,
                     };
+                    // Verify-on-dock happens only for payloads that arrived:
+                    // the scrub may reject the delivery, sending the cart
+                    // home for a reshipment.
+                    let reshipped = if lost {
+                        false
+                    } else {
+                        match (&self.integrity, reship_rng.as_mut()) {
+                            (Some(i), Some(rng)) => {
+                                rng.random_bool(i.reshipment_probability.clamp(0.0, 1.0))
+                            }
+                            _ => false,
+                        }
+                    };
 
-                    // Dwell (skipped for a dead payload), then return.
+                    // Dwell (skipped for a dead payload; a rejected payload
+                    // still pays for its scrub), then return.
                     let ready_back = if lost {
                         arrive
+                    } else if reshipped {
+                        arrive + verify_s
                     } else {
-                        arrive + req.dwell.seconds()
+                        arrive + verify_s + req.dwell.seconds()
                     };
                     let mut back_depart = ready_back.max(track_free);
                     back_depart = self
@@ -448,18 +521,27 @@ impl Scheduler {
                         Seconds::new(home),
                     );
 
-                    if !lost {
+                    if !lost && !reshipped {
                         deliveries += 1;
-                        delivered = delivered.max(arrive);
+                        // A delivery counts once its scrub has passed.
+                        delivered = delivered.max(arrive + verify_s);
                         break;
                     }
-                    let budget = self.faults.as_ref().map_or(1, |f| f.max_attempts.max(1));
+                    let budget = if lost {
+                        self.faults.as_ref().map_or(1, |f| f.max_attempts.max(1))
+                    } else {
+                        self.integrity.as_ref().map_or(1, |i| i.max_attempts.max(1))
+                    };
                     if attempt >= budget {
                         abandoned += 1;
                         break;
                     }
                     attempt += 1;
-                    redeliveries += 1;
+                    if lost {
+                        redeliveries += 1;
+                    } else {
+                        reshipments += 1;
+                    }
                 }
             }
 
@@ -467,6 +549,7 @@ impl Scheduler {
             self.metrics.inc("sched.requests", 1);
             self.metrics.inc("sched.deliveries", deliveries);
             self.metrics.inc("sched.redeliveries", redeliveries);
+            self.metrics.inc("sched.reshipments", reshipments);
             self.metrics.inc("sched.abandoned", abandoned);
             // Queueing latency until the first cart could depart: the
             // placement-latency figure a client of the scheduler feels.
@@ -486,6 +569,7 @@ impl Scheduler {
                 deliveries,
                 energy,
                 redeliveries,
+                reshipments,
                 abandoned,
             });
         }
@@ -928,6 +1012,165 @@ mod metrics_tests {
         let out = sched.run();
         assert!(out.metrics.is_empty());
         assert_eq!(out.completed.len(), 1, "scheduling itself is unaffected");
+    }
+}
+
+#[cfg(test)]
+mod integrity_tests {
+    use super::*;
+    use crate::availability::DataState;
+    use dhl_storage::datasets;
+    use dhl_units::Bytes;
+
+    fn setup() -> (Placement, DatasetId) {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ds = p.store(datasets::common_crawl()); // 36 carts
+        (p, ds)
+    }
+
+    #[test]
+    fn verification_only_charges_scrub_time_per_delivery() {
+        let (p, ds) = setup();
+        let clean = {
+            let mut s = Scheduler::new(SimConfig::paper_default(), p.clone()).unwrap();
+            s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+            s.run()
+        };
+        let mut s = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_integrity(IntegrityAwareness::verification_only(Seconds::new(50.0)));
+        s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+        let out = s.run();
+        let r = &out.completed[0];
+        assert_eq!(r.deliveries, 36);
+        assert_eq!(r.reshipments, 0);
+        // Delivery now lands only after the scrub passes; earlier carts'
+        // scrubs also delay later departures on the shared track, so the
+        // last delivery shifts by at least one full scrub.
+        assert!(
+            r.delivered.seconds() >= clean.completed[0].delivered.seconds() + 50.0 - 1e-6,
+            "delivered {} vs clean {}",
+            r.delivered.seconds(),
+            clean.completed[0].delivered.seconds()
+        );
+        assert!(out.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn reshipments_retry_and_feed_the_availability_tracker() {
+        let (p, ds) = setup();
+        let mut s = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_integrity(IntegrityAwareness {
+                reshipment_probability: 0.4,
+                verify_time: Seconds::new(10.0),
+                max_attempts: 32,
+                seed: 9,
+            });
+        s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+        let out = s.run();
+        let r = &out.completed[0];
+        assert!(r.reshipments > 0, "40% rejection over 36 carts");
+        assert_eq!(r.abandoned, 0, "budget of 32 is effectively unbounded");
+        assert_eq!(r.deliveries, 36);
+        assert_eq!(r.redeliveries, 0, "no in-transit losses configured");
+        assert_eq!(
+            out.metrics.counter("sched.reshipments"),
+            Some(r.reshipments)
+        );
+        // Every reshipment round trip is visible to availability clients:
+        // 36 + reshipments round trips, 2 transit windows each.
+        let windows = s.availability().transit_count(ds);
+        assert_eq!(windows as u64, 2 * (36 + r.reshipments));
+        // Mid-first-flight the data is in transit.
+        assert_eq!(
+            s.availability().state_at(ds, Seconds::new(4.0)),
+            DataState::InTransit
+        );
+    }
+
+    #[test]
+    fn reshipment_stream_is_deterministic_and_independent_of_losses() {
+        let (p, ds) = setup();
+        let go = |seed| {
+            let mut s = Scheduler::new(SimConfig::paper_default(), p.clone())
+                .unwrap()
+                .with_faults(FaultAwareness {
+                    loss_probability: 0.2,
+                    max_attempts: 32,
+                    seed: 5,
+                    downtime: Vec::new(),
+                })
+                .with_integrity(IntegrityAwareness {
+                    reshipment_probability: 0.2,
+                    verify_time: Seconds::new(10.0),
+                    max_attempts: 32,
+                    seed,
+                });
+            s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+            s.run()
+        };
+        let a = go(1);
+        let b = go(1);
+        assert_eq!(a, b);
+        // Changing only the integrity seed must not change the loss draws:
+        // every attempt sequence still converges on 36 deliveries, and the
+        // loss stream is consumed identically per arrival.
+        let c = go(2);
+        assert_eq!(c.completed[0].deliveries, 36);
+        assert_ne!(
+            a.completed[0].reshipments, c.completed[0].reshipments,
+            "different reshipment seeds should (almost surely) differ"
+        );
+    }
+
+    #[test]
+    fn certain_rejection_abandons_after_the_budget() {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ds = p.store(datasets::laion_5b()); // 1 cart
+        let mut s = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_integrity(IntegrityAwareness {
+                reshipment_probability: 1.0,
+                verify_time: Seconds::new(10.0),
+                max_attempts: 3,
+                seed: 1,
+            });
+        s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+        let out = s.run();
+        let r = &out.completed[0];
+        assert_eq!(r.deliveries, 0);
+        assert_eq!(r.abandoned, 1);
+        assert_eq!(r.reshipments, 2, "attempts 2 and 3 were reshipments");
+        assert_eq!(out.metrics.counter("sched.abandoned"), Some(1));
+    }
+
+    #[test]
+    fn parity_planner_trades_parity_against_capacity() {
+        let (p, ds) = setup();
+        // Clean route: no parity needed, full capacity used.
+        let clean = p.plan_parity(ds, 32, 0.0, 0.999).unwrap();
+        assert_eq!(clean.raid.parity_drives(), 0);
+        assert_eq!(clean.usable_per_cart, Bytes::from_terabytes(256.0));
+        assert_eq!(clean.carts_required, 36);
+
+        // Corrupting route: parity buys survival, at a cart cost.
+        let risky = p.plan_parity(ds, 32, 0.02, 0.999).unwrap();
+        assert!(risky.raid.parity_drives() > 0);
+        assert!(risky.survival_probability >= 0.999);
+        assert!(risky.usable_per_cart < Bytes::from_terabytes(256.0));
+        assert!(risky.carts_required > 36);
+
+        // More corruption never buys fewer parity drives.
+        let riskier = p.plan_parity(ds, 32, 0.1, 0.999).unwrap();
+        assert!(riskier.raid.parity_drives() >= risky.raid.parity_drives());
+
+        // An unreachable target falls back to the most durable layout.
+        let hopeless = p.plan_parity(ds, 4, 0.9, 1.0).unwrap();
+        assert_eq!(hopeless.raid.parity_drives(), 3);
+
+        assert!(p.plan_parity(DatasetId(999), 32, 0.0, 0.9).is_none());
+        assert!(p.plan_parity(ds, 0, 0.0, 0.9).is_none());
     }
 }
 

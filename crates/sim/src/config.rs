@@ -8,7 +8,9 @@ use dhl_physics::{
 };
 use dhl_storage::connectors::ConnectorKind;
 use dhl_storage::failure::{FailureModel, RaidConfig};
-use dhl_units::{Bytes, Kilograms, Metres, MetresPerSecond, Seconds};
+use dhl_storage::integrity::CorruptionModel;
+use dhl_storage::wear::EnduranceModel;
+use dhl_units::{Bytes, Kilograms, Metres, MetresPerSecond, Seconds, Watts};
 
 /// Stochastic SSD-failure injection for the system simulator (§III-D:
 /// "if an SSD fails in-flight, the endpoint's DHL API will report the
@@ -35,6 +37,102 @@ impl ReliabilitySpec {
             ssds_per_cart: 32,
             seed: 0xD41,
         }
+    }
+}
+
+/// End-to-end payload integrity: verify-on-dock, RAID reconstruction, and
+/// bounded re-shipment.
+///
+/// Setting `SimConfig::integrity` to `Some` replaces arrival==delivery with
+/// the full delivery state machine: every rack arrival is checksummed
+/// against its staged [`dhl_storage::integrity::ShardManifest`] (consuming
+/// dock read time and energy), corrupted shards are rebuilt from `raid`
+/// parity when [`RaidConfig::tolerates`] holds, and over-tolerance
+/// corruption triggers a re-shipment through the PR-1 retry machinery
+/// (bounded by `FaultSpec::max_delivery_attempts` when faults are on, one
+/// attempt otherwise).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct IntegritySpec {
+    /// Silent-corruption hazard model (wear, connector, and thermal terms).
+    pub corruption: CorruptionModel,
+    /// Shards per fully loaded cart; checksum granularity. The default maps
+    /// one shard per SSD so RAID tolerance arithmetic lines up 1:1.
+    pub shards_per_cart: u32,
+    /// Dock-side scrub bandwidth for verify-on-dock, bytes per second.
+    pub verify_bandwidth_bytes_per_second: f64,
+    /// Dock-side power drawn while scrubbing (charged to transfer energy).
+    pub verify_power: Watts,
+    /// Parity-rebuild read bandwidth, bytes per second (reconstruction
+    /// reads the surviving stripe, so it is slower than a sequential scrub).
+    pub reconstruct_bandwidth_bytes_per_second: f64,
+    /// RAID layout used to reconstruct corrupted shards.
+    pub raid: RaidConfig,
+    /// NAND endurance rating: restaging wear scales the bit-rot hazard.
+    pub endurance: EnduranceModel,
+    /// Connector family assumed for mating-error wear when connector fault
+    /// injection is off (when it is on, the fault-tracked connector's actual
+    /// cycle count is used instead).
+    pub connector: ConnectorKind,
+    /// RNG seed for corruption sampling (independent of the reliability and
+    /// fault streams, so enabling integrity never perturbs them).
+    pub seed: u64,
+}
+
+impl IntegritySpec {
+    /// Verify-on-dock over a PCIe-class dock scrub (64 GB/s) at 320 W, one
+    /// shard per SSD on the default 32-drive cart, 28+4 RAID rebuilds at a
+    /// quarter of scrub speed, and the nominal corruption hazard.
+    #[must_use]
+    pub fn typical() -> Self {
+        Self {
+            corruption: CorruptionModel::paper_default(),
+            shards_per_cart: 32,
+            verify_bandwidth_bytes_per_second: 64e9,
+            verify_power: Watts::new(320.0),
+            reconstruct_bandwidth_bytes_per_second: 16e9,
+            raid: RaidConfig::new(28, 4).expect("valid layout"),
+            endurance: EnduranceModel::rocket_4_plus_8tb(),
+            connector: ConnectorKind::UsbC,
+            seed: 0x1D7,
+        }
+    }
+
+    /// Verification with corruption injection switched off: scrubs still
+    /// cost time and energy, but every payload verifies clean.
+    #[must_use]
+    pub fn verification_only() -> Self {
+        Self {
+            corruption: CorruptionModel::disabled(),
+            ..Self::typical()
+        }
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        let bad = |msg: String| Err(ConfigError::BadIntegrity(msg));
+        if self.shards_per_cart == 0 {
+            return bad("shards_per_cart must be at least 1".into());
+        }
+        for (name, bw) in [
+            ("verify bandwidth", self.verify_bandwidth_bytes_per_second),
+            (
+                "reconstruction bandwidth",
+                self.reconstruct_bandwidth_bytes_per_second,
+            ),
+        ] {
+            if !bw.is_finite() || bw <= 0.0 {
+                return bad(format!("{name} must be positive and finite, got {bw}"));
+            }
+        }
+        if !self.verify_power.value().is_finite() || self.verify_power.value() < 0.0 {
+            return bad(format!(
+                "verify power must be non-negative and finite, got {}",
+                self.verify_power.value()
+            ));
+        }
+        if let Err(msg) = self.corruption.validate() {
+            return bad(format!("corruption model: {msg}"));
+        }
+        Ok(())
     }
 }
 
@@ -242,14 +340,17 @@ pub enum ConfigError {
     Physics(PhysicsError),
     /// An invalid fault-injection parameter.
     BadFaults(String),
+    /// An invalid integrity-pipeline parameter.
+    BadIntegrity(String),
 }
 
 impl core::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            Self::BadEndpoints(msg) | Self::BadFleet(msg) | Self::BadFaults(msg) => {
-                f.write_str(msg)
-            }
+            Self::BadEndpoints(msg)
+            | Self::BadFleet(msg)
+            | Self::BadFaults(msg)
+            | Self::BadIntegrity(msg) => f.write_str(msg),
             Self::NonMonotonicPositions => {
                 f.write_str("endpoint positions must be strictly increasing")
             }
@@ -326,6 +427,9 @@ pub struct SimConfig {
     /// Optional fault injection + recovery policy. `None` keeps the legacy
     /// behaviour: losses are counted but shards are never redelivered.
     pub faults: Option<FaultSpec>,
+    /// Optional end-to-end integrity pipeline. `None` keeps the legacy
+    /// behaviour: arrival counts as delivery with no verification.
+    pub integrity: Option<IntegritySpec>,
 }
 
 impl SimConfig {
@@ -363,6 +467,7 @@ impl SimConfig {
             processing: ProcessingModel::Instant,
             reliability: None,
             faults: None,
+            integrity: None,
         }
     }
 
@@ -439,6 +544,9 @@ impl SimConfig {
         }
         if let Some(faults) = &self.faults {
             faults.validate()?;
+        }
+        if let Some(integrity) = &self.integrity {
+            integrity.validate()?;
         }
         Ok(())
     }
@@ -589,6 +697,44 @@ mod tests {
             .unwrap()
             .degraded_pressure_millibar = 0.0;
         assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+    }
+
+    #[test]
+    fn integrity_spec_presets_validate() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.integrity = Some(IntegritySpec::typical());
+        cfg.validate().unwrap();
+        cfg.integrity = Some(IntegritySpec::verification_only());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn integrity_spec_rejects_bad_parameters() {
+        let set = |i: IntegritySpec| {
+            let mut cfg = SimConfig::paper_default();
+            cfg.integrity = Some(i);
+            cfg.validate()
+        };
+        let mut i = IntegritySpec::typical();
+        i.shards_per_cart = 0;
+        assert!(matches!(set(i), Err(ConfigError::BadIntegrity(_))));
+
+        let mut i = IntegritySpec::typical();
+        i.verify_bandwidth_bytes_per_second = 0.0;
+        assert!(matches!(set(i), Err(ConfigError::BadIntegrity(_))));
+
+        let mut i = IntegritySpec::typical();
+        i.reconstruct_bandwidth_bytes_per_second = f64::NAN;
+        assert!(matches!(set(i), Err(ConfigError::BadIntegrity(_))));
+
+        let mut i = IntegritySpec::typical();
+        i.verify_power = Watts::new(-1.0);
+        assert!(matches!(set(i), Err(ConfigError::BadIntegrity(_))));
+
+        let mut i = IntegritySpec::typical();
+        i.corruption.mating_error_per_cycle = 2.0;
+        let err = set(i).unwrap_err();
+        assert!(format!("{err}").contains("corruption model"));
     }
 
     #[test]

@@ -42,9 +42,9 @@ pub mod trace;
 
 pub use config::{
     CartStallSpec, ConfigError, ConnectorFaultSpec, EndpointKind, EndpointSpec, FaultSpec,
-    ProcessingModel, ReliabilitySpec, RepressurisationSpec, SimConfig,
+    IntegritySpec, ProcessingModel, ReliabilitySpec, RepressurisationSpec, SimConfig,
 };
 pub use movement::MovementCost;
-pub use report::{BulkTransferReport, ReliabilityReport};
+pub use report::{BulkTransferReport, IntegrityReport, ReliabilityReport};
 pub use system::{CartId, CartLocation, DhlSystem, Direction, EndpointId, SimError};
 pub use trace::{Trace, TraceEvent, TraceEventKind};

@@ -46,6 +46,13 @@ pub struct BulkTransferReport {
     /// Fault-injection and recovery accounting (all zeros when
     /// `SimConfig::faults` is `None`).
     pub reliability: ReliabilityReport,
+    /// Verify-on-dock and reconstruction accounting (all zeros when
+    /// `SimConfig::integrity` is `None`). Excluded from `PartialEq`, same
+    /// pattern as [`metrics`]: the simulation outcome fields above already
+    /// capture everything integrity changes about the run.
+    ///
+    /// [`metrics`]: BulkTransferReport::metrics
+    pub integrity: IntegrityReport,
     /// Observability snapshot from the simulator's [`dhl_obs`] registry:
     /// deterministic event/launch/retry counters plus wall-clock pacing
     /// gauges. Excluded from equality (see the type-level docs).
@@ -69,6 +76,30 @@ impl PartialEq for BulkTransferReport {
             && self.data_loss_events == other.data_loss_events
             && self.reliability == other.reliability
     }
+}
+
+/// End-to-end integrity accounting for a bulk transfer with verify-on-dock
+/// enabled.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct IntegrityReport {
+    /// Shards checksummed at rack docks.
+    pub shards_scanned: u64,
+    /// Shards whose checksum no longer matched the staged manifest.
+    pub shards_corrupted: u64,
+    /// Corrupted shards rebuilt in place from RAID parity.
+    pub shards_reconstructed: u64,
+    /// Deliveries that completed verification intact (clean, or after
+    /// parity reconstruction).
+    pub deliveries_verified: u64,
+    /// Deliveries re-shipped because corruption exceeded the RAID tolerance.
+    pub deliveries_reshipped: u64,
+    /// Total dock time spent scrubbing payloads.
+    pub verification_time: Seconds,
+    /// Total dock time spent rebuilding shards from parity.
+    pub reconstruction_time: Seconds,
+    /// Energy drawn by the dock-side scrubs (also included in the run's
+    /// `total_energy`).
+    pub verification_energy: Joules,
 }
 
 /// Recovery-path accounting for a bulk transfer under fault injection.
@@ -135,6 +166,7 @@ mod tests {
             ssd_failures: 0,
             data_loss_events: 0,
             reliability: ReliabilityReport::default(),
+            integrity: IntegrityReport::default(),
             metrics: MetricsSnapshot::default(),
         }
     }
@@ -166,6 +198,34 @@ mod tests {
         let mut c = sample();
         c.deliveries = 99;
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn integrity_is_excluded_from_report_equality() {
+        let a = sample();
+        let mut b = sample();
+        b.integrity.shards_scanned = 128;
+        b.integrity.verification_time = Seconds::new(4_000.0);
+        assert_eq!(
+            a, b,
+            "integrity accounting must not affect outcome equality"
+        );
+    }
+
+    #[test]
+    fn integrity_report_defaults_to_zero() {
+        let r = IntegrityReport::default();
+        assert_eq!(
+            r.shards_scanned
+                + r.shards_corrupted
+                + r.shards_reconstructed
+                + r.deliveries_verified
+                + r.deliveries_reshipped,
+            0
+        );
+        assert_eq!(r.verification_time, Seconds::ZERO);
+        assert_eq!(r.reconstruction_time, Seconds::ZERO);
+        assert_eq!(r.verification_energy, Joules::ZERO);
     }
 
     #[test]

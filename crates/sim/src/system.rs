@@ -16,12 +16,13 @@ use std::collections::VecDeque;
 use dhl_obs::{MetricsRegistry, Stopwatch};
 use dhl_rng::{DeterministicRng, Rng};
 use dhl_storage::connectors::DockingConnector;
+use dhl_storage::wear::CartWear;
 use dhl_units::{Bytes, Joules, MetresPerSecond, Seconds, Watts};
 
-use crate::config::{ConfigError, EndpointKind, ProcessingModel, SimConfig};
+use crate::config::{ConfigError, EndpointKind, IntegritySpec, ProcessingModel, SimConfig};
 use crate::engine::EventQueue;
 use crate::movement::MovementCost;
-use crate::report::{BulkTransferReport, ReliabilityReport};
+use crate::report::{BulkTransferReport, IntegrityReport, ReliabilityReport};
 use crate::trace::{Trace, TraceEventKind};
 
 /// Index of a cart in the fleet.
@@ -81,7 +82,21 @@ enum Ev {
     UndockDone { cart: CartId },
     Arrived { cart: CartId },
     DockDone { cart: CartId },
+    VerifyDone { cart: CartId },
     ProcessingDone { cart: CartId },
+}
+
+/// A rack delivery parked in the `Arrived` state of the delivery machine:
+/// docked, scrub scheduled, verdict pending.
+#[derive(Copy, Clone, Debug)]
+struct PendingVerify {
+    to: EndpointId,
+    payload: Bytes,
+    attempt: u32,
+    /// One-way trip time actually charged — the corruption exposure window,
+    /// and the basis for retry-time accounting if the payload reships.
+    trip_time: Seconds,
+    shards: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -92,6 +107,13 @@ struct CartSim {
     trips: u64,
     /// The cart's docking connector, tracked when connector faults are on.
     connector: Option<DockingConnector>,
+    /// NAND wear from restaging writes, tracked when integrity is on.
+    wear: Option<CartWear>,
+    /// Connector matings over the cart's life (integrity wear input when no
+    /// fault-tracked connector exists).
+    matings: u32,
+    /// Delivery awaiting its verify-on-dock verdict.
+    verify: Option<PendingVerify>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -248,6 +270,9 @@ pub struct DhlSystem {
     /// Independent stream for physical fault sampling (stalls, leaks), so
     /// enabling faults does not perturb the SSD-failure stream.
     fault_rng: Option<DeterministicRng>,
+    /// Independent stream for silent-corruption sampling, so enabling the
+    /// integrity pipeline perturbs neither the reliability nor fault streams.
+    integrity_rng: Option<DeterministicRng>,
     /// Speed cap while a tube section is repressurised.
     degraded_cap: Option<MetresPerSecond>,
     ssd_failures: u64,
@@ -258,6 +283,14 @@ pub struct DhlSystem {
     connector_replacements: u64,
     repressurisations: u64,
     abandoned: Option<(EndpointId, u32)>,
+    shards_scanned: u64,
+    shards_corrupted: u64,
+    shards_reconstructed: u64,
+    deliveries_verified: u64,
+    deliveries_reshipped: u64,
+    verification_time_s: f64,
+    reconstruction_time_s: f64,
+    verification_energy: Joules,
     /// Observability registry: deterministic sim-domain counters and
     /// histograms, plus wall-clock pacing gauges per run. Enabled by
     /// default; `set_metrics_enabled(false)` turns every recording into a
@@ -278,12 +311,19 @@ impl DhlSystem {
             .as_ref()
             .and_then(|f| f.docking_connector.as_ref())
             .map(|c| DockingConnector::new(c.kind));
+        let wear = cfg
+            .integrity
+            .as_ref()
+            .map(|i| CartWear::new(i.endurance.clone(), cfg.cart_capacity));
         let carts = vec![
             CartSim {
                 location: CartLocation::Docked(0),
                 movement: None,
                 trips: 0,
                 connector,
+                wear,
+                matings: 0,
+                verify: None,
             };
             cfg.num_carts as usize
         ];
@@ -307,6 +347,10 @@ impl DhlSystem {
             .as_ref()
             .and_then(|f| f.repressurisation.as_ref())
             .map(|r| r.degraded_speed(cfg.max_speed, cfg.track_length()));
+        let integrity_rng = cfg
+            .integrity
+            .as_ref()
+            .map(|i| DeterministicRng::seed_from_u64(i.seed));
         Ok(Self {
             cfg,
             queue: EventQueue::new(),
@@ -323,6 +367,7 @@ impl DhlSystem {
             event_budget: 50_000_000,
             reliability_rng,
             fault_rng,
+            integrity_rng,
             degraded_cap,
             trace: None,
             ssd_failures: 0,
@@ -333,6 +378,14 @@ impl DhlSystem {
             connector_replacements: 0,
             repressurisations: 0,
             abandoned: None,
+            shards_scanned: 0,
+            shards_corrupted: 0,
+            shards_reconstructed: 0,
+            deliveries_verified: 0,
+            deliveries_reshipped: 0,
+            verification_time_s: 0.0,
+            reconstruction_time_s: 0.0,
+            verification_energy: Joules::ZERO,
             metrics: MetricsRegistry::enabled(),
         })
     }
@@ -488,6 +541,13 @@ impl DhlSystem {
             .observe("sim.transit_s", cost.total_time.seconds());
 
         let cart = &mut self.carts[m.cart];
+        // A loaded launch from the library is a restage: the payload was
+        // written onto the cart's NAND, wearing it.
+        if m.from == 0 && !m.payload.is_zero() {
+            if let Some(wear) = cart.wear.as_mut() {
+                wear.record_write(m.payload);
+            }
+        }
         cart.location = CartLocation::Moving {
             from: m.from,
             to: m.to,
@@ -633,6 +693,9 @@ impl DhlSystem {
             }
             Ev::Arrived { cart } => {
                 let mut dock = self.cfg.dock_time;
+                // Every docking mates the connector once (integrity wear
+                // input, independent of connector fault injection).
+                self.carts[cart].matings = self.carts[cart].matings.saturating_add(1);
                 // Docking mates the cart's connector; a worn connector costs
                 // a replacement window before data can flow.
                 let replacement = self
@@ -683,18 +746,16 @@ impl DhlSystem {
                     self.mission.gross_delivered += m.payload;
                     self.metrics.inc("sim.deliveries", 1);
                     if lost && self.cfg.faults.is_some() {
-                        self.fail_delivery(cart, &m);
+                        self.fail_delivery(cart, m.to, m.payload, m.attempt, m.cost.total_time);
+                    } else if self.cfg.integrity.is_some() {
+                        // Arrival is no longer delivery: the payload enters
+                        // the verify-on-dock state machine and completes (or
+                        // reships) at VerifyDone.
+                        self.begin_verification(cart, &m);
                     } else {
                         // Either the payload survived, or legacy accounting
                         // (faults = None) counts the loss without recovery.
-                        self.mission.delivered += m.payload;
-                        if let Some(d) =
-                            self.mission.demands.iter_mut().find(|d| d.endpoint == m.to)
-                        {
-                            d.deliveries_done += 1;
-                        }
-                        self.queue
-                            .schedule(self.processing_time(), Ev::ProcessingDone { cart });
+                        self.complete_delivery(cart, m.to, m.payload, Seconds::ZERO);
                     }
                 } else {
                     // Returned to the library: reuse for the next shard, or
@@ -704,6 +765,10 @@ impl DhlSystem {
                     }
                     self.check_completion();
                 }
+                self.try_launch();
+            }
+            Ev::VerifyDone { cart } => {
+                self.finish_verification(cart);
                 self.try_launch();
             }
             Ev::ProcessingDone { cart } => {
@@ -749,10 +814,39 @@ impl DhlSystem {
         false
     }
 
-    /// Recovery path for a RAID-uncovered delivery: report the failure,
-    /// requeue the shard (or abandon past the attempt budget), and send the
-    /// cart straight home without processing.
-    fn fail_delivery(&mut self, cart: CartId, m: &ActiveMovement) {
+    /// Completes a rack delivery: credit the payload, then schedule the
+    /// processing dwell after `extra_dwell` (reconstruction time, for
+    /// payloads rebuilt at the dock).
+    fn complete_delivery(
+        &mut self,
+        cart: CartId,
+        to: EndpointId,
+        payload: Bytes,
+        extra_dwell: Seconds,
+    ) {
+        self.mission.delivered += payload;
+        if let Some(d) = self.mission.demands.iter_mut().find(|d| d.endpoint == to) {
+            d.deliveries_done += 1;
+        }
+        self.queue.schedule(
+            extra_dwell + self.processing_time(),
+            Ev::ProcessingDone { cart },
+        );
+    }
+
+    /// Recovery path for a delivery whose payload did not survive (RAID-
+    /// uncovered in-flight loss, or over-tolerance corruption caught at the
+    /// dock): report the failure, requeue the shard (or abandon past the
+    /// attempt budget), and send the cart straight home without processing.
+    /// Returns whether the shard was requeued for another attempt.
+    fn fail_delivery(
+        &mut self,
+        cart: CartId,
+        to: EndpointId,
+        payload: Bytes,
+        attempt: u32,
+        trip_time: Seconds,
+    ) -> bool {
         let max_attempts = self
             .cfg
             .faults
@@ -760,29 +854,177 @@ impl DhlSystem {
             .map_or(1, |f| f.max_delivery_attempts);
         self.record(TraceEventKind::DeliveryFailed {
             cart,
-            endpoint: m.to,
-            attempt: m.attempt,
+            endpoint: to,
+            attempt,
         });
         // The whole round trip was wasted work.
-        self.retry_time_s += 2.0 * m.cost.total_time.seconds();
+        self.retry_time_s += 2.0 * trip_time.seconds();
         self.metrics.inc("sim.delivery_failures", 1);
-        if m.attempt >= max_attempts {
-            self.abandoned = Some((m.to, m.attempt));
-        } else {
+        let requeued = attempt < max_attempts;
+        if requeued {
             self.redeliveries += 1;
             self.metrics.inc("sim.redeliveries", 1);
             self.mission.total_deliveries += 1;
-            self.redelivery_queue
-                .push_back((m.to, m.payload, m.attempt + 1));
+            self.redelivery_queue.push_back((to, payload, attempt + 1));
+        } else {
+            self.abandoned = Some((to, attempt));
         }
         // No processing dwell for a dead payload: head home immediately.
         self.pending.push_back(Movement {
             cart,
-            from: m.to,
+            from: to,
             to: 0,
             payload: Bytes::ZERO,
             attempt: 0,
         });
+        requeued
+    }
+
+    /// Fraction of the cart's docking-connector rated cycles consumed — the
+    /// mating-error wear input. Uses the fault-tracked connector when
+    /// connector faults are on, otherwise counts matings against the
+    /// integrity spec's assumed connector family.
+    fn connector_wear_fraction(&self, cart: CartId, spec: &IntegritySpec) -> f64 {
+        let c = &self.carts[cart];
+        if let Some(conn) = &c.connector {
+            let rated = conn.cycles_used() + conn.cycles_remaining();
+            if rated == 0 {
+                return 0.0;
+            }
+            return f64::from(conn.cycles_used()) / f64::from(rated);
+        }
+        let rated = spec.connector.rated_cycles();
+        if rated == 0 {
+            return 0.0;
+        }
+        (f64::from(c.matings) / f64::from(rated)).min(1.0)
+    }
+
+    /// Checksum granularity: a fully loaded cart splits into
+    /// `shards_per_cart` equal shards.
+    fn shard_size(&self, spec: &IntegritySpec) -> Bytes {
+        Bytes::new((self.cfg.cart_capacity.as_u64() / u64::from(spec.shards_per_cart)).max(1))
+    }
+
+    /// `Arrived → (scrub)`: charge verify-on-dock time and energy, park the
+    /// delivery on the cart, and schedule its verdict.
+    fn begin_verification(&mut self, cart: CartId, m: &ActiveMovement) {
+        let spec = self.cfg.integrity.clone().expect("integrity spec present");
+        let shards = if m.payload.is_zero() {
+            0
+        } else {
+            m.payload.div_ceil(self.shard_size(&spec))
+        };
+        let verify_time = Seconds::new(m.payload.as_f64() / spec.verify_bandwidth_bytes_per_second);
+        let energy = spec.verify_power * verify_time;
+        self.total_energy += energy;
+        self.verification_energy += energy;
+        self.verification_time_s += verify_time.seconds();
+        self.shards_scanned += shards;
+        self.metrics.inc("sim.shards_scanned", shards);
+        self.metrics.observe("sim.verify_s", verify_time.seconds());
+        self.record(TraceEventKind::VerifyStarted {
+            cart,
+            endpoint: m.to,
+            shards,
+        });
+        self.carts[cart].verify = Some(PendingVerify {
+            to: m.to,
+            payload: m.payload,
+            attempt: m.attempt,
+            trip_time: m.cost.total_time,
+            shards,
+        });
+        self.queue.schedule(verify_time, Ev::VerifyDone { cart });
+    }
+
+    /// The scrub's verdict: `Verified`, `Corrupted → Reconstructed`, or
+    /// `Corrupted → Reshipped | Abandoned` when parity cannot cover it.
+    fn finish_verification(&mut self, cart: CartId) {
+        let pv = self.carts[cart].verify.take().expect("verifying cart");
+        let spec = self.cfg.integrity.clone().expect("integrity spec present");
+        let wear = self.carts[cart]
+            .wear
+            .as_ref()
+            .map_or(0.0, |w| w.wear_fraction());
+        let conn_wear = self.connector_wear_fraction(cart, &spec);
+        let rng = self
+            .integrity_rng
+            .as_mut()
+            .expect("integrity rng exists with spec");
+        let corrupted =
+            spec.corruption
+                .sample_corrupted_shards(rng, pv.shards, pv.trip_time, wear, conn_wear);
+
+        if corrupted == 0 {
+            self.deliveries_verified += 1;
+            self.metrics.inc("sim.deliveries_verified", 1);
+            self.record(TraceEventKind::PayloadVerified {
+                cart,
+                endpoint: pv.to,
+                shards: pv.shards,
+            });
+            self.complete_delivery(cart, pv.to, pv.payload, Seconds::ZERO);
+            return;
+        }
+
+        self.shards_corrupted += corrupted;
+        self.metrics.inc("sim.shards_corrupted", corrupted);
+        self.record(TraceEventKind::PayloadCorrupted {
+            cart,
+            endpoint: pv.to,
+            corrupted,
+            attempt: pv.attempt,
+        });
+
+        let tolerable = u32::try_from(corrupted)
+            .map(|c| spec.raid.tolerates(c))
+            .unwrap_or(false);
+        if tolerable {
+            // Parity covers the damage: rebuild in place, charging the
+            // reconstruction read time before the processing dwell.
+            let rebuild_time = Seconds::new(
+                corrupted as f64 * self.shard_size(&spec).as_f64()
+                    / spec.reconstruct_bandwidth_bytes_per_second,
+            );
+            self.shards_reconstructed += corrupted;
+            self.reconstruction_time_s += rebuild_time.seconds();
+            self.deliveries_verified += 1;
+            self.metrics.inc("sim.shards_reconstructed", corrupted);
+            self.metrics.inc("sim.deliveries_verified", 1);
+            self.metrics
+                .observe("sim.reconstruction_s", rebuild_time.seconds());
+            self.record(TraceEventKind::ShardsReconstructed {
+                cart,
+                shards: corrupted,
+            });
+            self.complete_delivery(cart, pv.to, pv.payload, rebuild_time);
+        } else {
+            // Beyond parity: the payload is unrecoverable at the dock and
+            // re-enters the PR-1 bounded-retry machinery.
+            self.data_loss_events += 1;
+            self.metrics.inc("sim.data_loss_events", 1);
+            if self.fail_delivery(cart, pv.to, pv.payload, pv.attempt, pv.trip_time) {
+                self.deliveries_reshipped += 1;
+                self.metrics.inc("sim.deliveries_reshipped", 1);
+            }
+        }
+    }
+
+    fn integrity_report(&self) -> IntegrityReport {
+        if self.cfg.integrity.is_none() {
+            return IntegrityReport::default();
+        }
+        IntegrityReport {
+            shards_scanned: self.shards_scanned,
+            shards_corrupted: self.shards_corrupted,
+            shards_reconstructed: self.shards_reconstructed,
+            deliveries_verified: self.deliveries_verified,
+            deliveries_reshipped: self.deliveries_reshipped,
+            verification_time: Seconds::new(self.verification_time_s),
+            reconstruction_time: Seconds::new(self.reconstruction_time_s),
+            verification_energy: self.verification_energy,
+        }
     }
 
     fn check_completion(&mut self) {
@@ -937,6 +1179,7 @@ impl DhlSystem {
             ssd_failures: self.ssd_failures,
             data_loss_events: self.data_loss_events,
             reliability: self.reliability_report(completion),
+            integrity: self.integrity_report(),
             metrics: self.metrics.snapshot(),
         })
     }
@@ -1387,7 +1630,7 @@ mod fault_tests {
 
     /// A config whose per-delivery loss probability is substantial (long
     /// docked exposure, no RAID) with the recovery machinery enabled.
-    fn lossy_recovering_config(seed: u64) -> SimConfig {
+    pub(super) fn lossy_recovering_config(seed: u64) -> SimConfig {
         let mut cfg = SimConfig::paper_default();
         // ~3.6 % per-SSD failure per loaded trip; with 32 unprotected SSDs,
         // ~69 % of deliveries are lost and must be redelivered.
@@ -1615,5 +1858,229 @@ mod fault_tests {
             .run_bulk_transfer(dataset)
             .unwrap();
         assert_eq!(report.delivered, dataset);
+    }
+}
+
+#[cfg(test)]
+mod integrity_tests {
+    use super::*;
+    use crate::config::{FaultSpec, IntegritySpec};
+    use crate::report::IntegrityReport;
+    use dhl_storage::failure::RaidConfig;
+    use dhl_storage::integrity::CorruptionModel;
+
+    fn run(cfg: SimConfig, pb: f64) -> BulkTransferReport {
+        DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(pb))
+            .unwrap()
+    }
+
+    /// Every shard of every delivery corrupts (per-shard probability 1), but
+    /// the layout's parity covers all of them.
+    fn saturating_tolerated_config() -> SimConfig {
+        let mut cfg = SimConfig::paper_default();
+        cfg.integrity = Some(IntegritySpec {
+            corruption: CorruptionModel {
+                mating_error_per_cycle: 1.0,
+                ..CorruptionModel::paper_default()
+            },
+            shards_per_cart: 4,
+            raid: RaidConfig::new(28, 4).unwrap(),
+            ..IntegritySpec::typical()
+        });
+        cfg
+    }
+
+    /// Per-shard corruption is intermittent, so some deliveries exceed the
+    /// 28+4 tolerance and must be re-shipped through the PR-1 machinery.
+    fn reshipping_config(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default();
+        cfg.integrity = Some(IntegritySpec {
+            corruption: CorruptionModel {
+                mating_error_per_cycle: 0.12,
+                ..CorruptionModel::paper_default()
+            },
+            seed,
+            ..IntegritySpec::typical()
+        });
+        cfg.faults = Some(FaultSpec {
+            max_delivery_attempts: 64,
+            ..FaultSpec::recovery_only()
+        });
+        cfg
+    }
+
+    #[test]
+    fn integrity_disabled_is_the_pre_integrity_simulation() {
+        // `integrity: None` must leave the simulation untouched: the other
+        // tests in this file pin the pre-integrity numbers, and the report's
+        // integrity block stays all-zero.
+        let report = run(SimConfig::paper_default(), 29.0);
+        assert_eq!(report.integrity, IntegrityReport::default());
+        assert_eq!(report.deliveries, 114);
+        assert_eq!(report.delivered, Bytes::from_petabytes(29.0));
+    }
+
+    #[test]
+    fn verify_on_dock_charges_time_and_energy() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.integrity = Some(IntegritySpec::verification_only());
+        let verified = run(cfg, 29.0);
+        let baseline = run(SimConfig::paper_default(), 29.0);
+
+        // Same useful work, strictly more time and energy.
+        assert_eq!(verified.deliveries, baseline.deliveries);
+        assert_eq!(verified.delivered, baseline.delivered);
+        assert!(verified.completion_time > baseline.completion_time);
+        assert!(verified.total_energy > baseline.total_energy);
+
+        let integ = &verified.integrity;
+        assert_eq!(integ.deliveries_verified, verified.deliveries);
+        assert_eq!(integ.shards_corrupted, 0);
+        assert_eq!(integ.shards_reconstructed, 0);
+        assert_eq!(integ.deliveries_reshipped, 0);
+        // 113 full carts × 32 shards plus a 72 TB tail cart (9 × 8 TB shards).
+        assert_eq!(integ.shards_scanned, 113 * 32 + 9);
+        // 29 PB scrubbed at 64 GB/s ≈ 4.53e5 s of verification.
+        let expected_verify = 29.0e15 / 64.0e9;
+        assert!((integ.verification_time.seconds() - expected_verify).abs() < 1.0);
+        assert!(integ.verification_energy.value() > 0.0);
+        let expected_total = baseline.total_energy.value() + integ.verification_energy.value();
+        assert!(
+            (verified.total_energy.value() - expected_total).abs() < 1e-6 * expected_total,
+            "scrub energy must be the only addition to the run's energy"
+        );
+    }
+
+    #[test]
+    fn tolerated_corruption_reconstructs_without_reshipment() {
+        let report = run(saturating_tolerated_config(), 29.0);
+        let integ = &report.integrity;
+        // Every shard of every delivery corrupts, parity rebuilds all of
+        // them, and nothing is re-shipped. 113 full carts at 4 shards each
+        // plus a 72 TB tail cart (2 × 64 TB shards).
+        assert_eq!(integ.shards_scanned, 113 * 4 + 2);
+        assert_eq!(integ.shards_corrupted, integ.shards_scanned);
+        assert_eq!(integ.shards_reconstructed, integ.shards_corrupted);
+        assert_eq!(integ.deliveries_verified, report.deliveries);
+        assert_eq!(integ.deliveries_reshipped, 0);
+        assert!(integ.reconstruction_time.seconds() > 0.0);
+        assert_eq!(report.delivered, Bytes::from_petabytes(29.0));
+        assert_eq!(report.deliveries, 114);
+    }
+
+    #[test]
+    fn over_tolerance_corruption_reships_until_delivered() {
+        let dataset = Bytes::from_petabytes(8.0);
+        let mut sys = DhlSystem::new(reshipping_config(7)).unwrap();
+        sys.enable_trace(1 << 16);
+        let report = sys.run_bulk_transfer(dataset).unwrap();
+        let integ = &report.integrity;
+        assert!(
+            integ.deliveries_reshipped > 0,
+            "expected reshipments under intermittent over-tolerance corruption"
+        );
+        // Reshipments ride the PR-1 redelivery machinery 1:1 here (no other
+        // fault source is enabled).
+        assert_eq!(integ.deliveries_reshipped, report.reliability.redeliveries);
+        assert_eq!(report.delivered, dataset);
+        assert_eq!(
+            report.deliveries,
+            integ.deliveries_verified + integ.deliveries_reshipped
+        );
+
+        // The reshipments are visible in the trace: corrupted verdicts
+        // followed by delivery failures, in a well-formed scrub lifecycle.
+        let trace = sys.take_trace().unwrap();
+        let corrupted = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::PayloadCorrupted { .. }))
+            .count() as u64;
+        let failed = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::DeliveryFailed { .. }))
+            .count() as u64;
+        assert!(corrupted >= integ.deliveries_reshipped);
+        assert_eq!(failed, integ.deliveries_reshipped);
+        for cart in 0..report.max_carts_in_flight as usize {
+            assert!(trace.lifecycle_is_well_formed(cart));
+            assert!(trace.integrity_lifecycle_is_well_formed(cart));
+        }
+    }
+
+    #[test]
+    fn unrecoverable_corruption_abandons_after_bounded_retries() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.integrity = Some(IntegritySpec {
+            corruption: CorruptionModel {
+                mating_error_per_cycle: 1.0,
+                ..CorruptionModel::paper_default()
+            },
+            raid: RaidConfig::none(32),
+            ..IntegritySpec::typical()
+        });
+        cfg.faults = Some(FaultSpec {
+            max_delivery_attempts: 3,
+            ..FaultSpec::recovery_only()
+        });
+        let err = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_terabytes(256.0))
+            .unwrap_err();
+        match err {
+            SimError::DeliveryAbandoned { endpoint, attempts } => {
+                assert_eq!(endpoint, 1);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected DeliveryAbandoned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_integrity_reports() {
+        let go = |seed| {
+            DhlSystem::new(reshipping_config(seed))
+                .unwrap()
+                .run_bulk_transfer(Bytes::from_petabytes(4.0))
+                .unwrap()
+        };
+        let a = go(21);
+        let b = go(21);
+        assert_eq!(a, b);
+        // `integrity` is excluded from report equality, so compare it
+        // explicitly as well.
+        assert_eq!(a.integrity, b.integrity);
+        let c = go(22);
+        assert_ne!(
+            a.integrity, c.integrity,
+            "different corruption seeds should (almost surely) differ"
+        );
+    }
+
+    #[test]
+    fn integrity_stream_is_independent_of_fault_streams() {
+        // Enabling verification (zero corruption) on top of the PR-1 lossy
+        // config must not perturb the fault RNG draws: the same losses and
+        // redeliveries happen, verification merely rides along.
+        let dataset = Bytes::from_petabytes(2.0);
+        let base = DhlSystem::new(super::fault_tests::lossy_recovering_config(11))
+            .unwrap()
+            .run_bulk_transfer(dataset)
+            .unwrap();
+        let mut cfg = super::fault_tests::lossy_recovering_config(11);
+        cfg.integrity = Some(IntegritySpec::verification_only());
+        let verified = DhlSystem::new(cfg)
+            .unwrap()
+            .run_bulk_transfer(dataset)
+            .unwrap();
+        assert_eq!(
+            base.reliability.redeliveries,
+            verified.reliability.redeliveries
+        );
+        assert_eq!(base.ssd_failures, verified.ssd_failures);
+        assert_eq!(base.deliveries, verified.deliveries);
     }
 }

@@ -56,6 +56,43 @@ pub enum TraceEventKind {
         /// Which delivery attempt this was (1-based).
         attempt: u32,
     },
+    /// Verify-on-dock began scrubbing a delivered payload against its shard
+    /// manifest.
+    VerifyStarted {
+        /// The docked cart being scrubbed.
+        cart: CartId,
+        /// The rack performing the scrub.
+        endpoint: EndpointId,
+        /// Shards the scrub covers.
+        shards: u64,
+    },
+    /// Every shard checksummed clean: the delivery is confirmed intact.
+    PayloadVerified {
+        /// The verified cart.
+        cart: CartId,
+        /// The rack that verified it.
+        endpoint: EndpointId,
+        /// Shards scanned.
+        shards: u64,
+    },
+    /// Verification found silently corrupted shards.
+    PayloadCorrupted {
+        /// The cart whose payload failed verification.
+        cart: CartId,
+        /// The rack that caught the corruption.
+        endpoint: EndpointId,
+        /// Number of corrupted shards.
+        corrupted: u64,
+        /// Which delivery attempt this was (1-based).
+        attempt: u32,
+    },
+    /// Corrupted shards were rebuilt from RAID parity at the dock.
+    ShardsReconstructed {
+        /// The cart whose shards were rebuilt.
+        cart: CartId,
+        /// Shards reconstructed.
+        shards: u64,
+    },
     /// A cart stalled mid-tube, blocking its track direction until repaired.
     CartStalled {
         /// The stalled cart.
@@ -133,6 +170,10 @@ impl Trace {
                 | TraceEventKind::Docked { cart: c, .. }
                 | TraceEventKind::ProcessingDone { cart: c }
                 | TraceEventKind::DeliveryFailed { cart: c, .. }
+                | TraceEventKind::VerifyStarted { cart: c, .. }
+                | TraceEventKind::PayloadVerified { cart: c, .. }
+                | TraceEventKind::PayloadCorrupted { cart: c, .. }
+                | TraceEventKind::ShardsReconstructed { cart: c, .. }
                 | TraceEventKind::CartStalled { cart: c, .. } => c == cart,
                 TraceEventKind::TrackRestored { .. } => false,
             })
@@ -162,6 +203,13 @@ impl Trace {
                 // A failed delivery is reported right after docking, while
                 // the cart sits idle at the rack.
                 (0, TraceEventKind::DeliveryFailed { .. }) => 0,
+                // The verify-on-dock pipeline runs while the cart sits
+                // docked at the rack; ordering among these events is checked
+                // separately by `integrity_lifecycle_is_well_formed`.
+                (0, TraceEventKind::VerifyStarted { .. })
+                | (0, TraceEventKind::PayloadVerified { .. })
+                | (0, TraceEventKind::PayloadCorrupted { .. })
+                | (0, TraceEventKind::ShardsReconstructed { .. }) => 0,
                 // A stall happens (and is repaired) inside the tube.
                 (2, TraceEventKind::CartStalled { .. }) => 2,
                 _ => return false,
@@ -169,6 +217,58 @@ impl Trace {
             expected_launch = phase == 0;
         }
         expected_launch
+    }
+
+    /// Checks the integrity-pipeline ordering invariant for one cart: every
+    /// `VerifyStarted` follows a `Docked` (with no intervening `Launch`),
+    /// resolves to exactly one `PayloadVerified` or `PayloadCorrupted`
+    /// before the cart launches again, and `ShardsReconstructed` appears
+    /// only immediately after a `PayloadCorrupted`.
+    #[must_use]
+    pub fn integrity_lifecycle_is_well_formed(&self, cart: CartId) -> bool {
+        let mut docked = false; // docked since the last launch
+        let mut verifying = false; // a VerifyStarted awaits its verdict
+        let mut just_corrupted = false; // last integrity event was PayloadCorrupted
+        for e in self.for_cart(cart) {
+            match e.kind {
+                TraceEventKind::Launch { .. } => {
+                    if verifying {
+                        return false; // launched with a scrub outstanding
+                    }
+                    docked = false;
+                    just_corrupted = false;
+                }
+                TraceEventKind::Docked { .. } => docked = true,
+                TraceEventKind::VerifyStarted { .. } => {
+                    if !docked || verifying {
+                        return false;
+                    }
+                    verifying = true;
+                    just_corrupted = false;
+                }
+                TraceEventKind::PayloadVerified { .. } => {
+                    if !verifying {
+                        return false;
+                    }
+                    verifying = false;
+                }
+                TraceEventKind::PayloadCorrupted { .. } => {
+                    if !verifying {
+                        return false;
+                    }
+                    verifying = false;
+                    just_corrupted = true;
+                }
+                TraceEventKind::ShardsReconstructed { .. } => {
+                    if !just_corrupted {
+                        return false;
+                    }
+                    just_corrupted = false;
+                }
+                _ => {}
+            }
+        }
+        !verifying
     }
 }
 
@@ -330,6 +430,166 @@ mod tests {
     fn empty_trace_is_well_formed() {
         let trace = Trace::with_capacity(10);
         assert!(trace.lifecycle_is_well_formed(0));
+        assert!(trace.integrity_lifecycle_is_well_formed(0));
+    }
+
+    #[test]
+    fn integrity_events_fit_the_lifecycle() {
+        let mut trace = Trace::with_capacity(100);
+        let seq = [
+            ev(
+                0.0,
+                TraceEventKind::Launch {
+                    cart: 0,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            ev(3.0, TraceEventKind::EnterTube { cart: 0 }),
+            ev(5.6, TraceEventKind::BeginDock { cart: 0 }),
+            ev(
+                8.6,
+                TraceEventKind::Docked {
+                    cart: 0,
+                    endpoint: 1,
+                },
+            ),
+            ev(
+                8.6,
+                TraceEventKind::VerifyStarted {
+                    cart: 0,
+                    endpoint: 1,
+                    shards: 32,
+                },
+            ),
+            ev(
+                100.0,
+                TraceEventKind::PayloadCorrupted {
+                    cart: 0,
+                    endpoint: 1,
+                    corrupted: 2,
+                    attempt: 1,
+                },
+            ),
+            ev(
+                100.0,
+                TraceEventKind::ShardsReconstructed { cart: 0, shards: 2 },
+            ),
+            ev(150.0, TraceEventKind::ProcessingDone { cart: 0 }),
+            ev(
+                151.0,
+                TraceEventKind::Launch {
+                    cart: 0,
+                    from: 1,
+                    to: 0,
+                },
+            ),
+            ev(154.0, TraceEventKind::EnterTube { cart: 0 }),
+            ev(156.6, TraceEventKind::BeginDock { cart: 0 }),
+            ev(
+                159.6,
+                TraceEventKind::Docked {
+                    cart: 0,
+                    endpoint: 0,
+                },
+            ),
+        ];
+        for (t, k) in seq {
+            trace.record(t, k);
+        }
+        assert!(trace.lifecycle_is_well_formed(0));
+        assert!(trace.integrity_lifecycle_is_well_formed(0));
+    }
+
+    #[test]
+    fn integrity_ordering_violations_rejected() {
+        let docked = |t: &mut Trace| {
+            t.record(
+                Seconds::new(0.0),
+                TraceEventKind::Launch {
+                    cart: 0,
+                    from: 0,
+                    to: 1,
+                },
+            );
+            t.record(Seconds::new(3.0), TraceEventKind::EnterTube { cart: 0 });
+            t.record(Seconds::new(5.6), TraceEventKind::BeginDock { cart: 0 });
+            t.record(
+                Seconds::new(8.6),
+                TraceEventKind::Docked {
+                    cart: 0,
+                    endpoint: 1,
+                },
+            );
+        };
+
+        // Verification may not start before the cart ever docks.
+        let mut t = Trace::with_capacity(10);
+        t.record(
+            Seconds::new(0.0),
+            TraceEventKind::VerifyStarted {
+                cart: 0,
+                endpoint: 1,
+                shards: 32,
+            },
+        );
+        assert!(!t.integrity_lifecycle_is_well_formed(0));
+
+        // A verdict with no scrub outstanding is malformed.
+        let mut t = Trace::with_capacity(10);
+        docked(&mut t);
+        t.record(
+            Seconds::new(9.0),
+            TraceEventKind::PayloadVerified {
+                cart: 0,
+                endpoint: 1,
+                shards: 32,
+            },
+        );
+        assert!(!t.integrity_lifecycle_is_well_formed(0));
+
+        // Reconstruction without a preceding corruption is malformed.
+        let mut t = Trace::with_capacity(10);
+        docked(&mut t);
+        t.record(
+            Seconds::new(9.0),
+            TraceEventKind::ShardsReconstructed { cart: 0, shards: 1 },
+        );
+        assert!(!t.integrity_lifecycle_is_well_formed(0));
+
+        // Launching with a scrub still outstanding is malformed.
+        let mut t = Trace::with_capacity(10);
+        docked(&mut t);
+        t.record(
+            Seconds::new(9.0),
+            TraceEventKind::VerifyStarted {
+                cart: 0,
+                endpoint: 1,
+                shards: 32,
+            },
+        );
+        t.record(
+            Seconds::new(10.0),
+            TraceEventKind::Launch {
+                cart: 0,
+                from: 1,
+                to: 0,
+            },
+        );
+        assert!(!t.integrity_lifecycle_is_well_formed(0));
+
+        // A trace ending mid-scrub is malformed.
+        let mut t = Trace::with_capacity(10);
+        docked(&mut t);
+        t.record(
+            Seconds::new(9.0),
+            TraceEventKind::VerifyStarted {
+                cart: 0,
+                endpoint: 1,
+                shards: 32,
+            },
+        );
+        assert!(!t.integrity_lifecycle_is_well_formed(0));
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Trace-replay invariants for the delivery state machine.
+//!
+//! These tests replay recorded traces and check ordering properties that the
+//! in-simulator accounting cannot see: every scrub gets exactly one verdict,
+//! reconstructions only follow corrupted verdicts, and the integrity events
+//! never interleave with the cart's transit lifecycle.
+
+use dhl_rng::check::forall;
+use dhl_sim::config::FaultSpec;
+use dhl_sim::{BulkTransferReport, DhlSystem, IntegritySpec, SimConfig, Trace, TraceEventKind};
+use dhl_storage::failure::RaidConfig;
+use dhl_storage::integrity::CorruptionModel;
+use dhl_units::Bytes;
+
+/// Runs a traced bulk transfer and returns the report plus its trace.
+fn run_traced(cfg: SimConfig, tb: f64) -> (BulkTransferReport, Trace) {
+    let mut sys = DhlSystem::new(cfg).unwrap();
+    sys.enable_trace(1 << 16);
+    let report = sys.run_bulk_transfer(Bytes::from_terabytes(tb)).unwrap();
+    let trace = sys.take_trace().unwrap();
+    (report, trace)
+}
+
+/// A config that corrupts intermittently: most deliveries reconstruct from
+/// parity, some exceed it and re-ship through the fault machinery.
+fn corrupting_config(seed: u64, mating_error: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default();
+    cfg.integrity = Some(IntegritySpec {
+        corruption: CorruptionModel {
+            mating_error_per_cycle: mating_error,
+            ..CorruptionModel::paper_default()
+        },
+        seed,
+        ..IntegritySpec::typical()
+    });
+    cfg.faults = Some(FaultSpec {
+        max_delivery_attempts: 64,
+        ..FaultSpec::recovery_only()
+    });
+    cfg
+}
+
+/// Replays a trace and asserts the integrity-event ordering invariants hold
+/// for every cart, plus global verdict conservation against the report.
+fn assert_integrity_invariants(report: &BulkTransferReport, trace: &Trace) {
+    let mut verify_started = 0u64;
+    let mut verified = 0u64;
+    let mut corrupted_verdicts = 0u64;
+    let mut reconstructed_shards = 0u64;
+    let mut last_ts = f64::NEG_INFINITY;
+    for e in trace.events() {
+        assert!(
+            e.time.seconds() >= last_ts,
+            "trace timestamps must be non-decreasing"
+        );
+        last_ts = e.time.seconds();
+        match e.kind {
+            TraceEventKind::VerifyStarted { .. } => verify_started += 1,
+            TraceEventKind::PayloadVerified { .. } => verified += 1,
+            TraceEventKind::PayloadCorrupted { .. } => corrupted_verdicts += 1,
+            TraceEventKind::ShardsReconstructed { shards, .. } => reconstructed_shards += shards,
+            _ => {}
+        }
+    }
+    // Every scrub reaches exactly one verdict.
+    assert_eq!(verify_started, verified + corrupted_verdicts);
+    // Verdicts reconcile with the report's accounting.
+    assert_eq!(
+        verify_started,
+        report.integrity.deliveries_verified + report.integrity.deliveries_reshipped
+    );
+    assert_eq!(reconstructed_shards, report.integrity.shards_reconstructed);
+    for cart in 0..report.max_carts_in_flight as usize {
+        assert!(
+            trace.lifecycle_is_well_formed(cart),
+            "cart {cart} transit lifecycle malformed"
+        );
+        assert!(
+            trace.integrity_lifecycle_is_well_formed(cart),
+            "cart {cart} integrity lifecycle malformed"
+        );
+    }
+}
+
+#[test]
+fn clean_verification_traces_are_well_formed() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.integrity = Some(IntegritySpec::verification_only());
+    let (report, trace) = run_traced(cfg, 2_048.0);
+    assert_integrity_invariants(&report, &trace);
+    // No corruption model → no corrupted verdicts at all.
+    assert!(!trace
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::PayloadCorrupted { .. })));
+}
+
+#[test]
+fn corrupting_runs_preserve_integrity_event_ordering() {
+    forall(
+        "corrupting_runs_preserve_integrity_event_ordering",
+        24,
+        |g| {
+            let seed = g.u64_in(0, 1 << 20);
+            let mating_error = g.f64_in(0.0, 0.2);
+            let tb = g.f64_in(256.0, 4_096.0);
+            let (report, trace) = run_traced(corrupting_config(seed, mating_error), tb);
+            assert_integrity_invariants(&report, &trace);
+        },
+    );
+}
+
+#[test]
+fn fully_tolerated_corruption_reconstructs_in_trace() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.integrity = Some(IntegritySpec {
+        corruption: CorruptionModel {
+            mating_error_per_cycle: 1.0,
+            ..CorruptionModel::paper_default()
+        },
+        shards_per_cart: 4,
+        raid: RaidConfig::new(28, 4).unwrap(),
+        ..IntegritySpec::typical()
+    });
+    let (report, trace) = run_traced(cfg, 1_024.0);
+    assert_integrity_invariants(&report, &trace);
+    // Every corrupted verdict is followed by a reconstruction, never a
+    // delivery failure.
+    let corrupted = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::PayloadCorrupted { .. }))
+        .count();
+    let reconstructions = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::ShardsReconstructed { .. }))
+        .count();
+    assert!(corrupted > 0);
+    assert_eq!(corrupted, reconstructions);
+    assert!(!trace
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::DeliveryFailed { .. })));
+}
+
+#[test]
+fn same_seed_replays_identical_integrity_traces() {
+    let go = |seed| run_traced(corrupting_config(seed, 0.12), 2_048.0);
+    let (ra, ta) = go(13);
+    let (rb, tb) = go(13);
+    assert_eq!(ra, rb);
+    assert_eq!(ra.integrity, rb.integrity);
+    assert_eq!(ta.events().len(), tb.events().len());
+    for (a, b) in ta.events().iter().zip(tb.events().iter()) {
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.kind, b.kind);
+    }
+}

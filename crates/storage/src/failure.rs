@@ -33,10 +33,17 @@ impl FailureModel {
     const SECONDS_PER_YEAR: f64 = 365.0 * 86_400.0;
 
     /// A model with the given annual failure rate, clamped into `[0, 1)`.
+    /// A non-finite AFR (NaN or ±∞ would otherwise leak through `clamp`
+    /// into every survival probability) is treated as zero.
     #[must_use]
     pub fn new(annual_failure_rate: f64) -> Self {
+        let afr = if annual_failure_rate.is_finite() {
+            annual_failure_rate
+        } else {
+            0.0
+        };
         Self {
-            annual_failure_rate: annual_failure_rate.clamp(0.0, 1.0 - f64::EPSILON),
+            annual_failure_rate: afr.clamp(0.0, 1.0 - f64::EPSILON),
         }
     }
 
@@ -59,10 +66,23 @@ impl FailureModel {
         -(1.0 - self.annual_failure_rate).ln() / Self::SECONDS_PER_YEAR
     }
 
-    /// Probability that one SSD fails within `duration`.
+    /// Probability that one SSD fails within `duration`. Negative and
+    /// non-finite durations are clamped to zero exposure rather than
+    /// propagating NaN into the survival arithmetic.
     #[must_use]
     pub fn failure_probability(&self, duration: Seconds) -> f64 {
-        1.0 - (-self.hazard_per_second() * duration.seconds().max(0.0)).exp()
+        let exposure = if duration.seconds().is_finite() {
+            duration.seconds().max(0.0)
+        } else if duration.seconds() == f64::INFINITY {
+            return if self.annual_failure_rate > 0.0 {
+                1.0
+            } else {
+                0.0
+            };
+        } else {
+            0.0
+        };
+        1.0 - (-self.hazard_per_second() * exposure).exp()
     }
 
     /// Samples how many of `ssd_count` independent SSDs fail within
@@ -254,6 +274,42 @@ mod tests {
         let m = FailureModel::new(0.5);
         assert_eq!(m.failure_probability(Seconds::ZERO), 0.0);
         assert_eq!(m.failure_probability(Seconds::new(-5.0)), 0.0);
+    }
+
+    #[test]
+    fn degenerate_afr_is_sanitised() {
+        // Non-finite AFRs would previously slip through `clamp` and poison
+        // every downstream survival probability with NaN.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let m = FailureModel::new(bad);
+            assert_eq!(m.annual_failure_rate(), 0.0, "AFR {bad} must sanitise");
+            assert_eq!(m.failure_probability(Seconds::new(8.6)), 0.0);
+        }
+        // Negative AFRs clamp to zero; ≥ 1 clamps just below certainty.
+        assert_eq!(FailureModel::new(-0.3).annual_failure_rate(), 0.0);
+        let certain = FailureModel::new(2.0);
+        assert!(certain.annual_failure_rate() < 1.0);
+        assert!(certain.hazard_per_second().is_finite());
+    }
+
+    #[test]
+    fn degenerate_durations_are_clamped() {
+        let m = FailureModel::new(0.01);
+        // NaN exposure clamps to zero exposure, not NaN probability.
+        assert_eq!(m.failure_probability(Seconds::new(f64::NAN)), 0.0);
+        assert_eq!(m.failure_probability(Seconds::new(f64::NEG_INFINITY)), 0.0);
+        // Unbounded exposure with a positive hazard is certain failure...
+        assert_eq!(m.failure_probability(Seconds::new(f64::INFINITY)), 1.0);
+        // ...but a zero-hazard model never fails even over infinite time
+        // (previously 0 × ∞ = NaN).
+        let immortal = FailureModel::new(0.0);
+        assert_eq!(
+            immortal.failure_probability(Seconds::new(f64::INFINITY)),
+            0.0
+        );
+        // Sampling with sanitised inputs stays well-defined.
+        let mut rng = DeterministicRng::seed_from_u64(7);
+        assert_eq!(m.sample_failures(&mut rng, 32, Seconds::new(f64::NAN)), 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use dhl_storage::connectors::{ConnectorKind, DockingConnector};
 use dhl_storage::datasets::{Dataset, DatasetKind};
 use dhl_storage::devices::StorageDevice;
 use dhl_storage::failure::{FailureModel, RaidConfig};
+use dhl_storage::integrity::{CorruptionModel, ShardManifest};
 use dhl_storage::thermal::ThermalModel;
 use dhl_units::{Bytes, Seconds, Watts};
 
@@ -118,6 +119,136 @@ fn raid_survival_is_antitone_in_failure_probability() {
             assert!(raid.trip_survival_probability(1.0) < 1e-12);
         },
     );
+}
+
+#[test]
+fn raid_survival_composes_with_sanitised_failure_models() {
+    forall(
+        "raid_survival_composes_with_sanitised_failure_models",
+        256,
+        |g| {
+            // End-to-end over the AFR sanitisation: whatever scalar reaches
+            // FailureModel::new (including the non-finite values it now
+            // rejects), the composed trip survival stays a probability and
+            // keeps both PR-1 monotonicities.
+            let afr = match g.u32_in(0, 4) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => g.f64_in(-2.0, 3.0),
+                _ => g.f64_in(0.0, 0.999),
+            };
+            let exposure = Seconds::new(g.f64_in(0.0, 1e9));
+            let p = FailureModel::new(afr).failure_probability(exposure);
+            assert!((0.0..=1.0).contains(&p), "AFR {afr} gave p {p}");
+            let raid = RaidConfig::new(g.u32_in(1, 64), g.u32_in(0, 16)).unwrap();
+            let s = raid.trip_survival_probability(p);
+            assert!((0.0..=1.0).contains(&s), "AFR {afr} gave survival {s}");
+            let more_parity = RaidConfig::new(
+                raid.total_drives() - raid.parity_drives(),
+                raid.parity_drives() + 1,
+            )
+            .unwrap()
+            .trip_survival_probability(p);
+            assert!(more_parity >= s - 1e-12);
+        },
+    );
+}
+
+#[test]
+fn corruption_probability_is_a_probability() {
+    forall("corruption_probability_is_a_probability", 256, |g| {
+        let model = CorruptionModel {
+            bit_rot_hazard_per_second: g.f64_in(0.0, 1e-3),
+            wear_multiplier: g.f64_in(0.0, 10.0),
+            mating_error_per_cycle: g.f64_in(0.0, 1.0),
+            thermal_multiplier: g.f64_in(1.0, 10.0),
+        };
+        assert!(model.validate().is_ok());
+        // Inputs deliberately include out-of-range and non-finite values:
+        // the model clamps rather than propagates.
+        let exposure = match g.u32_in(0, 3) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => g.f64_in(-1e6, 1e7),
+        };
+        let wear = g.f64_in(-1.0, 3.0);
+        let conn = g.f64_in(-1.0, 3.0);
+        let p = model.shard_corruption_probability(Seconds::new(exposure), wear, conn);
+        assert!((0.0..=1.0).contains(&p), "got {p}");
+    });
+}
+
+#[test]
+fn corruption_probability_is_monotone_in_every_hazard_input() {
+    forall(
+        "corruption_probability_is_monotone_in_every_hazard_input",
+        256,
+        |g| {
+            let model = CorruptionModel {
+                bit_rot_hazard_per_second: g.f64_in(1e-9, 1e-4),
+                wear_multiplier: g.f64_in(0.0, 5.0),
+                mating_error_per_cycle: g.f64_in(0.0, 0.01),
+                thermal_multiplier: g.f64_in(1.0, 6.0),
+            };
+            let t = g.f64_in(0.0, 1e6);
+            let dt = g.f64_in(0.0, 1e6);
+            let wear = g.f64_in(0.0, 1.0);
+            let dwear = g.f64_in(0.0, 1.0 - wear);
+            let conn = g.f64_in(0.0, 1.0);
+            let dconn = g.f64_in(0.0, 1.0 - conn);
+            let base = model.shard_corruption_probability(Seconds::new(t), wear, conn);
+            let eps = 1e-15;
+            let longer = model.shard_corruption_probability(Seconds::new(t + dt), wear, conn);
+            assert!(longer >= base - eps, "exposure: {base} -> {longer}");
+            let worn = model.shard_corruption_probability(Seconds::new(t), wear + dwear, conn);
+            assert!(worn >= base - eps, "wear: {base} -> {worn}");
+            let frayed = model.shard_corruption_probability(Seconds::new(t), wear, conn + dconn);
+            assert!(frayed >= base - eps, "connector: {base} -> {frayed}");
+        },
+    );
+}
+
+#[test]
+fn manifests_cover_payloads_and_detect_every_injected_corruption() {
+    forall(
+        "manifests_cover_payloads_and_detect_every_injected_corruption",
+        128,
+        |g| {
+            let payload = Bytes::new(g.u64_in(1, 1 << 50));
+            let shard = Bytes::new(g.u64_in(1, 1 << 44));
+            let staged = ShardManifest::stage(payload, shard);
+            assert_eq!(staged.total_bytes(), payload);
+            assert_eq!(
+                staged.shard_count(),
+                payload.as_u64().div_ceil(shard.as_u64())
+            );
+            // A clean delivery verifies clean.
+            assert!(staged.verify(&staged).is_empty());
+            // Any single flipped shard is detected, and only that shard.
+            let victim = g.u64_in(0, staged.shard_count());
+            let delivered = staged.with_corrupted_shard(victim);
+            assert_eq!(staged.verify(&delivered), vec![victim]);
+        },
+    );
+}
+
+#[test]
+fn sampled_corruptions_never_exceed_shard_count() {
+    forall("sampled_corruptions_never_exceed_shard_count", 128, |g| {
+        let model = CorruptionModel {
+            bit_rot_hazard_per_second: g.f64_in(0.0, 1e-2),
+            wear_multiplier: g.f64_in(0.0, 5.0),
+            mating_error_per_cycle: g.f64_in(0.0, 1.0),
+            thermal_multiplier: g.f64_in(1.0, 4.0),
+        };
+        let shards = g.u64_in(0, 512);
+        let exposure = Seconds::new(g.f64_in(0.0, 1e9));
+        let wear = g.f64_in(0.0, 1.0);
+        let conn = g.f64_in(0.0, 1.0);
+        let n = model.sample_corrupted_shards(g.rng(), shards, exposure, wear, conn);
+        assert!(n <= shards);
+    });
 }
 
 #[test]

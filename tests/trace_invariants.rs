@@ -250,3 +250,62 @@ fn fault_traces_are_deterministic_per_seed() {
     assert_eq!(ra, rb);
     assert_eq!(ta, tb);
 }
+
+#[test]
+fn integrity_events_never_interleave_with_transit() {
+    // Verify-on-dock with intermittent over-tolerance corruption: the scrub
+    // lifecycle (VerifyStarted → verdict → optional reconstruction) must sit
+    // entirely inside the cart's docked-at-rack phase, for every cart.
+    use datacentre_hyperloop::sim::IntegritySpec;
+    use datacentre_hyperloop::storage::integrity::CorruptionModel;
+
+    let mut cfg = SimConfig::paper_default();
+    cfg.integrity = Some(IntegritySpec {
+        corruption: CorruptionModel {
+            mating_error_per_cycle: 0.12,
+            ..CorruptionModel::paper_default()
+        },
+        ..IntegritySpec::typical()
+    });
+    cfg.faults = Some(FaultSpec {
+        max_delivery_attempts: 64,
+        ..FaultSpec::recovery_only()
+    });
+    let carts = cfg.num_carts as usize;
+    let mut sys = DhlSystem::new(cfg).unwrap();
+    sys.enable_trace(1_000_000);
+    let report = sys.run_bulk_transfer(Bytes::from_petabytes(8.0)).unwrap();
+    let trace = sys.take_trace().unwrap();
+
+    assert!(
+        report.integrity.deliveries_reshipped > 0,
+        "config should force some over-tolerance corruption"
+    );
+    for cart in 0..carts {
+        assert!(trace.lifecycle_is_well_formed(cart), "cart {cart}");
+        assert!(
+            trace.integrity_lifecycle_is_well_formed(cart),
+            "cart {cart} integrity lifecycle"
+        );
+    }
+    // Verdict conservation: every scrub resolves, and reshipped verdicts
+    // match the report and the redelivery machinery 1:1.
+    let (mut started, mut ok, mut bad) = (0u64, 0u64, 0u64);
+    for e in trace.events() {
+        match e.kind {
+            TraceEventKind::VerifyStarted { .. } => started += 1,
+            TraceEventKind::PayloadVerified { .. } => ok += 1,
+            TraceEventKind::PayloadCorrupted { .. } => bad += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(started, ok + bad);
+    assert_eq!(
+        started,
+        report.integrity.deliveries_verified + report.integrity.deliveries_reshipped
+    );
+    assert_eq!(
+        report.integrity.deliveries_reshipped,
+        report.reliability.redeliveries
+    );
+}

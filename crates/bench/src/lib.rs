@@ -19,7 +19,10 @@ use dhl_core::{crossover, paper_dataset, paper_minimal_dhl, paper_table_vi, Cost
 use dhl_mlsim::{fig6, iso_power, iso_time, DesDhlFabric, DhlFabric, DlrmWorkload};
 use dhl_net::route::{Route, RouteId};
 use dhl_physics::{BrakingSystem, TimeModel};
-use dhl_sim::{DhlSystem, IntegritySpec, SimConfig};
+use dhl_sim::{
+    default_threads, parallel_map, run_replicas, DhlSystem, IntegritySpec, ReliabilitySpec,
+    SimConfig,
+};
 use dhl_units::{Bytes, Metres, MetresPerSecond, Watts};
 
 use dhl_mlsim::CommFabric as _;
@@ -360,11 +363,16 @@ pub fn render_des_ablation() -> String {
             c
         }),
     ];
-    for (name, cfg) in variants {
+    // Fan the independent DES variants across worker threads; results come
+    // back in input order, so the table is identical to the serial loop.
+    let rows = parallel_map(variants, default_threads(), |(name, cfg)| {
         let report = DhlSystem::new(cfg)
             .expect("valid variant")
             .run_bulk_transfer(dataset)
             .expect("converges");
+        (name, report)
+    });
+    for (name, report) in rows {
         let _ = writeln!(
             out,
             "{:<42} {:>12.1} {:>12.3} {:>10.2}",
@@ -386,13 +394,9 @@ pub fn render_des_ablation() -> String {
     out
 }
 
-/// Renders the sensitivity sweeps (§V-A observations, §II-A scaling) and
-/// the §II-D.3 training-campaign amortisation.
-#[must_use]
-pub fn render_sensitivity() -> String {
-    use dhl_core::{acceleration_sweep, density_scaling, docking_time_sweep};
-    use dhl_mlsim::{OpticalFabric, TrainingCampaign};
-    use dhl_units::{MetresPerSecondSquared, Seconds};
+fn sensitivity_docking() -> String {
+    use dhl_core::docking_time_sweep;
+    use dhl_units::Seconds;
 
     let base = DhlConfig::paper_default();
     let mut out = String::new();
@@ -412,7 +416,15 @@ pub fn render_sensitivity() -> String {
             row.docking_fraction * 100.0
         );
     }
+    out
+}
 
+fn sensitivity_acceleration() -> String {
+    use dhl_core::acceleration_sweep;
+    use dhl_units::MetresPerSecondSquared;
+
+    let base = DhlConfig::paper_default();
+    let mut out = String::new();
     let _ = writeln!(out, "\nSensitivity: acceleration rate (§V-A note)");
     let _ = writeln!(
         out,
@@ -432,7 +444,14 @@ pub fn render_sensitivity() -> String {
             row.metrics.trip_time.seconds()
         );
     }
+    out
+}
 
+fn sensitivity_density() -> String {
+    use dhl_core::density_scaling;
+
+    let base = DhlConfig::paper_default();
+    let mut out = String::new();
     let _ = writeln!(out, "\nProjection: NAND density scaling (§II-A)");
     let _ = writeln!(
         out,
@@ -449,7 +468,13 @@ pub fn render_sensitivity() -> String {
             row.metrics.efficiency.value()
         );
     }
+    out
+}
 
+fn sensitivity_campaigns() -> String {
+    use dhl_mlsim::{OpticalFabric, TrainingCampaign};
+
+    let mut out = String::new();
     let _ = writeln!(
         out,
         "\nTraining campaigns: comm energy, DHL vs route B at 1.75 kW (§II-D.3)"
@@ -475,6 +500,21 @@ pub fn render_sensitivity() -> String {
         );
     }
     out
+}
+
+/// Renders the sensitivity sweeps (§V-A observations, §II-A scaling) and
+/// the §II-D.3 training-campaign amortisation. The four independent
+/// sections run on the parallel driver and concatenate in order, so the
+/// output is identical to the serial composition.
+#[must_use]
+pub fn render_sensitivity() -> String {
+    let sections: Vec<fn() -> String> = vec![
+        sensitivity_docking,
+        sensitivity_acceleration,
+        sensitivity_density,
+        sensitivity_campaigns,
+    ];
+    parallel_map(sections, default_threads(), |f| f()).concat()
 }
 
 /// Renders the fleet-sizing / total-cost-of-ownership analysis (beyond the
@@ -591,6 +631,45 @@ pub fn run_bench_suite() -> Vec<report_file::BenchCase> {
     cases.push(BenchCase {
         result,
         metrics: Some(verify_run().metrics),
+    });
+
+    // Replica-driver cases: the same seeded Monte-Carlo set run serially
+    // and on the parallel driver. The merged report is bit-identical
+    // between the two by construction (pinned by tests/parallel_replicas.rs);
+    // only wall time may differ, and the delta is printed below.
+    let replica_cfg = {
+        let mut cfg = SimConfig::paper_default();
+        cfg.reliability = Some(ReliabilitySpec::typical());
+        cfg
+    };
+    let (replicas, replica_dataset) = (8, Bytes::from_terabytes(512.0));
+    let serial_result = harness::bench_function("sim/replicas_serial", || {
+        run_replicas(&replica_cfg, replica_dataset, replicas, 1)
+            .expect("replicas converge")
+            .replica_count()
+    });
+    let threads = default_threads();
+    let parallel_result = harness::bench_function("sim/replicas_parallel", || {
+        run_replicas(&replica_cfg, replica_dataset, replicas, threads)
+            .expect("replicas converge")
+            .replica_count()
+    });
+    eprintln!(
+        "sim/replicas: serial {:.0} ns vs parallel {:.0} ns on {} thread(s) — {:.2}x",
+        serial_result.mean_ns,
+        parallel_result.mean_ns,
+        threads,
+        serial_result.mean_ns / parallel_result.mean_ns
+    );
+    let merged =
+        run_replicas(&replica_cfg, replica_dataset, replicas, threads).expect("replicas converge");
+    cases.push(BenchCase {
+        result: serial_result,
+        metrics: Some(merged.metrics.clone()),
+    });
+    cases.push(BenchCase {
+        result: parallel_result,
+        metrics: Some(merged.metrics),
     });
 
     // Scheduler-backed case: a small multi-tenant mix.

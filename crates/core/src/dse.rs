@@ -89,9 +89,64 @@ pub fn sweep(
     out
 }
 
+/// Splits `items` into `threads` contiguous chunks and maps each chunk on
+/// its own scoped thread. Output order matches input order; with
+/// `threads <= 1` the map runs inline on the caller's thread.
+///
+/// (Same chunked-scope shape as `dhl_sim::parallel_map`; duplicated here
+/// because `dhl-core` and `dhl-sim` deliberately do not depend on each
+/// other.)
+fn chunked_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(slots.len()).collect();
+
+    std::thread::scope(|scope| {
+        for (out_chunk, in_chunk) in out.chunks_mut(chunk).zip(slots.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item.take().expect("item present")));
+                }
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|p| p.expect("all slots filled"))
+        .collect()
+}
+
+/// The thread count [`sweep_auto`] uses: the `DHL_SIM_THREADS` environment
+/// variable if set to a positive integer, otherwise the machine's available
+/// parallelism.
+#[must_use]
+pub fn auto_threads() -> usize {
+    if let Ok(v) = std::env::var("DHL_SIM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Parallel variant of [`sweep`] for large grids: splits the cartesian
 /// product across threads with `std::thread::scope`. Result order matches
-/// [`sweep`] exactly.
+/// [`sweep`] exactly for any thread count.
 #[must_use]
 pub fn sweep_parallel(
     speeds: &[MetresPerSecond],
@@ -108,29 +163,20 @@ pub fn sweep_parallel(
                 .flat_map(move |&l| ssd_counts.iter().map(move |&n| (v, l, n)))
         })
         .collect();
-    if points.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, points.len());
-    let chunk = points.len().div_ceil(threads);
-    let mut out: Vec<Option<DsePoint>> = vec![None; points.len()];
+    chunked_map(points, threads, |(v, l, n)| {
+        DsePoint::evaluate(DhlConfig::with_ssd_count(v, l, n), dataset)
+    })
+}
 
-    std::thread::scope(|scope| {
-        for (slot_chunk, point_chunk) in out.chunks_mut(chunk).zip(points.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, &(v, l, n)) in slot_chunk.iter_mut().zip(point_chunk) {
-                    *slot = Some(DsePoint::evaluate(
-                        DhlConfig::with_ssd_count(v, l, n),
-                        dataset,
-                    ));
-                }
-            });
-        }
-    });
-
-    out.into_iter()
-        .map(|p| p.expect("all slots filled"))
-        .collect()
+/// [`sweep_parallel`] with the ambient thread count ([`auto_threads`]).
+#[must_use]
+pub fn sweep_auto(
+    speeds: &[MetresPerSecond],
+    lengths: &[Metres],
+    ssd_counts: &[u32],
+    dataset: Bytes,
+) -> Vec<DsePoint> {
+    sweep_parallel(speeds, lengths, ssd_counts, dataset, auto_threads())
 }
 
 #[cfg(test)]
@@ -178,6 +224,19 @@ mod tests {
     fn empty_sweep_is_empty() {
         assert!(sweep(&[], &[], &[], paper_dataset()).is_empty());
         assert!(sweep_parallel(&[], &[], &[], paper_dataset(), 4).is_empty());
+        assert!(sweep_auto(&[], &[], &[], paper_dataset()).is_empty());
+    }
+
+    #[test]
+    fn auto_sweep_matches_serial() {
+        let speeds = [MetresPerSecond::new(100.0), MetresPerSecond::new(200.0)];
+        let lengths = [Metres::new(500.0), Metres::new(1000.0)];
+        let counts = [16, 32];
+        assert_eq!(
+            sweep_auto(&speeds, &lengths, &counts, paper_dataset()),
+            sweep(&speeds, &lengths, &counts, paper_dataset()),
+        );
+        assert!(auto_threads() >= 1);
     }
 
     #[test]

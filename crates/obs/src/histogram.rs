@@ -133,28 +133,87 @@ impl Histogram {
     /// `[min, max]`. Returns 0 when empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
+        Self::quantile_in(
+            self.counts.iter().enumerate().map(|(s, &c)| (s as u32, c)),
+            self.count,
+            self.min(),
+            self.max(),
+            q,
+        )
+    }
+
+    /// Nonzero bucket slots as `(slot, count)` pairs in slot order. Slot 0
+    /// is underflow, slots `1..=BUCKETS` are the regular buckets, slot
+    /// `BUCKETS + 1` is overflow — the same indexing [`Histogram::quantile`]
+    /// walks. The sparse form is what [`crate::HistogramSummary`] carries so
+    /// merged snapshots can re-estimate quantiles.
+    #[must_use]
+    pub fn sparse_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(s, &c)| (s as u32, c))
+            .collect()
+    }
+
+    /// Estimated quantile over `(slot, count)` buckets with a known
+    /// observation `count` and finite `[min, max]` range — the exact walk
+    /// [`Histogram::quantile`] performs, exposed for merged summaries that
+    /// no longer hold the full histogram. Buckets must be in slot order.
+    #[must_use]
+    pub fn quantile_from_buckets(
+        buckets: &[(u32, u64)],
+        count: u64,
+        min: f64,
+        max: f64,
+        q: f64,
+    ) -> f64 {
+        Self::quantile_in(buckets.iter().copied(), count, min, max, q)
+    }
+
+    fn quantile_in(
+        buckets: impl Iterator<Item = (u32, u64)>,
+        count: u64,
+        min: f64,
+        max: f64,
+        q: f64,
+    ) -> f64 {
+        if count == 0 {
             return 0.0;
         }
         let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let rank = ((q * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (slot, &c) in self.counts.iter().enumerate() {
+        for (slot, c) in buckets {
             seen += c;
             if seen >= rank {
-                let estimate = match slot {
-                    0 => self.min(),
-                    s if s == BUCKETS + 1 => self.max(),
+                let estimate = match slot as usize {
+                    0 => min,
+                    s if s == BUCKETS + 1 => max,
                     s => {
                         let lo = Self::bucket_lower_bound(s - 1);
                         // Geometric midpoint of [lo, 2·lo).
                         lo * std::f64::consts::SQRT_2
                     }
                 };
-                return estimate.clamp(self.min(), self.max());
+                return estimate.clamp(min, max);
             }
         }
-        self.max()
+        max
+    }
+
+    /// Merges another histogram into this one: bucket-wise count addition,
+    /// summed count/sum, combined min/max. Commutative and associative, so
+    /// the merged result is independent of replica merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -243,5 +302,62 @@ mod tests {
         assert_eq!(h.quantile(0.0), 0.125);
         assert_eq!(h.quantile(0.5), 0.125);
         assert_eq!(h.quantile(1.0), 0.125);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise_add_and_equals_combined_recording() {
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [0.001, 0.5, 8.6, 17.2] {
+            left.record(v);
+            combined.record(v);
+        }
+        for v in [0.25, 8.6, 1e30, -1.0] {
+            right.record(v);
+            combined.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left, combined);
+        assert_eq!(left.count(), 8);
+        assert_eq!(left.min(), combined.min());
+        assert_eq!(left.max(), combined.max());
+        assert_eq!(left.quantile(0.5), combined.quantile(0.5));
+        assert_eq!(left.quantile(0.95), combined.quantile(0.95));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(2.0);
+        let orig = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, orig);
+        let mut empty = Histogram::new();
+        empty.merge(&orig);
+        assert_eq!(empty, orig);
+    }
+
+    #[test]
+    fn sparse_buckets_reproduce_dense_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(f64::from(i) * 0.1);
+        }
+        let sparse = h.sparse_buckets();
+        assert!(sparse.iter().all(|&(_, c)| c > 0));
+        assert_eq!(sparse.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(
+                Histogram::quantile_from_buckets(&sparse, h.count(), h.min(), h.max(), q),
+                h.quantile(q)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_from_buckets_of_empty_is_zero() {
+        assert_eq!(Histogram::quantile_from_buckets(&[], 0, 0.0, 0.0, 0.5), 0.0);
     }
 }

@@ -139,15 +139,7 @@ impl MetricsRegistry {
             histograms: self
                 .histograms
                 .iter()
-                .map(|(k, h)| HistogramSummary {
-                    name: (*k).to_string(),
-                    count: h.count(),
-                    min: h.min(),
-                    max: h.max(),
-                    mean: h.mean(),
-                    p50: h.quantile(0.50),
-                    p95: h.quantile(0.95),
-                })
+                .map(|(k, h)| HistogramSummary::of(k, h))
                 .collect(),
         }
     }
@@ -203,6 +195,12 @@ impl Stopwatch {
 }
 
 /// Summary statistics of one histogram at snapshot time.
+///
+/// Besides the headline statistics, a summary retains the histogram's
+/// nonzero log₂ buckets and running sum, which is exactly enough state to
+/// [`merge`](HistogramSummary::merge) two summaries and re-estimate the
+/// combined quantiles — replica aggregation never needs the live
+/// [`Histogram`]. The JSON/NDJSON exports carry only the headline fields.
 #[derive(Clone, PartialEq, Debug)]
 pub struct HistogramSummary {
     /// Metric name.
@@ -219,6 +217,86 @@ pub struct HistogramSummary {
     pub p50: f64,
     /// Estimated 95th percentile.
     pub p95: f64,
+    /// Sum of finite observations (carried for mergeability).
+    pub sum: f64,
+    /// Nonzero `(slot, count)` buckets in slot order, as produced by
+    /// [`Histogram::sparse_buckets`] (carried for mergeability).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSummary {
+    /// Summarises one histogram under a metric name.
+    #[must_use]
+    pub fn of(name: &str, h: &Histogram) -> Self {
+        Self {
+            name: name.to_string(),
+            count: h.count(),
+            min: h.min(),
+            max: h.max(),
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            sum: h.sum(),
+            buckets: h.sparse_buckets(),
+        }
+    }
+
+    /// Merges another summary of the same metric into this one: bucket-wise
+    /// count addition with the quantile estimates recomputed from the
+    /// combined buckets. The result equals summarising one histogram that
+    /// recorded both observation streams.
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            let name = std::mem::take(&mut self.name);
+            *self = other.clone();
+            self.name = name;
+            return;
+        }
+        let mut buckets = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let next = match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(&(sa, ca)), Some(&(sb, cb))) => match sa.cmp(&sb) {
+                    std::cmp::Ordering::Less => {
+                        i += 1;
+                        (sa, ca)
+                    }
+                    std::cmp::Ordering::Greater => {
+                        j += 1;
+                        (sb, cb)
+                    }
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                        (sa, ca + cb)
+                    }
+                },
+                (Some(&(sa, ca)), None) => {
+                    i += 1;
+                    (sa, ca)
+                }
+                (None, Some(&(sb, cb))) => {
+                    j += 1;
+                    (sb, cb)
+                }
+                (None, None) => unreachable!(),
+            };
+            buckets.push(next);
+        }
+        self.buckets = buckets;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.mean = self.sum / self.count as f64;
+        self.p50 =
+            Histogram::quantile_from_buckets(&self.buckets, self.count, self.min, self.max, 0.50);
+        self.p95 =
+            Histogram::quantile_from_buckets(&self.buckets, self.count, self.min, self.max, 0.95);
+    }
 }
 
 /// A plain-data, deterministic view of a registry: sorted by metric name,
@@ -259,6 +337,38 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Merges another snapshot into this one, preserving name-sorted order:
+    ///
+    /// - **counters** sum;
+    /// - **gauges** are last-write-wins — `other`'s value overwrites, so
+    ///   callers merging replicas in index order keep the highest-indexed
+    ///   replica's gauge, deterministically;
+    /// - **histograms** merge bucket-wise with quantiles recomputed from the
+    ///   combined log₂ buckets ([`HistogramSummary::merge`]).
+    ///
+    /// Counter and histogram merging is order-independent; only gauges
+    /// depend on merge order, by design.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.counters[i].1 += v,
+                Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.gauges[i].1 = *v,
+                Err(i) => self.gauges.insert(i, (name.clone(), *v)),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.binary_search_by(|s| s.name.cmp(&h.name)) {
+                Ok(i) => self.histograms[i].merge(h),
+                Err(i) => self.histograms.insert(i, h.clone()),
+            }
+        }
     }
 
     /// Renders the snapshot as one JSON object:
@@ -477,6 +587,106 @@ mod tests {
             assert!(v.get("metric").is_some());
             assert!(v.get("type").is_some());
         }
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = MetricsRegistry::enabled();
+        a.inc("events", 3);
+        a.inc("launches", 1);
+        let mut b = MetricsRegistry::enabled();
+        b.inc("events", 4);
+        b.inc("retries", 2);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("events"), Some(7));
+        assert_eq!(merged.counter("launches"), Some(1));
+        assert_eq!(merged.counter("retries"), Some(2));
+        let names: Vec<_> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            ["events", "launches", "retries"],
+            "sorted order kept"
+        );
+    }
+
+    #[test]
+    fn merge_gauges_are_last_write_wins_in_merge_order() {
+        let mut a = MetricsRegistry::enabled();
+        a.set_gauge("depth", 1.0);
+        a.set_gauge("only_a", 10.0);
+        let mut b = MetricsRegistry::enabled();
+        b.set_gauge("depth", 2.0);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        // Replica mergers apply merge() in replica-index order, so the
+        // later replica's gauge wins.
+        assert_eq!(merged.gauge("depth"), Some(2.0));
+        assert_eq!(merged.gauge("only_a"), Some(10.0));
+    }
+
+    #[test]
+    fn merge_histograms_bucket_wise_matches_combined_recording() {
+        // Dyadic values: their sums are exact in f64, so the merged sum is
+        // bit-identical to recording both streams into one histogram
+        // regardless of addition order.
+        let tiny = f64::powi(2.0, -40);
+        let left = [0.001953125, 0.5, 8.5, 17.25, 120.0];
+        let right = [0.25, 8.5, 8.75, tiny];
+        let mut a = MetricsRegistry::enabled();
+        let mut b = MetricsRegistry::enabled();
+        let mut combined = MetricsRegistry::enabled();
+        for v in left {
+            a.observe("lat", v);
+            combined.observe("lat", v);
+        }
+        for v in right {
+            b.observe("lat", v);
+            combined.observe("lat", v);
+        }
+        b.observe("extra", 1.0);
+        combined.observe("extra", 1.0);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.histograms, combined.snapshot().histograms);
+        let h = merged.histogram("lat").unwrap();
+        assert_eq!(h.count, 9);
+        assert_eq!(h.min, tiny);
+        assert_eq!(h.max, 120.0);
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_counters_and_histograms() {
+        let snap = |seed: u64| {
+            let mut reg = MetricsRegistry::enabled();
+            reg.inc("n", seed);
+            reg.observe("h", seed as f64 + 0.5);
+            reg.snapshot()
+        };
+        let (a, b, c) = (snap(1), snap(2), snap(3));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = c.clone();
+        right.merge(&b);
+        right.merge(&a);
+        assert_eq!(left.counters, right.counters);
+        assert_eq!(left.histograms, right.histograms);
+    }
+
+    #[test]
+    fn merge_with_empty_snapshot_is_identity() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.inc("a", 1);
+        reg.set_gauge("g", 2.0);
+        reg.observe("h", 3.0);
+        let orig = reg.snapshot();
+        let mut merged = orig.clone();
+        merged.merge(&MetricsSnapshot::default());
+        assert_eq!(merged, orig);
+        let mut from_empty = MetricsSnapshot::default();
+        from_empty.merge(&orig);
+        assert_eq!(from_empty, orig);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! of the carts between the library and the endpoints if the state of the
 //! system permits such an operation."
 //!
-//! Three concerns, three modules:
+//! Four concerns, four modules:
 //!
 //! - [`placement`]: which carts hold which dataset shards (the data map the
 //!   §III-D API consults on **Open**);
@@ -14,7 +14,10 @@
 //!   track and finite docking stations — "the fact that a cart can only be
 //!   in one place at a time needs to be considered";
 //! - [`availability`]: tracking that "data stored on a cart is inaccessible
-//!   during transit".
+//!   during transit";
+//! - [`evaluate`]: fanning alternative scheduling disciplines over the same
+//!   workload across threads (via `dhl_sim::parallel_map`) for side-by-side
+//!   comparison.
 //!
 //! # Example
 //!
@@ -38,10 +41,12 @@
 #![warn(missing_docs)]
 
 pub mod availability;
+pub mod evaluate;
 pub mod placement;
 pub mod scheduler;
 
 pub use availability::{AvailabilityTracker, DataState};
+pub use evaluate::{evaluate_scenarios, Scenario, ScenarioOutcome};
 pub use placement::{CartContents, DatasetId, ParityPlan, Placement};
 pub use scheduler::{
     FaultAwareness, IntegrityAwareness, Policy, Priority, RequestId, RequestOutcome,

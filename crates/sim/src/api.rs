@@ -16,7 +16,8 @@ use dhl_storage::failure::{FailureModel, RaidConfig};
 
 use crate::config::{EndpointKind, SimConfig};
 use crate::movement::MovementCost;
-use crate::system::{CartId, EndpointId};
+use crate::parallel::{ReplicaReport, ReplicaSet};
+use crate::system::{CartId, EndpointId, SimError};
 
 /// Errors surfaced by the DHL API.
 #[derive(Clone, PartialEq, Debug)]
@@ -90,6 +91,42 @@ impl core::fmt::Display for ApiError {
 }
 
 impl std::error::Error for ApiError {}
+
+/// Builds a [`ReplicaSet`] over a configuration — the public entry point
+/// for seeded Monte-Carlo evaluation. Each replica is an independent
+/// [`crate::DhlSystem`] bulk transfer; results merge deterministically
+/// regardless of thread count (see [`crate::parallel`]).
+///
+/// # Examples
+///
+/// ```rust
+/// use dhl_sim::{api, SimConfig};
+/// use dhl_units::Bytes;
+///
+/// let merged = api::replicas(SimConfig::paper_default(), Bytes::from_terabytes(512.0))
+///     .replicas(2)
+///     .run()
+///     .unwrap();
+/// assert_eq!(merged.replica_count(), 2);
+/// ```
+#[must_use]
+pub fn replicas(cfg: SimConfig, dataset: Bytes) -> ReplicaSet {
+    ReplicaSet::new(cfg, dataset)
+}
+
+/// One-call convenience over [`replicas`]: runs `count` seeded replicas on
+/// [`crate::parallel::default_threads`] workers and merges the outcome.
+///
+/// # Errors
+///
+/// The first (by replica index) [`SimError`] any replica produced.
+pub fn run_replica_set(
+    cfg: SimConfig,
+    dataset: Bytes,
+    count: usize,
+) -> Result<ReplicaReport, SimError> {
+    replicas(cfg, dataset).replicas(count).run()
+}
 
 /// Reliability options for the API facade.
 #[derive(Clone, Debug)]

@@ -1,12 +1,15 @@
 //! Discrete-event simulation of the full DHL system (§III).
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! - [`engine`]: a minimal deterministic event queue with a simulated clock;
 //! - [`DhlSystem`]: the event-driven system simulator — cart fleet, library,
 //!   docking stations, track contention (no-passing headway, bidirectional
 //!   track draining, §VI dual-track option), movement energy from
 //!   `dhl-physics`, and the §V-B bulk-transfer mission;
+//! - [`parallel`]: seeded Monte-Carlo replica fan-out across scoped threads
+//!   with deterministic, order-independent merging — any thread count
+//!   produces bit-identical merged reports;
 //! - [`api::DhlApi`]: the paper's four-command software API (§III-D —
 //!   **Open/Close/Read/Write**) as a synchronous facade, with optional SSD
 //!   failure injection and connector-wear tracking.
@@ -36,6 +39,7 @@ pub mod api;
 pub mod config;
 pub mod engine;
 pub mod movement;
+pub mod parallel;
 pub mod report;
 pub mod system;
 pub mod trace;
@@ -45,6 +49,9 @@ pub use config::{
     IntegritySpec, ProcessingModel, ReliabilitySpec, RepressurisationSpec, SimConfig,
 };
 pub use movement::MovementCost;
+pub use parallel::{
+    default_threads, parallel_map, run_replicas, ReplicaReport, ReplicaSet, ReplicaStats,
+};
 pub use report::{BulkTransferReport, IntegrityReport, ReliabilityReport};
 pub use system::{CartId, CartLocation, DhlSystem, Direction, EndpointId, SimError};
-pub use trace::{Trace, TraceEvent, TraceEventKind};
+pub use trace::{Trace, TraceEvent, TraceEventKind, TraceSink};

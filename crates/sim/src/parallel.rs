@@ -1,0 +1,470 @@
+//! Zero-dependency parallel replica execution (§V, §VI evaluation scale).
+//!
+//! The paper's figures are built from many seeded simulator replicas; this
+//! module fans those replicas across `std::thread::scope` workers and merges
+//! their results deterministically:
+//!
+//! - [`parallel_map`] — the generic chunked fan-out (the
+//!   `dhl_core::dse::sweep_parallel` pattern, generalised to any
+//!   `Send` work items). Output order always matches input order, and with
+//!   `threads <= 1` the closure runs inline with zero spawn overhead.
+//! - [`ReplicaSet`] / [`run_replicas`] — N seeded [`DhlSystem`] runs of the
+//!   same configuration. Replica 0 keeps the configured seeds (a 1-replica
+//!   set is exactly a single run); replica `i` derives per-stream seeds via
+//!   a splitmix64 mix of the base seed and `i`.
+//! - [`ReplicaReport`] — per-replica reports in replica order, a merged
+//!   [`MetricsSnapshot`] (counter sums, log₂-histogram bucket merges, gauges
+//!   last-write-wins by replica index, wall-clock gauges dropped), and
+//!   [`ReplicaStats`] aggregates (mean/p50/p95/95 % CI) over the headline
+//!   reliability and integrity outcomes.
+//!
+//! Because replicas are seeded by index and merged in index order, the
+//! result is **bit-identical for any thread count** — the property test in
+//! `tests/parallel_replicas.rs` pins this for `threads ∈ {1, 2, 4, 16,
+//! 1000}`.
+
+use dhl_obs::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+use dhl_units::Bytes;
+
+use crate::config::SimConfig;
+use crate::report::BulkTransferReport;
+use crate::system::{DhlSystem, SimError};
+
+/// Environment variable overriding [`default_threads`].
+pub const THREADS_ENV: &str = "DHL_SIM_THREADS";
+
+/// Worker count used when the caller does not pick one: the
+/// `DHL_SIM_THREADS` environment variable if set to a positive integer,
+/// otherwise the machine's available parallelism (1 if unknown).
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items`, fanning the work across at most `threads` scoped
+/// workers. The output preserves input order exactly; with `threads <= 1`
+/// (or one item) the closure runs inline on the caller's stack, so a serial
+/// invocation costs nothing over a plain loop.
+///
+/// Items are split into `ceil(len / threads)`-sized contiguous chunks, one
+/// worker per chunk — the same deterministic partitioning as
+/// `dhl_core::dse::sweep_parallel`.
+pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let chunk = len.div_ceil(threads);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<U>> = (0..len).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (out_chunk, in_chunk) in out.chunks_mut(chunk).zip(slots.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk.iter_mut()) {
+                    let item = item.take().expect("each item is consumed once");
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every worker fills its slots"))
+        .collect()
+}
+
+/// The splitmix64 finaliser — a cheap, well-mixed 64-bit permutation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives replica `index`'s seed from a base seed: independent,
+/// deterministic streams per replica.
+fn mix_seed(base: u64, index: u64) -> u64 {
+    splitmix64(base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The configuration replica `index` runs: identical physics, with the
+/// stochastic stream seeds re-derived per replica. Replica 0 keeps the base
+/// seeds untouched, so a 1-replica set reproduces a single run exactly.
+/// (The fault stream needs no rewrite: [`DhlSystem::new`] derives it from
+/// the reliability seed.)
+#[must_use]
+pub fn replica_config(mut cfg: SimConfig, index: u64) -> SimConfig {
+    if index == 0 {
+        return cfg;
+    }
+    if let Some(r) = cfg.reliability.as_mut() {
+        r.seed = mix_seed(r.seed, index);
+    }
+    if let Some(i) = cfg.integrity.as_mut() {
+        i.seed = mix_seed(i.seed, index);
+    }
+    cfg
+}
+
+/// Summary statistics over one per-replica outcome.
+///
+/// Percentiles are nearest-rank over the sorted replica samples; `ci95` is
+/// the half-width of the normal-approximation 95 % confidence interval on
+/// the mean (`1.96 · s / √n`, sample standard deviation; 0 when `n < 2`).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct ReplicaStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Nearest-rank median.
+    pub p50: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+    /// Half-width of the 95 % confidence interval on the mean.
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl ReplicaStats {
+    /// Statistics over raw samples (all zeros when empty).
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let n = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let nearest_rank = |q: f64| {
+            let rank = ((q * n as f64).ceil() as usize).max(1);
+            sorted[rank - 1]
+        };
+        let ci95 = if n < 2 {
+            0.0
+        } else {
+            let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            1.96 * var.sqrt() / (n as f64).sqrt()
+        };
+        Self {
+            mean,
+            p50: nearest_rank(0.50),
+            p95: nearest_rank(0.95),
+            ci95,
+            min: sorted[0],
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Merged outcome of a replica set.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// Per-replica reports, in replica (seed) order.
+    pub reports: Vec<BulkTransferReport>,
+    /// Replica metrics merged in replica order: counters summed, histograms
+    /// merged bucket-wise, gauges last-write-wins. Wall-clock pacing gauges
+    /// (names containing `"wall"`) are dropped — they legitimately differ
+    /// between runs and would break cross-run comparability.
+    pub metrics: MetricsSnapshot,
+    /// Completion time (s) across replicas.
+    pub completion_time: ReplicaStats,
+    /// Net energy (J) across replicas.
+    pub total_energy: ReplicaStats,
+    /// In-flight SSD failures across replicas.
+    pub ssd_failures: ReplicaStats,
+    /// RAID-uncovered data-loss events across replicas.
+    pub data_loss_events: ReplicaStats,
+    /// Recovery redeliveries across replicas ([`ReliabilityReport`]).
+    ///
+    /// [`ReliabilityReport`]: crate::report::ReliabilityReport
+    pub redeliveries: ReplicaStats,
+    /// Wasted retry time (s) across replicas ([`ReliabilityReport`]).
+    ///
+    /// [`ReliabilityReport`]: crate::report::ReliabilityReport
+    pub retry_time: ReplicaStats,
+    /// Silently corrupted shards across replicas ([`IntegrityReport`]).
+    ///
+    /// [`IntegrityReport`]: crate::report::IntegrityReport
+    pub shards_corrupted: ReplicaStats,
+    /// Deliveries re-shipped after over-tolerance corruption
+    /// ([`IntegrityReport`]).
+    ///
+    /// [`IntegrityReport`]: crate::report::IntegrityReport
+    pub deliveries_reshipped: ReplicaStats,
+}
+
+impl ReplicaReport {
+    /// Builds the merged view from per-replica reports (in replica order).
+    #[must_use]
+    pub fn from_reports(reports: Vec<BulkTransferReport>) -> Self {
+        let mut metrics = MetricsSnapshot::default();
+        for r in &reports {
+            metrics.merge(&r.metrics);
+        }
+        metrics.gauges.retain(|(name, _)| !name.contains("wall"));
+        let stat = |f: fn(&BulkTransferReport) -> f64| {
+            ReplicaStats::from_samples(&reports.iter().map(f).collect::<Vec<_>>())
+        };
+        Self {
+            metrics,
+            completion_time: stat(|r| r.completion_time.seconds()),
+            total_energy: stat(|r| r.total_energy.value()),
+            ssd_failures: stat(|r| r.ssd_failures as f64),
+            data_loss_events: stat(|r| r.data_loss_events as f64),
+            redeliveries: stat(|r| r.reliability.redeliveries as f64),
+            retry_time: stat(|r| r.reliability.retry_time.seconds()),
+            shards_corrupted: stat(|r| r.integrity.shards_corrupted as f64),
+            deliveries_reshipped: stat(|r| r.integrity.deliveries_reshipped as f64),
+            reports,
+        }
+    }
+
+    /// Number of replicas that ran.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.reports.len()
+    }
+}
+
+/// Runs `replicas` seeded bulk-transfer simulations of `cfg` across at most
+/// `threads` workers and merges the outcomes. Replica `i` runs
+/// [`replica_config`]`(cfg, i)`; results are collected and merged in
+/// replica order, so the returned report is bit-identical for every thread
+/// count. On failure the error of the lowest-indexed failing replica is
+/// returned, again independent of thread count.
+///
+/// # Errors
+///
+/// The first (by replica index) [`SimError`] any replica produced.
+pub fn run_replicas(
+    cfg: &SimConfig,
+    dataset: Bytes,
+    replicas: usize,
+    threads: usize,
+) -> Result<ReplicaReport, SimError> {
+    let configs: Vec<SimConfig> = (0..replicas)
+        .map(|i| replica_config(cfg.clone(), i as u64))
+        .collect();
+    let results = parallel_map(configs, threads, move |c| {
+        DhlSystem::new(c)?.run_bulk_transfer(dataset)
+    });
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        reports.push(r?);
+    }
+    Ok(ReplicaReport::from_reports(reports))
+}
+
+/// Builder for a set of seeded replicas of one simulation.
+///
+/// # Examples
+///
+/// ```rust
+/// use dhl_sim::parallel::ReplicaSet;
+/// use dhl_sim::SimConfig;
+/// use dhl_units::Bytes;
+///
+/// let mut cfg = SimConfig::paper_default();
+/// cfg.reliability = Some(dhl_sim::ReliabilitySpec::typical());
+/// let merged = ReplicaSet::new(cfg, Bytes::from_petabytes(1.0))
+///     .replicas(4)
+///     .threads(2)
+///     .run()
+///     .unwrap();
+/// assert_eq!(merged.replica_count(), 4);
+/// assert!(merged.completion_time.mean > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReplicaSet {
+    cfg: SimConfig,
+    dataset: Bytes,
+    replicas: usize,
+    threads: usize,
+}
+
+impl ReplicaSet {
+    /// A set of one replica over `cfg`, using [`default_threads`] workers.
+    #[must_use]
+    pub fn new(cfg: SimConfig, dataset: Bytes) -> Self {
+        Self {
+            cfg,
+            dataset,
+            replicas: 1,
+            threads: default_threads(),
+        }
+    }
+
+    /// Sets the number of seeded replicas (minimum 1).
+    #[must_use]
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas.max(1);
+        self
+    }
+
+    /// Caps the worker thread count (minimum 1). The thread count never
+    /// changes the result, only the wall-clock time.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs the set and merges the outcomes.
+    ///
+    /// # Errors
+    ///
+    /// The first (by replica index) [`SimError`] any replica produced.
+    pub fn run(&self) -> Result<ReplicaReport, SimError> {
+        run_replicas(&self.cfg, self.dataset, self.replicas, self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IntegritySpec, ReliabilitySpec};
+
+    #[test]
+    fn parallel_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..23).collect();
+        let serial: Vec<u64> = items.iter().map(|i| i * i).collect();
+        for threads in [0, 1, 2, 4, 16, 1000] {
+            let got = parallel_map(items.clone(), threads, |i| i * i);
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_on_empty_input_is_empty() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 8, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn replica_zero_keeps_base_seeds() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.reliability = Some(ReliabilitySpec::typical());
+        cfg.integrity = Some(IntegritySpec::typical());
+        let base = cfg.clone();
+        let zero = replica_config(cfg, 0);
+        assert_eq!(
+            zero.reliability.as_ref().unwrap().seed,
+            base.reliability.as_ref().unwrap().seed
+        );
+        assert_eq!(
+            zero.integrity.as_ref().unwrap().seed,
+            base.integrity.as_ref().unwrap().seed
+        );
+    }
+
+    #[test]
+    fn replica_seeds_are_distinct_and_deterministic() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.reliability = Some(ReliabilitySpec::typical());
+        let seed_of = |i| {
+            replica_config(cfg.clone(), i)
+                .reliability
+                .as_ref()
+                .unwrap()
+                .seed
+        };
+        let seeds: Vec<u64> = (0..32).map(seed_of).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "per-replica seeds collide");
+        assert_eq!(seed_of(7), seed_of(7), "seed derivation is deterministic");
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let s = ReplicaStats::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.p50, 2.0); // nearest rank: ceil(0.5·4) = 2nd of sorted
+        assert_eq!(s.p95, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // s² = (2.25+0.25+0.25+2.25)/3 = 5/3; ci = 1.96·√(5/3)/2.
+        assert!((s.ci95 - 1.96 * (5.0f64 / 3.0).sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_one_sample_have_zero_ci() {
+        let s = ReplicaStats::from_samples(&[8.6]);
+        assert_eq!(s.mean, 8.6);
+        assert_eq!(s.p50, 8.6);
+        assert_eq!(s.p95, 8.6);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn stats_of_empty_are_zero() {
+        assert_eq!(ReplicaStats::from_samples(&[]), ReplicaStats::default());
+    }
+
+    #[test]
+    fn one_replica_set_equals_a_single_run() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.reliability = Some(ReliabilitySpec::typical());
+        let dataset = dhl_units::Bytes::from_terabytes(512.0);
+        let single = DhlSystem::new(cfg.clone())
+            .unwrap()
+            .run_bulk_transfer(dataset)
+            .unwrap();
+        let set = run_replicas(&cfg, dataset, 1, 1).unwrap();
+        assert_eq!(set.reports.len(), 1);
+        assert_eq!(set.reports[0], single);
+        assert_eq!(set.completion_time.mean, single.completion_time.seconds());
+        assert_eq!(set.completion_time.ci95, 0.0);
+    }
+
+    #[test]
+    fn merged_metrics_drop_wall_clock_gauges_and_sum_counters() {
+        let cfg = SimConfig::paper_default();
+        let dataset = dhl_units::Bytes::from_terabytes(512.0);
+        let single = DhlSystem::new(cfg.clone())
+            .unwrap()
+            .run_bulk_transfer(dataset)
+            .unwrap();
+        let set = run_replicas(&cfg, dataset, 3, 2).unwrap();
+        assert!(set
+            .metrics
+            .gauges
+            .iter()
+            .all(|(name, _)| !name.contains("wall")));
+        assert_eq!(
+            set.metrics.counter("sim.events"),
+            single.metrics.counter("sim.events").map(|e| e * 3),
+            "identical seeds without stochastic specs: counters sum"
+        );
+    }
+
+    #[test]
+    fn invalid_config_error_is_deterministic() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.num_carts = 0;
+        let err_serial = run_replicas(&cfg, Bytes::from_terabytes(1.0), 4, 1).unwrap_err();
+        let err_parallel = run_replicas(&cfg, Bytes::from_terabytes(1.0), 4, 4).unwrap_err();
+        assert_eq!(format!("{err_serial:?}"), format!("{err_parallel:?}"));
+    }
+}

@@ -15,15 +15,15 @@ use std::collections::VecDeque;
 
 use dhl_obs::{MetricsRegistry, Stopwatch};
 use dhl_rng::{DeterministicRng, Rng};
-use dhl_storage::connectors::DockingConnector;
+use dhl_storage::connectors::{ConnectorKind, DockingConnector};
 use dhl_storage::wear::CartWear;
 use dhl_units::{Bytes, Joules, MetresPerSecond, Seconds, Watts};
 
-use crate::config::{ConfigError, EndpointKind, IntegritySpec, ProcessingModel, SimConfig};
+use crate::config::{ConfigError, EndpointKind, ProcessingModel, SimConfig};
 use crate::engine::EventQueue;
 use crate::movement::MovementCost;
 use crate::report::{BulkTransferReport, IntegrityReport, ReliabilityReport};
-use crate::trace::{Trace, TraceEventKind};
+use crate::trace::{Trace, TraceEventKind, TraceSink};
 
 /// Index of a cart in the fleet.
 pub type CartId = usize;
@@ -265,7 +265,7 @@ pub struct DhlSystem {
     movements: u64,
     max_in_flight: u32,
     event_budget: u64,
-    trace: Option<Trace>,
+    trace: TraceSink,
     reliability_rng: Option<DeterministicRng>,
     /// Independent stream for physical fault sampling (stalls, leaks), so
     /// enabling faults does not perturb the SSD-failure stream.
@@ -369,7 +369,7 @@ impl DhlSystem {
             fault_rng,
             integrity_rng,
             degraded_cap,
-            trace: None,
+            trace: TraceSink::Disabled,
             ssd_failures: 0,
             data_loss_events: 0,
             redeliveries: 0,
@@ -411,9 +411,10 @@ impl DhlSystem {
         &self.cfg
     }
 
-    /// Enables event tracing, retaining at most `capacity` events.
+    /// Enables event tracing, retaining at most `capacity` events in a
+    /// buffer preallocated up front.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::with_capacity(capacity));
+        self.trace = TraceSink::buffered(capacity);
     }
 
     /// Takes the recorded trace, if tracing was enabled.
@@ -422,9 +423,11 @@ impl DhlSystem {
     }
 
     fn record(&mut self, kind: TraceEventKind) {
-        let now = self.queue.now();
-        if let Some(trace) = self.trace.as_mut() {
-            trace.record(now, kind);
+        // Branch before touching the clock: with tracing disabled this is
+        // the whole cost of the call.
+        if self.trace.is_enabled() {
+            let now = self.queue.now();
+            self.trace.record(now, kind);
         }
     }
 
@@ -484,11 +487,15 @@ impl DhlSystem {
         to: EndpointId,
         now: f64,
     ) -> (MovementCost, bool) {
-        let Some(faults) = self.cfg.faults.clone() else {
-            return (self.movement_cost(from, to), false);
+        // Copy the two Copy sub-specs out of the borrow so the fault RNG,
+        // metrics, and track state can be mutated below without cloning the
+        // whole spec per launch.
+        let (repressurisation, cart_stall) = match self.cfg.faults.as_ref() {
+            Some(faults) => (faults.repressurisation, faults.cart_stall),
+            None => return (self.movement_cost(from, to), false),
         };
         let rng = self.fault_rng.as_mut().expect("fault rng exists with spec");
-        if let Some(rep) = &faults.repressurisation {
+        if let Some(rep) = repressurisation {
             if rng.random_bool(rep.probability_per_movement) {
                 self.repressurisations += 1;
                 self.metrics.inc("sim.repressurisations", 1);
@@ -498,7 +505,7 @@ impl DhlSystem {
             }
         }
         let mut stalled = false;
-        if let Some(stall) = &faults.cart_stall {
+        if let Some(stall) = cart_stall {
             let rng = self.fault_rng.as_mut().expect("fault rng exists with spec");
             stalled = rng.random_bool(stall.probability_per_movement);
         }
@@ -794,19 +801,21 @@ impl DhlSystem {
     /// Empty return trips carry no data, so they draw no samples and can
     /// never lose anything.
     fn sample_in_flight_failures(&mut self, payload: Bytes, exposure: Seconds) -> bool {
-        let Some(spec) = self.cfg.reliability.clone() else {
-            return false;
+        // Copy the three Copy fields out of the borrow so the reliability
+        // RNG and counters can be mutated below without cloning the spec
+        // on every movement.
+        let (failure, ssds_per_cart, raid) = match self.cfg.reliability.as_ref() {
+            Some(spec) => (spec.failure, spec.ssds_per_cart, spec.raid),
+            None => return false,
         };
         if payload.is_zero() {
             return false;
         }
         let rng = self.reliability_rng.as_mut().expect("rng exists with spec");
-        let failed = spec
-            .failure
-            .sample_failures(rng, spec.ssds_per_cart, exposure);
+        let failed = failure.sample_failures(rng, ssds_per_cart, exposure);
         self.ssd_failures += u64::from(failed);
         self.metrics.inc("sim.ssd_failures", u64::from(failed));
-        if !spec.raid.tolerates(failed) {
+        if !raid.tolerates(failed) {
             self.data_loss_events += 1;
             self.metrics.inc("sim.data_loss_events", 1);
             return true;
@@ -884,7 +893,7 @@ impl DhlSystem {
     /// mating-error wear input. Uses the fault-tracked connector when
     /// connector faults are on, otherwise counts matings against the
     /// integrity spec's assumed connector family.
-    fn connector_wear_fraction(&self, cart: CartId, spec: &IntegritySpec) -> f64 {
+    fn connector_wear_fraction(&self, cart: CartId, fallback_connector: ConnectorKind) -> f64 {
         let c = &self.carts[cart];
         if let Some(conn) = &c.connector {
             let rated = conn.cycles_used() + conn.cycles_remaining();
@@ -893,7 +902,7 @@ impl DhlSystem {
             }
             return f64::from(conn.cycles_used()) / f64::from(rated);
         }
-        let rated = spec.connector.rated_cycles();
+        let rated = fallback_connector.rated_cycles();
         if rated == 0 {
             return 0.0;
         }
@@ -902,21 +911,28 @@ impl DhlSystem {
 
     /// Checksum granularity: a fully loaded cart splits into
     /// `shards_per_cart` equal shards.
-    fn shard_size(&self, spec: &IntegritySpec) -> Bytes {
-        Bytes::new((self.cfg.cart_capacity.as_u64() / u64::from(spec.shards_per_cart)).max(1))
+    fn shard_size(&self, shards_per_cart: u32) -> Bytes {
+        Bytes::new((self.cfg.cart_capacity.as_u64() / u64::from(shards_per_cart)).max(1))
     }
 
     /// `Arrived → (scrub)`: charge verify-on-dock time and energy, park the
     /// delivery on the cart, and schedule its verdict.
     fn begin_verification(&mut self, cart: CartId, m: &ActiveMovement) {
-        let spec = self.cfg.integrity.clone().expect("integrity spec present");
+        // Copy the three Copy fields out of the borrow — no per-delivery
+        // clone of the whole spec.
+        let spec = self.cfg.integrity.as_ref().expect("integrity spec present");
+        let (shards_per_cart, verify_bandwidth, verify_power) = (
+            spec.shards_per_cart,
+            spec.verify_bandwidth_bytes_per_second,
+            spec.verify_power,
+        );
         let shards = if m.payload.is_zero() {
             0
         } else {
-            m.payload.div_ceil(self.shard_size(&spec))
+            m.payload.div_ceil(self.shard_size(shards_per_cart))
         };
-        let verify_time = Seconds::new(m.payload.as_f64() / spec.verify_bandwidth_bytes_per_second);
-        let energy = spec.verify_power * verify_time;
+        let verify_time = Seconds::new(m.payload.as_f64() / verify_bandwidth);
+        let energy = verify_power * verify_time;
         self.total_energy += energy;
         self.verification_energy += energy;
         self.verification_time_s += verify_time.seconds();
@@ -942,19 +958,27 @@ impl DhlSystem {
     /// `Corrupted → Reshipped | Abandoned` when parity cannot cover it.
     fn finish_verification(&mut self, cart: CartId) {
         let pv = self.carts[cart].verify.take().expect("verifying cart");
-        let spec = self.cfg.integrity.clone().expect("integrity spec present");
+        // Copy the Copy fields out of the borrow — no per-verdict clone of
+        // the whole spec (the endurance model it holds allocates).
+        let spec = self.cfg.integrity.as_ref().expect("integrity spec present");
+        let (corruption, raid, shards_per_cart, reconstruct_bandwidth, connector) = (
+            spec.corruption,
+            spec.raid,
+            spec.shards_per_cart,
+            spec.reconstruct_bandwidth_bytes_per_second,
+            spec.connector,
+        );
         let wear = self.carts[cart]
             .wear
             .as_ref()
             .map_or(0.0, |w| w.wear_fraction());
-        let conn_wear = self.connector_wear_fraction(cart, &spec);
+        let conn_wear = self.connector_wear_fraction(cart, connector);
         let rng = self
             .integrity_rng
             .as_mut()
             .expect("integrity rng exists with spec");
         let corrupted =
-            spec.corruption
-                .sample_corrupted_shards(rng, pv.shards, pv.trip_time, wear, conn_wear);
+            corruption.sample_corrupted_shards(rng, pv.shards, pv.trip_time, wear, conn_wear);
 
         if corrupted == 0 {
             self.deliveries_verified += 1;
@@ -978,14 +1002,14 @@ impl DhlSystem {
         });
 
         let tolerable = u32::try_from(corrupted)
-            .map(|c| spec.raid.tolerates(c))
+            .map(|c| raid.tolerates(c))
             .unwrap_or(false);
         if tolerable {
             // Parity covers the damage: rebuild in place, charging the
             // reconstruction read time before the processing dwell.
             let rebuild_time = Seconds::new(
-                corrupted as f64 * self.shard_size(&spec).as_f64()
-                    / spec.reconstruct_bandwidth_bytes_per_second,
+                corrupted as f64 * self.shard_size(shards_per_cart).as_f64()
+                    / reconstruct_bandwidth,
             );
             self.shards_reconstructed += corrupted;
             self.reconstruction_time_s += rebuild_time.seconds();

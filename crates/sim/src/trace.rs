@@ -124,14 +124,64 @@ pub struct Trace {
     dropped: u64,
 }
 
+/// Where the simulator's trace events go.
+///
+/// The hot path calls [`TraceSink::record`] for every state transition, so
+/// the disabled variant must cost one branch and nothing else — no clock
+/// read, no allocation. The buffered variant appends into a [`Trace`] whose
+/// backing storage is preallocated up front, so steady-state recording
+/// never reallocates.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub enum TraceSink {
+    /// Tracing off: every record is a branch and an immediate return.
+    #[default]
+    Disabled,
+    /// Tracing on, into a bounded preallocated buffer.
+    Buffered(Trace),
+}
+
+impl TraceSink {
+    /// A sink buffering into a fresh [`Trace`] of the given capacity.
+    #[must_use]
+    pub fn buffered(capacity: usize) -> Self {
+        Self::Buffered(Trace::with_capacity(capacity))
+    }
+
+    /// Whether events are being retained. Callers that must compute the
+    /// event payload (or read a clock) should branch on this first.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, Self::Buffered(_))
+    }
+
+    /// Records one event (a no-op branch when disabled).
+    #[inline]
+    pub fn record(&mut self, time: Seconds, kind: TraceEventKind) {
+        if let Self::Buffered(trace) = self {
+            trace.record(time, kind);
+        }
+    }
+
+    /// Takes the buffered trace, leaving the sink disabled. `None` if the
+    /// sink was never enabled.
+    pub fn take(&mut self) -> Option<Trace> {
+        match std::mem::take(self) {
+            Self::Buffered(trace) => Some(trace),
+            Self::Disabled => None,
+        }
+    }
+}
+
 impl Trace {
     /// An empty trace retaining at most `capacity` events (older events are
     /// kept; later ones are counted as dropped — the head of a schedule is
-    /// usually what matters for debugging).
+    /// usually what matters for debugging). Storage for the retained events
+    /// is allocated up front (bounded at 2^16 entries) so recording on the
+    /// simulator hot path never grows the buffer.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            events: Vec::new(),
+            events: Vec::with_capacity(capacity.min(1 << 16)),
             capacity,
             dropped: 0,
         }
@@ -278,6 +328,30 @@ mod tests {
 
     fn ev(t: f64, kind: TraceEventKind) -> (Seconds, TraceEventKind) {
         (Seconds::new(t), kind)
+    }
+
+    #[test]
+    fn sink_disabled_drops_and_buffered_retains() {
+        let mut sink = TraceSink::default();
+        assert!(!sink.is_enabled());
+        sink.record(Seconds::new(1.0), TraceEventKind::EnterTube { cart: 0 });
+        assert!(sink.take().is_none());
+
+        let mut sink = TraceSink::buffered(4);
+        assert!(sink.is_enabled());
+        sink.record(Seconds::new(1.0), TraceEventKind::EnterTube { cart: 0 });
+        let trace = sink.take().expect("buffered sink yields its trace");
+        assert_eq!(trace.events().len(), 1);
+        assert!(!sink.is_enabled(), "take() leaves the sink disabled");
+    }
+
+    #[test]
+    fn trace_buffer_is_preallocated_and_bounded() {
+        let small = Trace::with_capacity(8);
+        assert!(small.events.capacity() >= 8);
+        let huge = Trace::with_capacity(usize::MAX);
+        assert_eq!(huge.events.capacity(), 1 << 16);
+        assert_eq!(huge.capacity, usize::MAX);
     }
 
     #[test]

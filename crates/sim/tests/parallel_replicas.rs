@@ -1,0 +1,99 @@
+//! Determinism properties of the parallel replica driver: any thread count
+//! must be bit-identical to the serial loop, mirroring the
+//! `parallel_sweep_matches_serial` test in `dhl-core::dse`.
+
+use dhl_rng::check::forall;
+use dhl_sim::parallel::{replica_config, run_replicas, ReplicaReport};
+use dhl_sim::{DhlSystem, FaultSpec, IntegritySpec, ReliabilitySpec, SimConfig};
+use dhl_units::Bytes;
+
+/// A configuration exercising every stochastic stream: SSD failures,
+/// physical faults, and silent corruption.
+fn stochastic_config() -> SimConfig {
+    let mut cfg = SimConfig::paper_default();
+    cfg.reliability = Some(ReliabilitySpec::typical());
+    cfg.integrity = Some(IntegritySpec::typical());
+    cfg.faults = Some(FaultSpec::recovery_only());
+    cfg
+}
+
+/// The reference: run each seeded replica serially, merge in index order.
+fn serial_reference(cfg: &SimConfig, dataset: Bytes, replicas: usize) -> ReplicaReport {
+    let reports = (0..replicas)
+        .map(|i| {
+            DhlSystem::new(replica_config(cfg.clone(), i as u64))
+                .unwrap()
+                .run_bulk_transfer(dataset)
+                .unwrap()
+        })
+        .collect();
+    ReplicaReport::from_reports(reports)
+}
+
+#[test]
+fn any_thread_count_is_bit_identical_to_the_serial_loop() {
+    let cfg = stochastic_config();
+    let dataset = Bytes::from_petabytes(2.0);
+    let replicas = 9; // deliberately not a multiple of any thread count
+    let serial = serial_reference(&cfg, dataset, replicas);
+    assert_eq!(serial.replica_count(), replicas);
+    for threads in [1, 2, 4, 16, 1000] {
+        let parallel = run_replicas(&cfg, dataset, replicas, threads).unwrap();
+        // Simulation outcomes, per replica and in order.
+        assert_eq!(parallel.reports, serial.reports, "threads = {threads}");
+        // The merged snapshot — counters, wall-free gauges, histograms —
+        // down to the exact JSON bytes.
+        assert_eq!(
+            parallel.metrics.to_json(),
+            serial.metrics.to_json(),
+            "threads = {threads}"
+        );
+        // And the full merged report, aggregates included.
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+}
+
+#[test]
+fn randomised_workloads_stay_thread_count_independent() {
+    forall(
+        "randomised_workloads_stay_thread_count_independent",
+        12,
+        |g| {
+            let dataset = Bytes::from_terabytes(g.f64_in(1.0, 4_000.0));
+            let replicas = 1 + (g.u64_in(0, 6) as usize);
+            let threads = 1 + (g.u64_in(0, 31) as usize);
+            let cfg = stochastic_config();
+            let serial = serial_reference(&cfg, dataset, replicas);
+            let parallel = run_replicas(&cfg, dataset, replicas, threads).unwrap();
+            assert_eq!(
+                parallel, serial,
+                "replicas = {replicas}, threads = {threads}"
+            );
+            assert_eq!(parallel.metrics.to_json(), serial.metrics.to_json());
+        },
+    );
+}
+
+#[test]
+fn merged_aggregates_summarise_the_replica_outcomes() {
+    let cfg = stochastic_config();
+    let dataset = Bytes::from_petabytes(1.0);
+    let merged = run_replicas(&cfg, dataset, 5, 4).unwrap();
+    let times: Vec<f64> = merged
+        .reports
+        .iter()
+        .map(|r| r.completion_time.seconds())
+        .collect();
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    assert!((merged.completion_time.mean - mean).abs() < 1e-9);
+    assert!(merged.completion_time.min <= merged.completion_time.p50);
+    assert!(merged.completion_time.p50 <= merged.completion_time.p95);
+    assert!(merged.completion_time.p95 <= merged.completion_time.max);
+    assert!(merged.completion_time.ci95 >= 0.0);
+    // Counters merged across replicas: deliveries sum exactly.
+    let total_deliveries: u64 = merged.reports.iter().map(|r| r.deliveries).sum();
+    assert_eq!(
+        merged.metrics.counter("sim.deliveries"),
+        Some(total_deliveries)
+    );
+}

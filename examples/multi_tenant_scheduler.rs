@@ -6,8 +6,11 @@
 //! cargo run --example multi_tenant_scheduler
 //! ```
 
+use datacentre_hyperloop::sched::evaluate::{evaluate, Scenario};
 use datacentre_hyperloop::sched::placement::Placement;
-use datacentre_hyperloop::sched::scheduler::{Priority, Scheduler, TransferRequest};
+use datacentre_hyperloop::sched::scheduler::{
+    IntegrityAwareness, Policy, Priority, Scheduler, TransferRequest,
+};
 use datacentre_hyperloop::sched::DataState;
 use datacentre_hyperloop::sim::SimConfig;
 use datacentre_hyperloop::storage::datasets;
@@ -80,6 +83,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.track_utilisation * 100.0,
         outcome.total_energy.megajoules()
     );
+
+    // What if the operator had picked a different discipline? Evaluate the
+    // same workload under every candidate policy side by side — the
+    // scenarios fan out across threads (DHL_SIM_THREADS to override) and
+    // come back in order.
+    let mut placement = Placement::new(Bytes::from_terabytes(256.0));
+    let training = placement.store(datasets::laion_5b());
+    let analytics = placement.store(datasets::common_crawl());
+    let backup = placement.store(datasets::genomics_17pb());
+    let requests = vec![
+        TransferRequest::new(backup, 1, Priority::Background, Seconds::ZERO),
+        TransferRequest::new(analytics, 1, Priority::Normal, Seconds::ZERO)
+            .with_dwell(Seconds::new(30.0)),
+        TransferRequest::new(training, 1, Priority::Urgent, Seconds::new(5.0)),
+    ];
+    let scenarios = vec![
+        Scenario::new("priority FIFO", Policy::PriorityFifo),
+        Scenario::new("shortest job first", Policy::ShortestJobFirst),
+        Scenario::new("FIFO + verify-on-dock", Policy::PriorityFifo)
+            .with_integrity(IntegrityAwareness::verification_only(Seconds::new(3.0))),
+    ];
+    println!(
+        "\n{:<24} {:>12} {:>12} {:>12}",
+        "policy", "makespan s", "util %", "energy MJ"
+    );
+    for s in evaluate(
+        &SimConfig::paper_default(),
+        &placement,
+        &requests,
+        scenarios,
+    )? {
+        println!(
+            "{:<24} {:>12.0} {:>12.0} {:>12.2}",
+            s.label,
+            s.outcome.makespan.seconds(),
+            s.outcome.track_utilisation * 100.0,
+            s.outcome.total_energy.megajoules()
+        );
+    }
 
     // Availability: mid-transit, the training data is unreadable.
     let t = Seconds::new(10.0);

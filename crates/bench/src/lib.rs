@@ -20,8 +20,8 @@ use dhl_mlsim::{fig6, iso_power, iso_time, DesDhlFabric, DhlFabric, DlrmWorkload
 use dhl_net::route::{Route, RouteId};
 use dhl_physics::{BrakingSystem, TimeModel};
 use dhl_sim::{
-    default_threads, parallel_map, run_replicas, DhlSystem, IntegritySpec, ReliabilitySpec,
-    SimConfig,
+    default_threads, parallel_map, run_replicas, Checkpoint, DhlSystem, IntegritySpec,
+    ReliabilitySpec, SimConfig,
 };
 use dhl_units::{Bytes, Metres, MetresPerSecond, Watts};
 
@@ -631,6 +631,43 @@ pub fn run_bench_suite() -> Vec<report_file::BenchCase> {
     cases.push(BenchCase {
         result,
         metrics: Some(verify_run().metrics),
+    });
+
+    // Checkpoint/restore case: capture a mid-run checkpoint, serialise it
+    // to JSON, parse it back, and resume a fresh simulator from it — the
+    // full crash-recovery round trip, measured end to end. The attached
+    // metrics come from draining the resumed run, so they equal the
+    // uninterrupted run's metrics by the bit-identity guarantee.
+    let roundtrip_cfg = {
+        let mut cfg = SimConfig::paper_default();
+        cfg.reliability = Some(ReliabilitySpec::typical());
+        cfg
+    };
+    let mut mid_run = DhlSystem::new(roundtrip_cfg.clone()).expect("valid paper config");
+    mid_run
+        .begin_bulk_transfer(Bytes::from_petabytes(2.0))
+        .expect("mission accepted");
+    mid_run
+        .run_until(dhl_units::Seconds::new(30.0))
+        .expect("runs to the capture point");
+    let result = harness::bench_function("sim/checkpoint_roundtrip", || {
+        let json = mid_run.checkpoint().to_json();
+        let restored = Checkpoint::from_json(&json).expect("own output parses");
+        let resumed = DhlSystem::resume(roundtrip_cfg.clone(), &restored)
+            .expect("same configuration fingerprint");
+        resumed.now().seconds() as u64
+    });
+    let resumed_metrics = {
+        let checkpoint = mid_run.checkpoint();
+        let mut sys = DhlSystem::resume(roundtrip_cfg.clone(), &checkpoint)
+            .expect("same configuration fingerprint");
+        sys.run_until(dhl_units::Seconds::new(f64::INFINITY))
+            .expect("drains");
+        sys.finish().metrics
+    };
+    cases.push(BenchCase {
+        result,
+        metrics: Some(resumed_metrics),
     });
 
     // Replica-driver cases: the same seeded Monte-Carlo set run serially

@@ -203,6 +203,46 @@ impl Histogram {
         max
     }
 
+    /// The raw running minimum: `+∞` until a finite value is recorded.
+    /// Unlike [`Histogram::min`] this does not clamp to zero, so the exact
+    /// internal state can be exported and re-imported bit-identically.
+    #[must_use]
+    pub fn raw_min(&self) -> f64 {
+        self.min
+    }
+
+    /// The raw running maximum: `-∞` until a finite value is recorded (see
+    /// [`Histogram::raw_min`]).
+    #[must_use]
+    pub fn raw_max(&self) -> f64 {
+        self.max
+    }
+
+    /// Rebuilds a histogram from previously exported exact state: the
+    /// observation `count`, running `sum`, *raw* `min`/`max` (as returned by
+    /// [`Histogram::raw_min`]/[`Histogram::raw_max`], i.e. `±∞` when no
+    /// finite value was seen), and the sparse `(slot, count)` buckets from
+    /// [`Histogram::sparse_buckets`].
+    ///
+    /// The result compares equal (`PartialEq`, hence bit-identical `f64`
+    /// fields) to the histogram the state was exported from, which is what
+    /// checkpoint/resume needs: subsequent `record` calls continue the same
+    /// non-associative `sum` accumulation the original would have performed.
+    #[must_use]
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64, buckets: &[(u32, u64)]) -> Self {
+        let mut h = Self::new();
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        for &(slot, c) in buckets {
+            if let Some(entry) = h.counts.get_mut(slot as usize) {
+                *entry = c;
+            }
+        }
+        h
+    }
+
     /// Merges another histogram into this one: bucket-wise count addition,
     /// summed count/sum, combined min/max. Commutative and associative, so
     /// the merged result is independent of replica merge order.
@@ -359,5 +399,39 @@ mod tests {
     #[test]
     fn quantile_from_buckets_of_empty_is_zero() {
         assert_eq!(Histogram::quantile_from_buckets(&[], 0, 0.0, 0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exact_state() {
+        let mut h = Histogram::new();
+        for v in [0.001, 0.1 + 0.2, 8.6, 17.2, 1e30, -1.0] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_parts(
+            h.count(),
+            h.sum(),
+            h.raw_min(),
+            h.raw_max(),
+            &h.sparse_buckets(),
+        );
+        assert_eq!(rebuilt, h);
+        // Continuing to record after restore matches the uninterrupted
+        // histogram bit-for-bit (same sum accumulation order).
+        let mut a = h.clone();
+        let mut b = rebuilt;
+        for v in [0.3, 2.25, 1e-9] {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_parts_of_empty_histogram_is_empty() {
+        let h = Histogram::new();
+        let rebuilt = Histogram::from_parts(0, 0.0, h.raw_min(), h.raw_max(), &[]);
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.min(), 0.0);
+        assert_eq!(rebuilt.max(), 0.0);
     }
 }

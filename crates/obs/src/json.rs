@@ -17,8 +17,15 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number.
+    /// A JSON number with a fractional part, an exponent, or a sign.
     Number(f64),
+    /// A non-negative integer-syntax number that fits `u64`, kept exact.
+    ///
+    /// `u64` counters (up to `u64::MAX`) exceed `f64`'s 53-bit integer
+    /// range, so the parser keeps plain unsigned integers in this lossless
+    /// variant; [`JsonValue::as_f64`] still covers it for callers that only
+    /// need an approximate number.
+    UInt(u64),
     /// A string.
     String(String),
     /// An array.
@@ -28,11 +35,27 @@ pub enum JsonValue {
 }
 
 impl JsonValue {
-    /// The value as a number, if it is one.
+    /// The value as a number, if it is one (`UInt` rounds to the nearest
+    /// representable `f64`).
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Self::Number(n) => Some(*n),
+            Self::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer, if it is one. Accepts
+    /// `Number`s that are integral and in range, so callers reading counters
+    /// do not care which variant the writer produced.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::UInt(n) => Some(*n),
+            Self::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
             _ => None,
         }
     }
@@ -78,6 +101,9 @@ impl JsonValue {
             Self::Bool(true) => out.push_str("true"),
             Self::Bool(false) => out.push_str("false"),
             Self::Number(n) => write_f64(out, *n),
+            Self::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
             Self::String(s) => write_escaped(out, s),
             Self::Array(items) => {
                 out.push('[');
@@ -325,6 +351,13 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Plain unsigned integers stay exact: f64 silently rounds above
+        // 2^53, which would corrupt u64 counters on a round trip.
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+        }
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| self.err("invalid number"))
@@ -425,5 +458,69 @@ mod tests {
     fn unicode_passes_through() {
         let v = parse("\"héllo ✓\"").unwrap();
         assert_eq!(v.as_str(), Some("héllo ✓"));
+    }
+
+    #[test]
+    fn u64_max_round_trips_losslessly() {
+        // u64::MAX is not representable in f64; the UInt variant keeps it.
+        let src = u64::MAX.to_string();
+        let v = parse(&src).unwrap();
+        assert_eq!(v, JsonValue::UInt(u64::MAX));
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(v.to_json_string(), src);
+        // One past 2^53: f64 would collapse it onto a neighbour.
+        let n = (1u64 << 53) + 1;
+        let v = parse(&n.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(n));
+        assert_eq!(parse(&v.to_json_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn uint_still_reads_as_f64_and_number_as_u64() {
+        assert_eq!(parse("7").unwrap().as_f64(), Some(7.0));
+        assert_eq!(JsonValue::Number(7.0).as_u64(), Some(7));
+        assert_eq!(JsonValue::Number(7.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        // Negative and fractional syntax stays in the f64 variant.
+        assert_eq!(parse("-7").unwrap(), JsonValue::Number(-7.0));
+        assert_eq!(parse("7.0").unwrap(), JsonValue::Number(7.0));
+        assert_eq!(parse("7e0").unwrap(), JsonValue::Number(7.0));
+    }
+
+    #[test]
+    fn histogram_bucket_arrays_round_trip_losslessly() {
+        // A sparse bucket list as the checkpoint format stores it: pairs of
+        // (slot, count) with counts up to u64::MAX.
+        let buckets = [(0u32, 3u64), (31, u64::MAX), (65, (1 << 53) + 1)];
+        let mut out = String::new();
+        out.push('[');
+        for (i, (slot, count)) in buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{slot},{count}]");
+        }
+        out.push(']');
+        let v = parse(&out).unwrap();
+        let arr = v.as_array().unwrap();
+        let back: Vec<(u32, u64)> = arr
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array().unwrap();
+                (
+                    u32::try_from(pair[0].as_u64().unwrap()).unwrap(),
+                    pair[1].as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(back, buckets);
+        assert_eq!(parse(&v.to_json_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn digit_strings_wider_than_u64_fall_back_to_f64() {
+        let v = parse("99999999999999999999999999").unwrap();
+        assert!(matches!(v, JsonValue::Number(_)));
+        assert!(v.as_f64().unwrap() > 9.9e25);
     }
 }

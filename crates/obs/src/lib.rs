@@ -150,6 +150,42 @@ impl MetricsRegistry {
         self.gauges.clear();
         self.histograms.clear();
     }
+
+    /// Iterates the live counters in name order (exact `u64` values).
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates the live gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates the live histograms in name order, exposing their exact
+    /// internal state (use with [`Histogram::raw_min`],
+    /// [`Histogram::sparse_buckets`], …) for checkpointing.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, h)| (*k, h))
+    }
+
+    /// Overwrites counter `name` with an exact value (checkpoint restore).
+    /// Unlike [`MetricsRegistry::inc`] this is not additive.
+    pub fn set_counter(&mut self, name: &'static str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counters.insert(name, value);
+    }
+
+    /// Installs a fully-reconstructed histogram under `name` (checkpoint
+    /// restore), replacing whatever was recorded so far. Subsequent
+    /// [`MetricsRegistry::observe`] calls continue accumulating into it.
+    pub fn restore_histogram(&mut self, name: &'static str, histogram: Histogram) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms.insert(name, histogram);
+    }
 }
 
 /// RAII wall-clock span over a [`MetricsRegistry`] histogram.
@@ -687,6 +723,55 @@ mod tests {
         let mut from_empty = MetricsSnapshot::default();
         from_empty.merge(&orig);
         assert_eq!(from_empty, orig);
+    }
+
+    #[test]
+    fn registry_state_export_and_restore_is_exact() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.inc("events", u64::MAX - 3);
+        reg.inc("events", 3); // lands exactly on u64::MAX
+        reg.set_gauge("depth", 0.1 + 0.2); // not exactly 0.3
+        reg.observe("lat", 0.1);
+        reg.observe("lat", 0.2);
+
+        // Export the exact state, rebuild a fresh registry from it.
+        let mut restored = MetricsRegistry::enabled();
+        for (name, v) in reg.counters() {
+            restored.set_counter(name, v);
+        }
+        for (name, v) in reg.gauges() {
+            restored.set_gauge(name, v);
+        }
+        for (name, h) in reg.histograms() {
+            restored.restore_histogram(
+                name,
+                Histogram::from_parts(
+                    h.count(),
+                    h.sum(),
+                    h.raw_min(),
+                    h.raw_max(),
+                    &h.sparse_buckets(),
+                ),
+            );
+        }
+        assert_eq!(restored.snapshot(), reg.snapshot());
+        assert_eq!(restored.snapshot().counter("events"), Some(u64::MAX));
+
+        // Recording continues identically after restore: same f64
+        // accumulation order, so snapshots stay bit-identical.
+        reg.observe("lat", 0.4);
+        reg.inc("events", 0);
+        restored.observe("lat", 0.4);
+        restored.inc("events", 0);
+        assert_eq!(restored.snapshot(), reg.snapshot());
+    }
+
+    #[test]
+    fn disabled_registry_ignores_restore() {
+        let mut reg = MetricsRegistry::disabled();
+        reg.set_counter("a", 5);
+        reg.restore_histogram("h", Histogram::new());
+        assert!(reg.snapshot().is_empty());
     }
 
     #[test]

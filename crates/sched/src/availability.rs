@@ -22,11 +22,36 @@ pub enum DataState {
 }
 
 /// Per-dataset transit-window log, plus track downtime windows (periods when
-/// the track itself was out of service and nothing could move).
+/// the track itself was out of service and nothing could move) and
+/// per-endpoint dock downtime windows (periods a rack's docking stations
+/// spent recovering a crashed controller).
 #[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
 pub struct AvailabilityTracker {
     windows: HashMap<DatasetId, Vec<(f64, f64)>>,
     downtime: Vec<(f64, f64)>,
+    dock_downtime: HashMap<usize, Vec<(f64, f64)>>,
+}
+
+/// Total covered time across possibly-overlapping `[from, to)` windows.
+fn merged_total(windows: &[(f64, f64)]) -> Seconds {
+    let mut sorted = windows.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (a, b) in sorted {
+        match cur {
+            Some((ca, cb)) if a <= cb => cur = Some((ca, cb.max(b))),
+            Some((ca, cb)) => {
+                total += cb - ca;
+                cur = Some((a, b));
+            }
+            None => cur = Some((a, b)),
+        }
+    }
+    if let Some((ca, cb)) = cur {
+        total += cb - ca;
+    }
+    Seconds::new(total)
 }
 
 impl AvailabilityTracker {
@@ -94,27 +119,9 @@ impl AvailabilityTracker {
     /// overlapping windows.
     #[must_use]
     pub fn total_transit_time(&self, dataset: DatasetId) -> Seconds {
-        let Some(ws) = self.windows.get(&dataset) else {
-            return Seconds::ZERO;
-        };
-        let mut sorted = ws.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let mut total = 0.0;
-        let mut cur: Option<(f64, f64)> = None;
-        for (a, b) in sorted {
-            match cur {
-                Some((ca, cb)) if a <= cb => cur = Some((ca, cb.max(b))),
-                Some((ca, cb)) => {
-                    total += cb - ca;
-                    cur = Some((a, b));
-                }
-                None => cur = Some((a, b)),
-            }
-        }
-        if let Some((ca, cb)) = cur {
-            total += cb - ca;
-        }
-        Seconds::new(total)
+        self.windows
+            .get(&dataset)
+            .map_or(Seconds::ZERO, |ws| merged_total(ws))
     }
 
     /// Number of transit windows recorded for a dataset. Every cart trip —
@@ -153,24 +160,46 @@ impl AvailabilityTracker {
     /// Total track downtime, merging overlapping windows.
     #[must_use]
     pub fn total_track_downtime(&self) -> Seconds {
-        let mut sorted = self.downtime.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let mut total = 0.0;
-        let mut cur: Option<(f64, f64)> = None;
-        for (a, b) in sorted {
-            match cur {
-                Some((ca, cb)) if a <= cb => cur = Some((ca, cb.max(b))),
-                Some((ca, cb)) => {
-                    total += cb - ca;
-                    cur = Some((a, b));
-                }
-                None => cur = Some((a, b)),
-            }
-        }
-        if let Some((ca, cb)) = cur {
-            total += cb - ca;
-        }
-        Seconds::new(total)
+        merged_total(&self.downtime)
+    }
+
+    /// Records that `endpoint`'s docking stations spent `[from, to)`
+    /// recovering a crashed dock controller (the cart stays mated but no
+    /// payload moves, so the rack's data is effectively unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < from` or either bound is non-finite.
+    pub fn record_dock_downtime(&mut self, endpoint: usize, from: Seconds, to: Seconds) {
+        assert!(
+            from.is_finite() && to.is_finite() && to.seconds() >= from.seconds(),
+            "dock downtime window must be a finite, ordered interval"
+        );
+        self.dock_downtime
+            .entry(endpoint)
+            .or_default()
+            .push((from.seconds(), to.seconds()));
+    }
+
+    /// The dock downtime windows recorded for an endpoint, in insertion
+    /// order (empty if its controllers never crashed).
+    #[must_use]
+    pub fn dock_downtime_windows(&self, endpoint: usize) -> &[(f64, f64)] {
+        self.dock_downtime.get(&endpoint).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total dock downtime for an endpoint, merging overlapping windows.
+    #[must_use]
+    pub fn total_dock_downtime(&self, endpoint: usize) -> Seconds {
+        self.dock_downtime
+            .get(&endpoint)
+            .map_or(Seconds::ZERO, |ws| merged_total(ws))
+    }
+
+    /// Number of endpoints with any recorded dock downtime.
+    #[must_use]
+    pub fn docks_with_downtime(&self) -> usize {
+        self.dock_downtime.len()
     }
 
     /// Earliest time ≥ `at` outside every downtime window (when a departure
@@ -265,6 +294,29 @@ mod tests {
     fn reversed_downtime_panics() {
         let mut t = AvailabilityTracker::new();
         t.record_track_downtime(Seconds::new(5.0), Seconds::new(1.0));
+    }
+
+    #[test]
+    fn dock_downtime_is_tracked_per_endpoint() {
+        let mut t = AvailabilityTracker::new();
+        assert_eq!(t.total_dock_downtime(1), Seconds::ZERO);
+        assert!(t.dock_downtime_windows(1).is_empty());
+        t.record_dock_downtime(1, Seconds::new(10.0), Seconds::new(40.0));
+        t.record_dock_downtime(1, Seconds::new(20.0), Seconds::new(50.0)); // overlap
+        t.record_dock_downtime(2, Seconds::new(0.0), Seconds::new(5.0));
+        assert_eq!(t.total_dock_downtime(1).seconds(), 40.0);
+        assert_eq!(t.total_dock_downtime(2).seconds(), 5.0);
+        assert_eq!(t.dock_downtime_windows(1).len(), 2);
+        assert_eq!(t.docks_with_downtime(), 2);
+        // Dock downtime is endpoint-local: the track itself stayed up.
+        assert_eq!(t.total_track_downtime(), Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered interval")]
+    fn reversed_dock_downtime_panics() {
+        let mut t = AvailabilityTracker::new();
+        t.record_dock_downtime(1, Seconds::new(5.0), Seconds::new(1.0));
     }
 
     #[test]

@@ -12,8 +12,8 @@ use dhl_sim::{default_threads, parallel_map, SimConfig};
 
 use crate::placement::Placement;
 use crate::scheduler::{
-    FaultAwareness, IntegrityAwareness, Policy, ScheduleOutcome, Scheduler, SchedulerError,
-    TransferRequest,
+    DockRecoveryAwareness, FaultAwareness, IntegrityAwareness, Policy, ScheduleOutcome, Scheduler,
+    SchedulerError, TransferRequest,
 };
 
 /// One scheduling discipline to evaluate against the shared workload.
@@ -27,6 +27,9 @@ pub struct Scenario {
     pub faults: Option<FaultAwareness>,
     /// Optional integrity awareness (verify-on-dock, reshipments).
     pub integrity: Option<IntegrityAwareness>,
+    /// Optional dock-recovery awareness (controller crashes stalling
+    /// dockings for the recovery policy's latency).
+    pub dock_recovery: Option<DockRecoveryAwareness>,
 }
 
 impl Scenario {
@@ -38,6 +41,7 @@ impl Scenario {
             policy,
             faults: None,
             integrity: None,
+            dock_recovery: None,
         }
     }
 
@@ -52,6 +56,15 @@ impl Scenario {
     #[must_use]
     pub fn with_integrity(mut self, integrity: IntegrityAwareness) -> Self {
         self.integrity = Some(integrity);
+        self
+    }
+
+    /// Adds scheduler-level dock-recovery awareness, for comparing how
+    /// controller-recovery policies (journal replay vs rebuild-from-scan)
+    /// ripple through availability and latency.
+    #[must_use]
+    pub fn with_dock_recovery(mut self, dock_recovery: DockRecoveryAwareness) -> Self {
+        self.dock_recovery = Some(dock_recovery);
         self
     }
 }
@@ -94,6 +107,9 @@ pub fn evaluate_scenarios(
         if let Some(integrity) = scenario.integrity {
             sched = sched.with_integrity(integrity);
         }
+        if let Some(dock_recovery) = scenario.dock_recovery {
+            sched = sched.with_dock_recovery(dock_recovery);
+        }
         for request in requests {
             sched.submit(request.clone());
         }
@@ -127,6 +143,7 @@ mod tests {
     use super::*;
     use crate::placement::Placement;
     use crate::scheduler::Priority;
+    use dhl_sim::DockControllerFaultSpec;
     use dhl_storage::datasets;
     use dhl_units::{Bytes, Seconds};
 
@@ -150,7 +167,17 @@ mod tests {
             ),
             Scenario::new("sjf+verify", Policy::ShortestJobFirst)
                 .with_integrity(IntegrityAwareness::verification_only(Seconds::new(3.0))),
+            Scenario::new("fifo+dock-replay", Policy::PriorityFifo)
+                .with_dock_recovery(dock_recovery(DockControllerFaultSpec::journal_replay())),
+            Scenario::new("fifo+dock-rescan", Policy::PriorityFifo)
+                .with_dock_recovery(dock_recovery(DockControllerFaultSpec::rebuild_from_scan())),
         ]
+    }
+
+    fn dock_recovery(mut spec: DockControllerFaultSpec) -> DockRecoveryAwareness {
+        // High enough that crashes reliably strike the 37-docking workload.
+        spec.crash_probability_per_docking = 0.5;
+        DockRecoveryAwareness::from_spec(&spec, Bytes::from_terabytes(256.0), 21)
     }
 
     #[test]
@@ -159,7 +186,17 @@ mod tests {
         let cfg = SimConfig::paper_default();
         let serial = evaluate_scenarios(&cfg, &placement, &requests, scenarios(), 1).unwrap();
         let labels: Vec<&str> = serial.iter().map(|o| o.label.as_str()).collect();
-        assert_eq!(labels, ["fifo", "sjf", "fifo+downtime", "sjf+verify"]);
+        assert_eq!(
+            labels,
+            [
+                "fifo",
+                "sjf",
+                "fifo+downtime",
+                "sjf+verify",
+                "fifo+dock-replay",
+                "fifo+dock-rescan",
+            ]
+        );
         for threads in [2, 3, 16] {
             let parallel =
                 evaluate_scenarios(&cfg, &placement, &requests, scenarios(), threads).unwrap();
@@ -180,6 +217,32 @@ mod tests {
         for o in &outcomes {
             assert_eq!(o.outcome.completed.len(), requests.len());
         }
+    }
+
+    #[test]
+    fn recovery_policies_are_comparable_side_by_side() {
+        let (placement, requests) = workload();
+        let cfg = SimConfig::paper_default();
+        let outcomes = evaluate(&cfg, &placement, &requests, scenarios()).unwrap();
+        let (clean, replay, rescan) = (&outcomes[0], &outcomes[4], &outcomes[5]);
+        let crashes = |o: &ScenarioOutcome| {
+            o.outcome
+                .completed
+                .iter()
+                .map(|r| r.dock_crashes)
+                .sum::<u64>()
+        };
+        // Same seed, same hazard: the two policies see identical crash draws
+        // and differ only in how long each recovery stalls the dock.
+        assert_eq!(crashes(replay), crashes(rescan));
+        assert!(crashes(replay) > 0, "50% hazard over 37 dockings");
+        assert!(replay.outcome.makespan > clean.outcome.makespan);
+        assert!(
+            rescan.outcome.makespan > replay.outcome.makespan,
+            "re-scanning 256 TB per crash dwarfs a 30 s journal replay"
+        );
+        let downtime = |o: &ScenarioOutcome| o.outcome.metrics.gauge("sched.dock_downtime_s");
+        assert!(downtime(rescan).unwrap() > downtime(replay).unwrap());
     }
 
     #[test]

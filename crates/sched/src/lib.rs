@@ -49,6 +49,6 @@ pub use availability::{AvailabilityTracker, DataState};
 pub use evaluate::{evaluate_scenarios, Scenario, ScenarioOutcome};
 pub use placement::{CartContents, DatasetId, ParityPlan, Placement};
 pub use scheduler::{
-    FaultAwareness, IntegrityAwareness, Policy, Priority, RequestId, RequestOutcome,
-    ScheduleOutcome, Scheduler, TransferRequest,
+    DockRecoveryAwareness, FaultAwareness, IntegrityAwareness, Policy, Priority, RequestId,
+    RequestOutcome, ScheduleOutcome, Scheduler, TransferRequest,
 };

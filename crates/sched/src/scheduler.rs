@@ -13,8 +13,10 @@ use dhl_obs::{MetricsRegistry, MetricsSnapshot, Stopwatch};
 use dhl_rng::{DeterministicRng, Rng};
 use serde::{Deserialize, Serialize};
 
-use dhl_sim::{ConfigError, EndpointKind, MovementCost, SimConfig};
-use dhl_units::{Joules, Seconds};
+use dhl_sim::{
+    ConfigError, DockControllerFaultSpec, DockRecoveryPolicy, EndpointKind, MovementCost, SimConfig,
+};
+use dhl_units::{Bytes, Joules, Seconds};
 
 use crate::availability::AvailabilityTracker;
 use crate::placement::{DatasetId, Placement};
@@ -152,6 +154,46 @@ impl IntegrityAwareness {
     }
 }
 
+/// Scheduler-level dock-controller crash awareness: each loaded docking at a
+/// rack may crash the station's controller, stalling the docking for the
+/// recovery policy's latency while the dock is out of service. Crash windows
+/// feed the [`AvailabilityTracker`] as per-endpoint dock downtime, so
+/// clients see exactly when a rack's docks were recovering rather than
+/// serving payload.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DockRecoveryAwareness {
+    /// Probability that any single loaded docking crashes the controller
+    /// (clamped into `[0, 1]` at sampling time).
+    pub crash_probability_per_docking: f64,
+    /// Recovery latency charged per crash (already resolved for the policy:
+    /// fixed journal-replay time, or payload ÷ scan bandwidth).
+    pub recovery_time: Seconds,
+    /// Seed for the deterministic crash-sampling stream (independent of the
+    /// loss and reshipment streams).
+    pub seed: u64,
+}
+
+impl DockRecoveryAwareness {
+    /// Derives the scheduler-level awareness from the simulator's fault
+    /// spec, resolving the policy's recovery latency for carts carrying
+    /// `payload_per_cart` bytes: journal replay is payload-independent,
+    /// rebuild-from-scan re-reads the whole docked payload.
+    #[must_use]
+    pub fn from_spec(spec: &DockControllerFaultSpec, payload_per_cart: Bytes, seed: u64) -> Self {
+        let recovery_time = match spec.recovery {
+            DockRecoveryPolicy::JournalReplay => spec.journal_replay_time,
+            DockRecoveryPolicy::RebuildFromScan => Seconds::new(
+                payload_per_cart.as_f64() / spec.rebuild_scan_bandwidth_bytes_per_second,
+            ),
+        };
+        Self {
+            crash_probability_per_docking: spec.crash_probability_per_docking,
+            recovery_time,
+            seed,
+        }
+    }
+}
+
 /// Per-request outcome.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct RequestOutcome {
@@ -174,6 +216,9 @@ pub struct RequestOutcome {
     pub reshipments: u64,
     /// Shards given up after exhausting their attempt budget.
     pub abandoned: u64,
+    /// Dock-controller crashes suffered while this request's carts were
+    /// docking (0 without dock-recovery awareness).
+    pub dock_crashes: u64,
 }
 
 impl RequestOutcome {
@@ -254,6 +299,7 @@ pub struct Scheduler {
     policy: Policy,
     faults: Option<FaultAwareness>,
     integrity: Option<IntegrityAwareness>,
+    dock_recovery: Option<DockRecoveryAwareness>,
     metrics: MetricsRegistry,
 }
 
@@ -275,6 +321,7 @@ impl Scheduler {
             policy: Policy::PriorityFifo,
             faults: None,
             integrity: None,
+            dock_recovery: None,
             metrics: MetricsRegistry::enabled(),
         })
     }
@@ -313,6 +360,15 @@ impl Scheduler {
     #[must_use]
     pub fn with_integrity(mut self, integrity: IntegrityAwareness) -> Self {
         self.integrity = Some(integrity);
+        self
+    }
+
+    /// Enables dock-recovery awareness: seeded dock-controller crashes that
+    /// stall dockings for the recovery policy's latency and charge the
+    /// window against the rack's dock availability.
+    #[must_use]
+    pub fn with_dock_recovery(mut self, dock_recovery: DockRecoveryAwareness) -> Self {
+        self.dock_recovery = Some(dock_recovery);
         self
     }
 
@@ -414,6 +470,10 @@ impl Scheduler {
             .integrity
             .as_ref()
             .map(|i| DeterministicRng::seed_from_u64(i.seed));
+        let mut dock_rng = self
+            .dock_recovery
+            .as_ref()
+            .map(|d| DeterministicRng::seed_from_u64(d.seed));
         let verify_s = self
             .integrity
             .as_ref()
@@ -449,6 +509,7 @@ impl Scheduler {
             let mut redeliveries = 0u64;
             let mut reshipments = 0u64;
             let mut abandoned = 0u64;
+            let mut dock_crashes = 0u64;
 
             for _cart in &carts {
                 // Lost carts re-enter at the head of *this* request (same
@@ -475,9 +536,26 @@ impl Scheduler {
                         (Some(f), Some(rng)) => rng.random_bool(f.loss_probability.clamp(0.0, 1.0)),
                         _ => false,
                     };
-                    // Verify-on-dock happens only for payloads that arrived:
-                    // the scrub may reject the delivery, sending the cart
-                    // home for a reshipment.
+                    // A dock-controller crash strikes only when a loaded
+                    // cart actually docks: the docking stalls for the
+                    // recovery latency and the dock is down for the window.
+                    let mut recovery_s = 0.0;
+                    if !lost {
+                        if let (Some(d), Some(rng)) = (&self.dock_recovery, dock_rng.as_mut()) {
+                            if rng.random_bool(d.crash_probability_per_docking.clamp(0.0, 1.0)) {
+                                dock_crashes += 1;
+                                recovery_s = d.recovery_time.seconds().max(0.0);
+                                self.availability.record_dock_downtime(
+                                    req.destination,
+                                    Seconds::new(arrive),
+                                    Seconds::new(arrive + recovery_s),
+                                );
+                            }
+                        }
+                    }
+                    // Verify-on-dock happens only for payloads that arrived
+                    // (after any controller recovery): the scrub may reject
+                    // the delivery, sending the cart home for a reshipment.
                     let reshipped = if lost {
                         false
                     } else {
@@ -490,13 +568,13 @@ impl Scheduler {
                     };
 
                     // Dwell (skipped for a dead payload; a rejected payload
-                    // still pays for its scrub), then return.
+                    // still pays for its recovery and scrub), then return.
                     let ready_back = if lost {
                         arrive
                     } else if reshipped {
-                        arrive + verify_s
+                        arrive + recovery_s + verify_s
                     } else {
-                        arrive + verify_s + req.dwell.seconds()
+                        arrive + recovery_s + verify_s + req.dwell.seconds()
                     };
                     let mut back_depart = ready_back.max(track_free);
                     back_depart = self
@@ -523,8 +601,9 @@ impl Scheduler {
 
                     if !lost && !reshipped {
                         deliveries += 1;
-                        // A delivery counts once its scrub has passed.
-                        delivered = delivered.max(arrive + verify_s);
+                        // A delivery counts once its recovery (if any) and
+                        // scrub have passed.
+                        delivered = delivered.max(arrive + recovery_s + verify_s);
                         break;
                     }
                     let budget = if lost {
@@ -551,6 +630,7 @@ impl Scheduler {
             self.metrics.inc("sched.redeliveries", redeliveries);
             self.metrics.inc("sched.reshipments", reshipments);
             self.metrics.inc("sched.abandoned", abandoned);
+            self.metrics.inc("sched.dock_crashes", dock_crashes);
             // Queueing latency until the first cart could depart: the
             // placement-latency figure a client of the scheduler feels.
             self.metrics
@@ -571,6 +651,7 @@ impl Scheduler {
                 redeliveries,
                 reshipments,
                 abandoned,
+                dock_crashes,
             });
         }
 
@@ -593,6 +674,11 @@ impl Scheduler {
             "sched.track_downtime_s",
             self.availability.total_track_downtime().seconds(),
         );
+        let dock_downtime_s: f64 = (0..self.cfg.endpoints.len())
+            .map(|ep| self.availability.total_dock_downtime(ep).seconds())
+            .sum();
+        self.metrics
+            .set_gauge("sched.dock_downtime_s", dock_downtime_s);
         self.metrics
             .set_gauge("sched.wall_time_s", watch.elapsed_secs());
         Ok(ScheduleOutcome {
@@ -1171,6 +1257,134 @@ mod integrity_tests {
 
         assert!(p.plan_parity(DatasetId(999), 32, 0.0, 0.9).is_none());
         assert!(p.plan_parity(ds, 0, 0.0, 0.9).is_none());
+    }
+}
+
+#[cfg(test)]
+mod dock_recovery_tests {
+    use super::*;
+    use dhl_storage::datasets;
+    use dhl_units::Bytes;
+
+    fn placement_one_cart() -> (Placement, DatasetId) {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ds = p.store(datasets::laion_5b()); // 1 cart
+        (p, ds)
+    }
+
+    fn always_crash(recovery_time: Seconds) -> DockRecoveryAwareness {
+        DockRecoveryAwareness {
+            crash_probability_per_docking: 1.0,
+            recovery_time,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn from_spec_resolves_the_policy_latency() {
+        let payload = Bytes::from_terabytes(256.0);
+        let j = DockRecoveryAwareness::from_spec(
+            &DockControllerFaultSpec::journal_replay(),
+            payload,
+            1,
+        );
+        assert_eq!(j.recovery_time, Seconds::new(30.0));
+        let r = DockRecoveryAwareness::from_spec(
+            &DockControllerFaultSpec::rebuild_from_scan(),
+            payload,
+            1,
+        );
+        // 256 TB re-scanned at 8 GB/s.
+        assert!((r.recovery_time.seconds() - 32_000.0).abs() < 1e-6);
+        assert_eq!(
+            j.crash_probability_per_docking,
+            r.crash_probability_per_docking
+        );
+    }
+
+    #[test]
+    fn crashes_stall_the_docking_and_charge_dock_availability() {
+        let (p, ds) = placement_one_cart();
+        let mut s = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_dock_recovery(always_crash(Seconds::new(30.0)));
+        s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+        let out = s.run();
+        let r = &out.completed[0];
+        assert_eq!(r.dock_crashes, 1);
+        assert_eq!(r.deliveries, 1, "a crash delays, it does not lose data");
+        // Arrival at 8.6 s, then 30 s of controller recovery.
+        assert!((r.delivered.seconds() - 38.6).abs() < 1e-9, "{r:?}");
+        assert!((r.completed.seconds() - 47.2).abs() < 1e-9);
+        // The crash window is visible to availability clients, per endpoint.
+        assert!((s.availability().total_dock_downtime(1).seconds() - 30.0).abs() < 1e-9);
+        let windows = s.availability().dock_downtime_windows(1);
+        assert_eq!(windows.len(), 1);
+        assert!((windows[0].0 - 8.6).abs() < 1e-9);
+        assert!((windows[0].1 - 38.6).abs() < 1e-9);
+        assert_eq!(s.availability().total_dock_downtime(0), Seconds::ZERO);
+        // And in the metrics snapshot.
+        assert_eq!(out.metrics.counter("sched.dock_crashes"), Some(1));
+        let gauge = out.metrics.gauge("sched.dock_downtime_s").unwrap();
+        assert!((gauge - 30.0).abs() < 1e-9, "{gauge}");
+    }
+
+    #[test]
+    fn crash_stream_is_deterministic_and_a_zero_hazard_is_free() {
+        let (p, ds) = placement_one_cart();
+        let go = |prob: f64| {
+            let mut s = Scheduler::new(SimConfig::paper_default(), p.clone())
+                .unwrap()
+                .with_dock_recovery(DockRecoveryAwareness {
+                    crash_probability_per_docking: prob,
+                    recovery_time: Seconds::new(30.0),
+                    seed: 3,
+                });
+            s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+            s.run()
+        };
+        assert_eq!(go(1.0), go(1.0));
+        let clean = {
+            let mut s = Scheduler::new(SimConfig::paper_default(), p.clone()).unwrap();
+            s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+            s.run()
+        };
+        let zero = go(0.0);
+        assert_eq!(zero, clean, "zero hazard must not perturb the schedule");
+        assert_eq!(zero.completed[0].dock_crashes, 0);
+        assert_eq!(zero.metrics.gauge("sched.dock_downtime_s"), Some(0.0));
+    }
+
+    #[test]
+    fn journal_replay_beats_rescan_for_full_carts() {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let ds = p.store(datasets::common_crawl()); // 36 carts
+        let payload = Bytes::from_terabytes(256.0);
+        let go = |spec: DockControllerFaultSpec| {
+            let mut spec = spec;
+            spec.crash_probability_per_docking = 0.25;
+            let mut s = Scheduler::new(SimConfig::paper_default(), p.clone())
+                .unwrap()
+                .with_dock_recovery(DockRecoveryAwareness::from_spec(&spec, payload, 17));
+            s.submit(TransferRequest::new(ds, 1, Priority::Normal, Seconds::ZERO));
+            s.run()
+        };
+        let replay = go(DockControllerFaultSpec::journal_replay());
+        let rescan = go(DockControllerFaultSpec::rebuild_from_scan());
+        // Same seed, same crash draws — only the recovery latency differs.
+        assert_eq!(
+            replay.completed[0].dock_crashes,
+            rescan.completed[0].dock_crashes
+        );
+        assert!(replay.completed[0].dock_crashes > 0, "25% over 36 dockings");
+        assert!(
+            rescan.makespan > replay.makespan,
+            "re-scanning a 256 TB cart dwarfs a 30 s journal replay"
+        );
+        assert!(
+            rescan.metrics.gauge("sched.dock_downtime_s").unwrap()
+                > replay.metrics.gauge("sched.dock_downtime_s").unwrap()
+        );
     }
 }
 

@@ -202,6 +202,67 @@ impl RepressurisationSpec {
     }
 }
 
+/// How a crashed dock-station controller gets back into service. Each
+/// policy charges a different recovery latency (and dock-side energy) to
+/// the docking that triggered the crash.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DockRecoveryPolicy {
+    /// Replay the controller's write-ahead journal: a fixed, payload-size
+    /// independent latency ([`DockControllerFaultSpec::journal_replay_time`]).
+    JournalReplay,
+    /// Rebuild controller state by re-scanning the docked cart's payload:
+    /// latency = payload ÷
+    /// [`DockControllerFaultSpec::rebuild_scan_bandwidth_bytes_per_second`].
+    RebuildFromScan,
+}
+
+/// A crash-prone dock-station controller (the rack-side embedded system
+/// that sequences docking, §III-B.5). A crash strikes while a loaded cart
+/// is docking at a rack; the docking stalls for the policy's recovery
+/// latency, the recovery draws [`DockControllerFaultSpec::recovery_power`],
+/// and the downtime is charged against the rack's availability.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DockControllerFaultSpec {
+    /// Probability that any single loaded rack docking crashes the
+    /// controller.
+    pub crash_probability_per_docking: f64,
+    /// How the controller recovers.
+    pub recovery: DockRecoveryPolicy,
+    /// Fixed journal-replay latency ([`DockRecoveryPolicy::JournalReplay`]).
+    pub journal_replay_time: Seconds,
+    /// Payload re-scan bandwidth in bytes per second
+    /// ([`DockRecoveryPolicy::RebuildFromScan`]).
+    pub rebuild_scan_bandwidth_bytes_per_second: f64,
+    /// Dock-side power drawn for the duration of the recovery.
+    pub recovery_power: Watts,
+}
+
+impl DockControllerFaultSpec {
+    /// A controller that crashes on 0.1 % of loaded dockings and recovers
+    /// by replaying its journal in 30 s at 150 W.
+    #[must_use]
+    pub fn journal_replay() -> Self {
+        Self {
+            crash_probability_per_docking: 1e-3,
+            recovery: DockRecoveryPolicy::JournalReplay,
+            journal_replay_time: Seconds::new(30.0),
+            rebuild_scan_bandwidth_bytes_per_second: 8e9,
+            recovery_power: Watts::new(150.0),
+        }
+    }
+
+    /// The same crash hazard recovered by re-scanning the docked payload at
+    /// 8 GB/s — cheap for small payloads, far slower than journal replay for
+    /// a full 256 TB cart.
+    #[must_use]
+    pub fn rebuild_from_scan() -> Self {
+        Self {
+            recovery: DockRecoveryPolicy::RebuildFromScan,
+            ..Self::journal_replay()
+        }
+    }
+}
+
 /// Fault injection and recovery policy for the system simulator.
 ///
 /// Setting `SimConfig::faults` to `Some` switches the simulator from the
@@ -218,6 +279,9 @@ pub struct FaultSpec {
     pub docking_connector: Option<ConnectorFaultSpec>,
     /// Tube repressurisation events (None disables the fault class).
     pub repressurisation: Option<RepressurisationSpec>,
+    /// Crash-prone rack dock-station controllers (None disables the fault
+    /// class).
+    pub dock_controller: Option<DockControllerFaultSpec>,
     /// Delivery attempts per shard before the run aborts with
     /// [`crate::SimError::DeliveryAbandoned`]. Must be at least 1.
     pub max_delivery_attempts: u32,
@@ -232,6 +296,7 @@ impl FaultSpec {
             cart_stall: None,
             docking_connector: None,
             repressurisation: None,
+            dock_controller: None,
             max_delivery_attempts: 3,
         }
     }
@@ -254,6 +319,7 @@ impl FaultSpec {
                 duration: Seconds::new(120.0),
                 degraded_pressure_millibar: 100.0,
             }),
+            dock_controller: Some(DockControllerFaultSpec::journal_replay()),
             max_delivery_attempts: 3,
         }
     }
@@ -277,6 +343,29 @@ impl FaultSpec {
         if let Some(conn) = &self.docking_connector {
             if conn.replacement_time.seconds() < 0.0 || !conn.replacement_time.is_finite() {
                 return bad("connector replacement time must be non-negative and finite".into());
+            }
+        }
+        if let Some(dock) = &self.dock_controller {
+            if !(0.0..=1.0).contains(&dock.crash_probability_per_docking) {
+                return bad(format!(
+                    "dock controller crash probability {} outside [0, 1]",
+                    dock.crash_probability_per_docking
+                ));
+            }
+            if dock.journal_replay_time.seconds() < 0.0 || !dock.journal_replay_time.is_finite() {
+                return bad("journal replay time must be non-negative and finite".into());
+            }
+            let bw = dock.rebuild_scan_bandwidth_bytes_per_second;
+            if !bw.is_finite() || bw <= 0.0 {
+                return bad(format!(
+                    "rebuild scan bandwidth must be positive and finite, got {bw}"
+                ));
+            }
+            let p = dock.recovery_power.value();
+            if !p.is_finite() || p < 0.0 {
+                return bad(format!(
+                    "dock recovery power must be non-negative and finite, got {p}"
+                ));
             }
         }
         if let Some(rep) = &self.repressurisation {
@@ -697,6 +786,41 @@ mod tests {
             .unwrap()
             .degraded_pressure_millibar = 0.0;
         assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+
+        let mut f = FaultSpec::stress();
+        f.dock_controller
+            .as_mut()
+            .unwrap()
+            .crash_probability_per_docking = 1.5;
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+
+        let mut f = FaultSpec::stress();
+        f.dock_controller.as_mut().unwrap().journal_replay_time = Seconds::new(-1.0);
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+
+        let mut f = FaultSpec::stress();
+        f.dock_controller
+            .as_mut()
+            .unwrap()
+            .rebuild_scan_bandwidth_bytes_per_second = 0.0;
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+
+        let mut f = FaultSpec::stress();
+        f.dock_controller.as_mut().unwrap().recovery_power = Watts::new(f64::NAN);
+        assert!(matches!(set(f), Err(ConfigError::BadFaults(_))));
+    }
+
+    #[test]
+    fn dock_controller_presets_differ_only_in_policy() {
+        let j = DockControllerFaultSpec::journal_replay();
+        let r = DockControllerFaultSpec::rebuild_from_scan();
+        assert_eq!(j.recovery, DockRecoveryPolicy::JournalReplay);
+        assert_eq!(r.recovery, DockRecoveryPolicy::RebuildFromScan);
+        assert_eq!(
+            j.crash_probability_per_docking,
+            r.crash_probability_per_docking
+        );
+        assert_eq!(j.recovery_power, r.recovery_power);
     }
 
     #[test]

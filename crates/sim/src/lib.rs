@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod movement;
@@ -44,13 +45,16 @@ pub mod report;
 pub mod system;
 pub mod trace;
 
+pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointError};
 pub use config::{
-    CartStallSpec, ConfigError, ConnectorFaultSpec, EndpointKind, EndpointSpec, FaultSpec,
-    IntegritySpec, ProcessingModel, ReliabilitySpec, RepressurisationSpec, SimConfig,
+    CartStallSpec, ConfigError, ConnectorFaultSpec, DockControllerFaultSpec, DockRecoveryPolicy,
+    EndpointKind, EndpointSpec, FaultSpec, IntegritySpec, ProcessingModel, ReliabilitySpec,
+    RepressurisationSpec, SimConfig,
 };
 pub use movement::MovementCost;
 pub use parallel::{
-    default_threads, parallel_map, run_replicas, ReplicaReport, ReplicaSet, ReplicaStats,
+    default_threads, parallel_map, run_replicas, run_replicas_with_recovery, CrashInjection,
+    RecoveryOptions, ReplicaReport, ReplicaSet, ReplicaStats,
 };
 pub use report::{BulkTransferReport, IntegrityReport, ReliabilityReport};
 pub use system::{CartId, CartLocation, DhlSystem, Direction, EndpointId, SimError};

@@ -22,11 +22,19 @@
 //! result is **bit-identical for any thread count** — the property test in
 //! `tests/parallel_replicas.rs` pins this for `threads ∈ {1, 2, 4, 16,
 //! 1000}`.
+//!
+//! With [`RecoveryOptions`], replicas additionally checkpoint themselves
+//! periodically (see [`crate::checkpoint`]) and restart from the last
+//! checkpoint when they crash, up to a bounded restart budget. Because
+//! checkpoint resume is bit-identical, a replica that crashed and recovered
+//! produces exactly the report it would have produced uninterrupted — so
+//! the merged [`ReplicaReport`] is unchanged by crashes, for any thread
+//! count.
 
 use dhl_obs::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
-use dhl_units::Bytes;
+use dhl_units::{Bytes, Seconds};
 
 use crate::config::SimConfig;
 use crate::report::BulkTransferReport;
@@ -246,6 +254,94 @@ impl ReplicaReport {
     }
 }
 
+/// Deterministic crash injection for exercising replica recovery: replica
+/// `replica` "crashes" (its in-memory simulator is dropped) the first
+/// `crashes` times its clock reaches `at_time`, and must restart from its
+/// last periodic checkpoint.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CrashInjection {
+    /// Index of the replica that crashes.
+    pub replica: u64,
+    /// Simulation time at which the crash fires.
+    pub at_time: Seconds,
+    /// How many times the replica crashes before staying up.
+    pub crashes: u32,
+}
+
+/// Crash-recovery policy for replica runs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RecoveryOptions {
+    /// Simulation-time spacing between periodic checkpoints. A crash loses
+    /// at most this much simulated progress.
+    pub checkpoint_interval: Seconds,
+    /// Restarts allowed per replica before the run fails with
+    /// [`SimError::RestartBudgetExhausted`].
+    pub max_restarts: u32,
+    /// Deterministic crash injection (tests and audits; `None` in
+    /// production use, where crashes come from the host).
+    pub crash_hook: Option<CrashInjection>,
+}
+
+impl Default for RecoveryOptions {
+    /// Checkpoint every 300 simulated seconds, allow 3 restarts, no
+    /// injected crashes.
+    fn default() -> Self {
+        Self {
+            checkpoint_interval: Seconds::new(300.0),
+            max_restarts: 3,
+            crash_hook: None,
+        }
+    }
+}
+
+/// Runs one replica to completion under a recovery policy: periodic
+/// checkpoints, and restart-from-last-checkpoint when the crash hook fires.
+fn run_recoverable(
+    cfg: SimConfig,
+    dataset: Bytes,
+    replica: u64,
+    recovery: &RecoveryOptions,
+) -> Result<BulkTransferReport, SimError> {
+    let interval = recovery.checkpoint_interval.seconds().max(0.0);
+    let mut crashes_remaining = recovery
+        .crash_hook
+        .filter(|h| h.replica == replica)
+        .map_or(0, |h| h.crashes);
+    let mut restarts: u32 = 0;
+    let mut sys = DhlSystem::new(cfg.clone())?;
+    sys.begin_bulk_transfer(dataset)?;
+    let mut last_checkpoint = sys.checkpoint();
+    loop {
+        // Advance at least one event per step even when the interval is
+        // shorter than the event spacing, so the loop always progresses.
+        let horizon = match sys.queue.next_time() {
+            None => Seconds::new(f64::INFINITY),
+            Some(t) => Seconds::new(t.seconds().max(sys.now().seconds() + interval)),
+        };
+        let drained = sys.run_until(horizon)?;
+        let crash_due = crashes_remaining > 0
+            && recovery
+                .crash_hook
+                .is_some_and(|h| sys.now().seconds() >= h.at_time.seconds());
+        if crash_due {
+            crashes_remaining -= 1;
+            if restarts == recovery.max_restarts {
+                return Err(SimError::RestartBudgetExhausted { replica, restarts });
+            }
+            restarts += 1;
+            // The crash: the live simulator is gone; only the checkpoint
+            // survives. Resume replays the lost window bit-identically.
+            drop(sys);
+            sys = DhlSystem::resume(cfg.clone(), &last_checkpoint)?;
+            continue;
+        }
+        if drained {
+            return Ok(sys.finish());
+        }
+        last_checkpoint = sys.checkpoint();
+    }
+}
+
 /// Runs `replicas` seeded bulk-transfer simulations of `cfg` across at most
 /// `threads` workers and merges the outcomes. Replica `i` runs
 /// [`replica_config`]`(cfg, i)`; results are collected and merged in
@@ -267,6 +363,40 @@ pub fn run_replicas(
         .collect();
     let results = parallel_map(configs, threads, move |c| {
         DhlSystem::new(c)?.run_bulk_transfer(dataset)
+    });
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        reports.push(r?);
+    }
+    Ok(ReplicaReport::from_reports(reports))
+}
+
+/// [`run_replicas`] under a crash-recovery policy: every replica
+/// checkpoints itself each `recovery.checkpoint_interval` of simulated
+/// time, and a replica that crashes (via `recovery.crash_hook`) restarts
+/// from its last checkpoint, up to `recovery.max_restarts` times.
+///
+/// Checkpoint resume is bit-identical, so the merged report equals the
+/// crash-free [`run_replicas`] outcome for any thread count — the property
+/// pinned by `tests/parallel_replicas.rs`.
+///
+/// # Errors
+///
+/// The first (by replica index) [`SimError`] any replica produced,
+/// including [`SimError::RestartBudgetExhausted`] when a replica crashes
+/// more than `recovery.max_restarts` times.
+pub fn run_replicas_with_recovery(
+    cfg: &SimConfig,
+    dataset: Bytes,
+    replicas: usize,
+    threads: usize,
+    recovery: &RecoveryOptions,
+) -> Result<ReplicaReport, SimError> {
+    let configs: Vec<(u64, SimConfig)> = (0..replicas)
+        .map(|i| (i as u64, replica_config(cfg.clone(), i as u64)))
+        .collect();
+    let results = parallel_map(configs, threads, move |(index, c)| {
+        run_recoverable(c, dataset, index, recovery)
     });
     let mut reports = Vec::with_capacity(results.len());
     for r in results {
@@ -300,6 +430,7 @@ pub struct ReplicaSet {
     dataset: Bytes,
     replicas: usize,
     threads: usize,
+    recovery: Option<RecoveryOptions>,
 }
 
 impl ReplicaSet {
@@ -311,6 +442,7 @@ impl ReplicaSet {
             dataset,
             replicas: 1,
             threads: default_threads(),
+            recovery: None,
         }
     }
 
@@ -329,13 +461,32 @@ impl ReplicaSet {
         self
     }
 
+    /// Enables crash recovery: replicas checkpoint periodically and restart
+    /// from the last checkpoint on crash. The merged result is unchanged
+    /// (resume is bit-identical); only wall-clock time and the restart
+    /// budget are affected.
+    #[must_use]
+    pub fn recovery(mut self, recovery: RecoveryOptions) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
     /// Runs the set and merges the outcomes.
     ///
     /// # Errors
     ///
     /// The first (by replica index) [`SimError`] any replica produced.
     pub fn run(&self) -> Result<ReplicaReport, SimError> {
-        run_replicas(&self.cfg, self.dataset, self.replicas, self.threads)
+        match &self.recovery {
+            None => run_replicas(&self.cfg, self.dataset, self.replicas, self.threads),
+            Some(recovery) => run_replicas_with_recovery(
+                &self.cfg,
+                self.dataset,
+                self.replicas,
+                self.threads,
+                recovery,
+            ),
+        }
     }
 }
 
@@ -457,6 +608,83 @@ mod tests {
             single.metrics.counter("sim.events").map(|e| e * 3),
             "identical seeds without stochastic specs: counters sum"
         );
+    }
+
+    #[test]
+    fn crashed_replicas_recover_to_the_same_merged_result() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.reliability = Some(ReliabilitySpec::typical());
+        let dataset = Bytes::from_petabytes(1.0);
+        let clean = run_replicas(&cfg, dataset, 4, 2).unwrap();
+        let recovery = RecoveryOptions {
+            checkpoint_interval: Seconds::new(15.0),
+            max_restarts: 3,
+            crash_hook: Some(CrashInjection {
+                replica: 2,
+                at_time: Seconds::new(20.0),
+                crashes: 2,
+            }),
+        };
+        // The hook really fires mid-run: with no restart budget it is fatal.
+        let strict = RecoveryOptions {
+            max_restarts: 0,
+            ..recovery.clone()
+        };
+        assert!(matches!(
+            run_replicas_with_recovery(&cfg, dataset, 4, 1, &strict),
+            Err(SimError::RestartBudgetExhausted { replica: 2, .. })
+        ));
+        for threads in [1, 2, 8] {
+            let recovered =
+                run_replicas_with_recovery(&cfg, dataset, 4, threads, &recovery).unwrap();
+            assert_eq!(
+                recovered.reports, clean.reports,
+                "threads = {threads}: recovery must not change any replica's report"
+            );
+            assert_eq!(recovered.metrics, clean.metrics);
+            assert_eq!(recovered.completion_time, clean.completion_time);
+        }
+    }
+
+    #[test]
+    fn recovery_without_crashes_matches_the_plain_path() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.integrity = Some(IntegritySpec::typical());
+        let dataset = Bytes::from_terabytes(512.0);
+        let clean = run_replicas(&cfg, dataset, 2, 1).unwrap();
+        let recovered = ReplicaSet::new(cfg, dataset)
+            .replicas(2)
+            .threads(2)
+            .recovery(RecoveryOptions::default())
+            .run()
+            .unwrap();
+        assert_eq!(recovered.reports, clean.reports);
+        assert_eq!(recovered.metrics, clean.metrics);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_an_error() {
+        let cfg = SimConfig::paper_default();
+        let recovery = RecoveryOptions {
+            checkpoint_interval: Seconds::new(50.0),
+            max_restarts: 1,
+            // at_time 0 fires at the very first checkpoint horizon, so the
+            // budget is exhausted regardless of how long the run would take.
+            crash_hook: Some(CrashInjection {
+                replica: 0,
+                at_time: Seconds::ZERO,
+                crashes: 10,
+            }),
+        };
+        let err = run_replicas_with_recovery(&cfg, Bytes::from_petabytes(1.0), 2, 2, &recovery)
+            .unwrap_err();
+        match err {
+            SimError::RestartBudgetExhausted { replica, restarts } => {
+                assert_eq!(replica, 0);
+                assert_eq!(restarts, 1);
+            }
+            other => panic!("expected RestartBudgetExhausted, got {other:?}"),
+        }
     }
 
     #[test]

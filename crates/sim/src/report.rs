@@ -124,6 +124,14 @@ pub struct ReliabilityReport {
     pub connector_replacements: u64,
     /// Tube repressurisation events injected.
     pub repressurisations: u64,
+    /// Dock-station controller crashes injected.
+    pub dock_controller_crashes: u64,
+    /// Total docking time lost to controller recoveries (journal replay or
+    /// payload re-scan, per the configured policy).
+    pub dock_recovery_time: Seconds,
+    /// Controller downtime per endpoint (indexed like
+    /// `SimConfig::endpoints`; the library never crashes, so entry 0 is 0).
+    pub dock_downtime: Vec<Seconds>,
 }
 
 impl BulkTransferReport {
@@ -237,8 +245,13 @@ mod tests {
         assert_eq!(r.throughput, BytesPerSecond::ZERO);
         assert!(r.track_downtime.is_empty());
         assert_eq!(
-            r.cart_stalls + r.connector_replacements + r.repressurisations,
+            r.cart_stalls
+                + r.connector_replacements
+                + r.repressurisations
+                + r.dock_controller_crashes,
             0
         );
+        assert_eq!(r.dock_recovery_time, Seconds::ZERO);
+        assert!(r.dock_downtime.is_empty());
     }
 }

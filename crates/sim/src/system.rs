@@ -19,7 +19,7 @@ use dhl_storage::connectors::{ConnectorKind, DockingConnector};
 use dhl_storage::wear::CartWear;
 use dhl_units::{Bytes, Joules, MetresPerSecond, Seconds, Watts};
 
-use crate::config::{ConfigError, EndpointKind, ProcessingModel, SimConfig};
+use crate::config::{ConfigError, DockRecoveryPolicy, EndpointKind, ProcessingModel, SimConfig};
 use crate::engine::EventQueue;
 use crate::movement::MovementCost;
 use crate::report::{BulkTransferReport, IntegrityReport, ReliabilityReport};
@@ -53,31 +53,31 @@ pub enum CartLocation {
     },
 }
 
-#[derive(Copy, Clone, Debug)]
-struct Movement {
-    cart: CartId,
-    from: EndpointId,
-    to: EndpointId,
-    payload: Bytes,
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub(crate) struct Movement {
+    pub(crate) cart: CartId,
+    pub(crate) from: EndpointId,
+    pub(crate) to: EndpointId,
+    pub(crate) payload: Bytes,
     /// Delivery attempt for this shard (1-based; 0 for empty returns).
-    attempt: u32,
+    pub(crate) attempt: u32,
 }
 
 /// The in-flight half of a [`Movement`], carrying the cost actually charged
 /// at launch (which may be speed-limited by a repressurised tube) so arrival
 /// and failure-exposure accounting stay consistent with it.
-#[derive(Copy, Clone, Debug)]
-struct ActiveMovement {
-    from: EndpointId,
-    to: EndpointId,
-    payload: Bytes,
-    attempt: u32,
-    cost: MovementCost,
-    stalled: bool,
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub(crate) struct ActiveMovement {
+    pub(crate) from: EndpointId,
+    pub(crate) to: EndpointId,
+    pub(crate) payload: Bytes,
+    pub(crate) attempt: u32,
+    pub(crate) cost: MovementCost,
+    pub(crate) stalled: bool,
 }
 
-#[derive(Debug)]
-enum Ev {
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Ev {
     TryLaunch,
     UndockDone { cart: CartId },
     Arrived { cart: CartId },
@@ -88,47 +88,47 @@ enum Ev {
 
 /// A rack delivery parked in the `Arrived` state of the delivery machine:
 /// docked, scrub scheduled, verdict pending.
-#[derive(Copy, Clone, Debug)]
-struct PendingVerify {
-    to: EndpointId,
-    payload: Bytes,
-    attempt: u32,
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub(crate) struct PendingVerify {
+    pub(crate) to: EndpointId,
+    pub(crate) payload: Bytes,
+    pub(crate) attempt: u32,
     /// One-way trip time actually charged — the corruption exposure window,
     /// and the basis for retry-time accounting if the payload reships.
-    trip_time: Seconds,
-    shards: u64,
+    pub(crate) trip_time: Seconds,
+    pub(crate) shards: u64,
 }
 
-#[derive(Clone, Debug)]
-struct CartSim {
-    location: CartLocation,
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct CartSim {
+    pub(crate) location: CartLocation,
     /// In-flight movement (valid while moving).
-    movement: Option<ActiveMovement>,
-    trips: u64,
+    pub(crate) movement: Option<ActiveMovement>,
+    pub(crate) trips: u64,
     /// The cart's docking connector, tracked when connector faults are on.
-    connector: Option<DockingConnector>,
+    pub(crate) connector: Option<DockingConnector>,
     /// NAND wear from restaging writes, tracked when integrity is on.
-    wear: Option<CartWear>,
+    pub(crate) wear: Option<CartWear>,
     /// Connector matings over the cart's life (integrity wear input when no
     /// fault-tracked connector exists).
-    matings: u32,
+    pub(crate) matings: u32,
     /// Delivery awaiting its verify-on-dock verdict.
-    verify: Option<PendingVerify>,
+    pub(crate) verify: Option<PendingVerify>,
 }
 
-#[derive(Clone, Debug, Default)]
-struct TrackState {
-    direction: Option<Direction>,
-    in_flight: u32,
-    last_launch: f64,
-    busy_accum: f64,
-    last_update: f64,
+#[derive(Clone, PartialEq, Debug, Default)]
+pub(crate) struct TrackState {
+    pub(crate) direction: Option<Direction>,
+    pub(crate) in_flight: u32,
+    pub(crate) last_launch: f64,
+    pub(crate) busy_accum: f64,
+    pub(crate) last_update: f64,
     /// Cart currently stalled on this track, blocking further launches.
-    blocked_by: Option<CartId>,
-    blocked_since: f64,
-    downtime_accum: f64,
+    pub(crate) blocked_by: Option<CartId>,
+    pub(crate) blocked_since: f64,
+    pub(crate) downtime_accum: f64,
     /// Repressurisation: launches before this time are speed-limited.
-    degraded_until: f64,
+    pub(crate) degraded_until: f64,
 }
 
 impl TrackState {
@@ -148,23 +148,23 @@ enum LaunchCheck {
     Blocked,
 }
 
-#[derive(Debug, Default)]
-struct RackDemand {
-    endpoint: EndpointId,
-    bytes_remaining: Bytes,
-    deliveries_done: u64,
+#[derive(Clone, PartialEq, Debug, Default)]
+pub(crate) struct RackDemand {
+    pub(crate) endpoint: EndpointId,
+    pub(crate) bytes_remaining: Bytes,
+    pub(crate) deliveries_done: u64,
 }
 
-#[derive(Debug, Default)]
-struct Mission {
-    total_deliveries: u64,
-    scheduled: u64,
-    done: u64,
-    demands: Vec<RackDemand>,
-    delivered: Bytes,
+#[derive(Clone, PartialEq, Debug, Default)]
+pub(crate) struct Mission {
+    pub(crate) total_deliveries: u64,
+    pub(crate) scheduled: u64,
+    pub(crate) done: u64,
+    pub(crate) demands: Vec<RackDemand>,
+    pub(crate) delivered: Bytes,
     /// Every byte that docked at a rack, including failed attempts.
-    gross_delivered: Bytes,
-    completion_time: Option<f64>,
+    pub(crate) gross_delivered: Bytes,
+    pub(crate) completion_time: Option<f64>,
 }
 
 /// Errors from running a simulation.
@@ -186,6 +186,21 @@ pub enum SimError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// A checkpoint was resumed against a configuration that differs from
+    /// the one it was captured under.
+    CheckpointMismatch {
+        /// Configuration fingerprint recorded in the checkpoint.
+        expected: u64,
+        /// Fingerprint of the configuration passed to `resume`.
+        actual: u64,
+    },
+    /// A replica crashed more times than its recovery budget allows.
+    RestartBudgetExhausted {
+        /// Index of the replica that kept crashing.
+        replica: u64,
+        /// Restarts attempted before giving up.
+        restarts: u32,
+    },
 }
 
 impl core::fmt::Display for SimError {
@@ -202,6 +217,19 @@ impl core::fmt::Display for SimError {
                 write!(
                     f,
                     "delivery to endpoint {endpoint} abandoned after {attempts} failed attempts"
+                )
+            }
+            Self::CheckpointMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "checkpoint was captured under a different configuration \
+                     (fingerprint {expected:#018x}, got {actual:#018x})"
+                )
+            }
+            Self::RestartBudgetExhausted { replica, restarts } => {
+                write!(
+                    f,
+                    "replica {replica} exhausted its restart budget after {restarts} restarts"
                 )
             }
         }
@@ -250,52 +278,62 @@ fn cfg_reliability_rng(cfg: &SimConfig) -> Option<DeterministicRng> {
 /// assert!((report.completion_time.seconds() - 1960.8).abs() < 1.0);
 /// ```
 pub struct DhlSystem {
-    cfg: SimConfig,
-    queue: EventQueue<Ev>,
-    carts: Vec<CartSim>,
-    dock_used: Vec<u32>,
-    tracks: Vec<TrackState>,
-    pending: VecDeque<Movement>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) carts: Vec<CartSim>,
+    pub(crate) dock_used: Vec<u32>,
+    pub(crate) tracks: Vec<TrackState>,
+    pub(crate) pending: VecDeque<Movement>,
     /// Shards awaiting redelivery after a RAID-uncovered loss; served before
     /// fresh demand so retries keep their place in the mission.
-    redelivery_queue: VecDeque<(EndpointId, Bytes, u32)>,
-    mission: Mission,
-    wakeup_scheduled: bool,
-    total_energy: Joules,
-    movements: u64,
-    max_in_flight: u32,
-    event_budget: u64,
-    trace: TraceSink,
-    reliability_rng: Option<DeterministicRng>,
+    pub(crate) redelivery_queue: VecDeque<(EndpointId, Bytes, u32)>,
+    pub(crate) mission: Mission,
+    pub(crate) wakeup_scheduled: bool,
+    pub(crate) total_energy: Joules,
+    pub(crate) movements: u64,
+    pub(crate) max_in_flight: u32,
+    pub(crate) event_budget: u64,
+    pub(crate) trace: TraceSink,
+    pub(crate) reliability_rng: Option<DeterministicRng>,
     /// Independent stream for physical fault sampling (stalls, leaks), so
     /// enabling faults does not perturb the SSD-failure stream.
-    fault_rng: Option<DeterministicRng>,
+    pub(crate) fault_rng: Option<DeterministicRng>,
     /// Independent stream for silent-corruption sampling, so enabling the
     /// integrity pipeline perturbs neither the reliability nor fault streams.
-    integrity_rng: Option<DeterministicRng>,
+    pub(crate) integrity_rng: Option<DeterministicRng>,
     /// Speed cap while a tube section is repressurised.
-    degraded_cap: Option<MetresPerSecond>,
-    ssd_failures: u64,
-    data_loss_events: u64,
-    redeliveries: u64,
-    retry_time_s: f64,
-    cart_stalls: u64,
-    connector_replacements: u64,
-    repressurisations: u64,
-    abandoned: Option<(EndpointId, u32)>,
-    shards_scanned: u64,
-    shards_corrupted: u64,
-    shards_reconstructed: u64,
-    deliveries_verified: u64,
-    deliveries_reshipped: u64,
-    verification_time_s: f64,
-    reconstruction_time_s: f64,
-    verification_energy: Joules,
+    pub(crate) degraded_cap: Option<MetresPerSecond>,
+    pub(crate) ssd_failures: u64,
+    pub(crate) data_loss_events: u64,
+    pub(crate) redeliveries: u64,
+    pub(crate) retry_time_s: f64,
+    pub(crate) cart_stalls: u64,
+    pub(crate) connector_replacements: u64,
+    pub(crate) repressurisations: u64,
+    pub(crate) dock_crashes: u64,
+    pub(crate) dock_recovery_time_s: f64,
+    /// Controller recovery downtime accumulated per endpoint.
+    pub(crate) dock_downtime: Vec<f64>,
+    pub(crate) abandoned: Option<(EndpointId, u32)>,
+    pub(crate) shards_scanned: u64,
+    pub(crate) shards_corrupted: u64,
+    pub(crate) shards_reconstructed: u64,
+    pub(crate) deliveries_verified: u64,
+    pub(crate) deliveries_reshipped: u64,
+    pub(crate) verification_time_s: f64,
+    pub(crate) reconstruction_time_s: f64,
+    pub(crate) verification_energy: Joules,
+    /// Events processed before the current mission started, so per-run
+    /// event accounting survives checkpoint/resume.
+    pub(crate) events_at_mission_start: u64,
+    /// Wall clock for the in-progress mission (restarted on resume; feeds
+    /// only the pacing gauges, which are excluded from outcome equality).
+    pub(crate) run_watch: Option<Stopwatch>,
     /// Observability registry: deterministic sim-domain counters and
     /// histograms, plus wall-clock pacing gauges per run. Enabled by
     /// default; `set_metrics_enabled(false)` turns every recording into a
     /// single branch.
-    metrics: MetricsRegistry,
+    pub(crate) metrics: MetricsRegistry,
 }
 
 impl DhlSystem {
@@ -351,6 +389,7 @@ impl DhlSystem {
             .integrity
             .as_ref()
             .map(|i| DeterministicRng::seed_from_u64(i.seed));
+        let dock_downtime = vec![0.0; cfg.endpoints.len()];
         Ok(Self {
             cfg,
             queue: EventQueue::new(),
@@ -377,6 +416,9 @@ impl DhlSystem {
             cart_stalls: 0,
             connector_replacements: 0,
             repressurisations: 0,
+            dock_crashes: 0,
+            dock_recovery_time_s: 0.0,
+            dock_downtime,
             abandoned: None,
             shards_scanned: 0,
             shards_corrupted: 0,
@@ -386,6 +428,8 @@ impl DhlSystem {
             verification_time_s: 0.0,
             reconstruction_time_s: 0.0,
             verification_energy: Joules::ZERO,
+            events_at_mission_start: 0,
+            run_watch: None,
             metrics: MetricsRegistry::enabled(),
         })
     }
@@ -722,8 +766,19 @@ impl DhlSystem {
                         dock += replacement;
                     }
                 }
+                let recovery = self.sample_dock_crash(cart);
+                dock += recovery.unwrap_or(Seconds::ZERO);
                 self.queue.schedule(dock, Ev::DockDone { cart });
                 self.record(TraceEventKind::BeginDock { cart });
+                if let Some(downtime) = recovery {
+                    let endpoint = self.carts[cart].movement.expect("moving cart").to;
+                    self.record(TraceEventKind::DockControllerCrashed { cart, endpoint });
+                    self.record(TraceEventKind::DockControllerRecovered {
+                        cart,
+                        endpoint,
+                        downtime,
+                    });
+                }
             }
             Ev::DockDone { cart } => {
                 let m = self.carts[cart].movement.take().expect("moving cart");
@@ -793,6 +848,36 @@ impl DhlSystem {
                 self.try_launch();
             }
         }
+    }
+
+    /// Samples a dock-station controller crash for this docking and returns
+    /// the recovery window to charge, if one fired. Only payload-carrying
+    /// rack dockings are exposed: controller recovery is about rebuilding
+    /// transfer bookkeeping, and empty returns have none to rebuild.
+    fn sample_dock_crash(&mut self, cart: CartId) -> Option<Seconds> {
+        let spec = self.cfg.faults.as_ref()?.dock_controller?;
+        let m = self.carts[cart].movement.expect("moving cart");
+        if self.cfg.endpoints[m.to].kind != EndpointKind::Rack || m.payload.is_zero() {
+            return None;
+        }
+        let rng = self.fault_rng.as_mut().expect("fault rng exists with spec");
+        if !rng.random_bool(spec.crash_probability_per_docking) {
+            return None;
+        }
+        let downtime = match spec.recovery {
+            DockRecoveryPolicy::JournalReplay => spec.journal_replay_time,
+            DockRecoveryPolicy::RebuildFromScan => {
+                Seconds::new(m.payload.as_f64() / spec.rebuild_scan_bandwidth_bytes_per_second)
+            }
+        };
+        self.dock_crashes += 1;
+        self.dock_recovery_time_s += downtime.seconds();
+        self.dock_downtime[m.to] += downtime.seconds();
+        self.total_energy += spec.recovery_power * downtime;
+        self.metrics.inc("sim.dock_controller_crashes", 1);
+        self.metrics
+            .observe("sim.dock_recovery_s", downtime.seconds());
+        Some(downtime)
     }
 
     /// Samples SSD failures over one movement's exposure and returns whether
@@ -1097,6 +1182,39 @@ impl DhlSystem {
         &mut self,
         demands: &[(EndpointId, Bytes)],
     ) -> Result<BulkTransferReport, SimError> {
+        self.begin_multi_rack(demands)?;
+        self.run_until(Seconds::new(f64::INFINITY))?;
+        Ok(self.finish())
+    }
+
+    /// Starts a bulk transfer to the first rack endpoint without running it:
+    /// the stepping half of [`DhlSystem::run_bulk_transfer`], for callers
+    /// that drive the simulation with [`DhlSystem::run_until`] (checkpoint
+    /// capture, incremental inspection).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DhlSystem::begin_multi_rack`].
+    pub fn begin_bulk_transfer(&mut self, dataset: Bytes) -> Result<(), SimError> {
+        let rack = self
+            .cfg
+            .endpoints
+            .iter()
+            .position(|e| e.kind == EndpointKind::Rack)
+            .expect("validated config has a rack");
+        self.begin_multi_rack(&[(rack, dataset)])
+    }
+
+    /// Sets up a multi-rack mission and schedules its first launches
+    /// without processing any events. Drive it with
+    /// [`DhlSystem::run_until`], then settle accounts with
+    /// [`DhlSystem::finish`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] if any endpoint index is out of range or not a
+    /// rack.
+    pub fn begin_multi_rack(&mut self, demands: &[(EndpointId, Bytes)]) -> Result<(), SimError> {
         for (ep, _) in demands {
             match self.cfg.endpoints.get(*ep) {
                 Some(spec) if spec.kind == EndpointKind::Rack => {}
@@ -1142,11 +1260,38 @@ impl DhlSystem {
                 self.schedule_delivery_for(cart);
             }
         }
-        let events_before = self.queue.events_processed();
-        let watch = Stopwatch::start();
+        self.events_at_mission_start = self.queue.events_processed();
+        self.run_watch = Some(Stopwatch::start());
         self.try_launch();
+        Ok(())
+    }
 
-        while let Some((_, ev)) = self.queue.pop() {
+    /// Simulation clock: the timestamp of the last event processed.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        self.queue.now()
+    }
+
+    /// Processes events whose timestamp does not exceed `limit`, in order.
+    /// Returns `Ok(true)` when the event queue drained (the mission is
+    /// over) and `Ok(false)` when the next event lies beyond `limit`. The
+    /// clock stays at the last event processed; pass
+    /// `Seconds::new(f64::INFINITY)` to run to completion.
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::DeliveryAbandoned`] if a shard exhausted its attempts;
+    /// - [`SimError::EventBudgetExhausted`] if the simulation fails to
+    ///   converge (defensive bound; does not occur for valid
+    ///   configurations).
+    pub fn run_until(&mut self, limit: Seconds) -> Result<bool, SimError> {
+        loop {
+            match self.queue.next_time() {
+                None => return Ok(true),
+                Some(at) if at.seconds() > limit.seconds() => return Ok(false),
+                Some(_) => {}
+            }
+            let (_, ev) = self.queue.pop().expect("next_time was Some");
             self.handle(ev);
             if let Some((endpoint, attempts)) = self.abandoned {
                 return Err(SimError::DeliveryAbandoned { endpoint, attempts });
@@ -1157,11 +1302,17 @@ impl DhlSystem {
                 });
             }
         }
+    }
+
+    /// Settles the mission's accounts — completion check, pacing gauges —
+    /// and produces its report. Call after [`DhlSystem::run_until`] drains
+    /// the queue; calling earlier reports the mission as it stands.
+    pub fn finish(&mut self) -> BulkTransferReport {
         self.check_completion();
 
         let completion = Seconds::new(self.mission.completion_time.unwrap_or(0.0));
-        let events_this_run = self.queue.events_processed() - events_before;
-        let wall = watch.elapsed_secs();
+        let events_this_run = self.queue.events_processed() - self.events_at_mission_start;
+        let wall = self.run_watch.take().map_or(0.0, |w| w.elapsed_secs());
         self.metrics.inc("sim.events", events_this_run);
         self.metrics
             .set_gauge("sim.completion_s", completion.seconds());
@@ -1179,7 +1330,7 @@ impl DhlSystem {
         } else {
             Watts::ZERO
         };
-        Ok(BulkTransferReport {
+        BulkTransferReport {
             completion_time: completion,
             delivered: self.mission.delivered,
             deliveries: self.mission.done,
@@ -1205,7 +1356,7 @@ impl DhlSystem {
             reliability: self.reliability_report(completion),
             integrity: self.integrity_report(),
             metrics: self.metrics.snapshot(),
-        })
+        }
     }
 
     fn reliability_report(&self, completion: Seconds) -> ReliabilityReport {
@@ -1232,6 +1383,13 @@ impl DhlSystem {
             cart_stalls: self.cart_stalls,
             connector_replacements: self.connector_replacements,
             repressurisations: self.repressurisations,
+            dock_controller_crashes: self.dock_crashes,
+            dock_recovery_time: Seconds::new(self.dock_recovery_time_s),
+            dock_downtime: self
+                .dock_downtime
+                .iter()
+                .map(|s| Seconds::new(*s))
+                .collect(),
         }
     }
 }
@@ -1647,7 +1805,8 @@ mod reliability_tests {
 mod fault_tests {
     use super::*;
     use crate::config::{
-        CartStallSpec, ConnectorFaultSpec, FaultSpec, ReliabilitySpec, RepressurisationSpec,
+        CartStallSpec, ConnectorFaultSpec, DockControllerFaultSpec, FaultSpec, ReliabilitySpec,
+        RepressurisationSpec,
     };
     use dhl_storage::connectors::ConnectorKind;
     use dhl_storage::failure::{FailureModel, RaidConfig};
@@ -1882,6 +2041,136 @@ mod fault_tests {
             .run_bulk_transfer(dataset)
             .unwrap();
         assert_eq!(report.delivered, dataset);
+    }
+
+    fn crashing_dock_config(spec: DockControllerFaultSpec) -> SimConfig {
+        let mut cfg = SimConfig::paper_default();
+        cfg.faults = Some(FaultSpec {
+            dock_controller: Some(spec),
+            ..FaultSpec::recovery_only()
+        });
+        cfg
+    }
+
+    #[test]
+    fn dock_controller_crashes_charge_recovery_windows() {
+        // Certain crash on every payload-carrying rack docking: 2 PB → 8
+        // deliveries → exactly 8 journal replays of 30 s each, with no RNG
+        // draw consumed (p = 1 short-circuits), so the count is exact.
+        let cfg = crashing_dock_config(DockControllerFaultSpec {
+            crash_probability_per_docking: 1.0,
+            ..DockControllerFaultSpec::journal_replay()
+        });
+        let mut sys = DhlSystem::new(cfg).unwrap();
+        sys.enable_trace(1 << 16);
+        let report = sys.run_bulk_transfer(Bytes::from_petabytes(2.0)).unwrap();
+        let rel = &report.reliability;
+        assert_eq!(rel.dock_controller_crashes, 8);
+        assert!((rel.dock_recovery_time.seconds() - 8.0 * 30.0).abs() < 1e-9);
+        // Downtime lands on the rack's controller; the library never hosts
+        // a payload-carrying docking in this mission.
+        assert_eq!(rel.dock_downtime[0], Seconds::ZERO);
+        assert!((rel.dock_downtime[1].seconds() - 240.0).abs() < 1e-9);
+        assert_eq!(
+            report.metrics.counter("sim.dock_controller_crashes"),
+            Some(rel.dock_controller_crashes)
+        );
+
+        let clean = DhlSystem::new(SimConfig::paper_default())
+            .unwrap()
+            .run_bulk_transfer(Bytes::from_petabytes(2.0))
+            .unwrap();
+        assert!(report.completion_time > clean.completion_time);
+        // Recovery draws its configured power for the whole window:
+        // 8 × 150 W × 30 s on top of the clean run's launch energy.
+        let extra = report.total_energy.value() - clean.total_energy.value();
+        assert!((extra - 8.0 * 150.0 * 30.0).abs() < 1e-6, "extra {extra}");
+
+        // Crash/recovery pairs appear in the trace inside the docking phase.
+        let trace = sys.take_trace().unwrap();
+        let crashes = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::DockControllerCrashed { .. }))
+            .count() as u64;
+        let recoveries: Vec<_> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::DockControllerRecovered { downtime, .. } => Some(downtime),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes, rel.dock_controller_crashes);
+        assert_eq!(recoveries.len() as u64, rel.dock_controller_crashes);
+        assert!(recoveries
+            .iter()
+            .all(|d| (d.seconds() - 30.0).abs() < 1e-12));
+        for cart in 0..report.max_carts_in_flight as usize {
+            assert!(trace.lifecycle_is_well_formed(cart));
+        }
+    }
+
+    #[test]
+    fn rebuild_from_scan_outages_scale_with_payload() {
+        // Journal replay charges a fixed 30 s; rebuilding dock state by
+        // re-scanning the docked payload at 8 GB/s takes hours per cart.
+        // Same crash count (p = 1 draws nothing), wildly different
+        // availability.
+        let run = |recovery| {
+            let cfg = crashing_dock_config(DockControllerFaultSpec {
+                crash_probability_per_docking: 1.0,
+                recovery,
+                ..DockControllerFaultSpec::journal_replay()
+            });
+            DhlSystem::new(cfg)
+                .unwrap()
+                .run_bulk_transfer(Bytes::from_petabytes(1.0))
+                .unwrap()
+        };
+        let journal = run(crate::config::DockRecoveryPolicy::JournalReplay);
+        let rebuild = run(crate::config::DockRecoveryPolicy::RebuildFromScan);
+        assert_eq!(
+            journal.reliability.dock_controller_crashes,
+            rebuild.reliability.dock_controller_crashes
+        );
+        // Every delivery crashes exactly once, so the recovery total is the
+        // whole dataset re-scanned once: 1 PB / 8 GB/s = 125 000 s.
+        let total = rebuild.reliability.dock_recovery_time.seconds();
+        assert!((total - 125_000.0).abs() < 1e-6, "total {total}");
+        assert!(rebuild.reliability.dock_recovery_time > journal.reliability.dock_recovery_time);
+        assert!(rebuild.completion_time > journal.completion_time);
+    }
+
+    #[test]
+    fn dock_crash_injection_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut cfg = crashing_dock_config(DockControllerFaultSpec {
+                crash_probability_per_docking: 0.3,
+                ..DockControllerFaultSpec::journal_replay()
+            });
+            cfg.reliability = Some(ReliabilitySpec {
+                seed,
+                ..ReliabilitySpec::typical()
+            });
+            DhlSystem::new(cfg)
+                .unwrap()
+                .run_bulk_transfer(Bytes::from_petabytes(8.0))
+                .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a, b);
+        assert!(
+            a.reliability.dock_controller_crashes > 0,
+            "30% over 32 dockings should crash at least once"
+        );
+        let c = run(6);
+        assert!(
+            c.reliability.dock_controller_crashes != a.reliability.dock_controller_crashes
+                || c.completion_time != a.completion_time,
+            "different fault seeds should (almost surely) differ"
+        );
     }
 }
 

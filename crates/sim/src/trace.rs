@@ -100,6 +100,24 @@ pub enum TraceEventKind {
         /// Index of the blocked inter-endpoint track segment.
         track: usize,
     },
+    /// A rack's dock-station controller crashed while a cart was docking;
+    /// the docking stalls until the controller recovers.
+    DockControllerCrashed {
+        /// The cart whose docking is stalled.
+        cart: CartId,
+        /// The rack whose controller crashed.
+        endpoint: EndpointId,
+    },
+    /// A crashed dock-station controller came back into service and the
+    /// stalled docking resumed.
+    DockControllerRecovered {
+        /// The cart whose docking resumed.
+        cart: CartId,
+        /// The rack whose controller recovered.
+        endpoint: EndpointId,
+        /// Time the controller was down (recovery latency of the policy).
+        downtime: Seconds,
+    },
     /// A blocked track segment came back into service.
     TrackRestored {
         /// Index of the restored track segment.
@@ -187,6 +205,22 @@ impl Trace {
         }
     }
 
+    /// Rebuilds a trace from previously captured state — the checkpoint
+    /// restore path. Unlike [`Trace::with_capacity`] + replayed
+    /// [`Trace::record`] calls, this reinstates the `dropped` counter too,
+    /// so a resumed trace is bit-identical to the uninterrupted one.
+    #[must_use]
+    pub fn from_parts(events: Vec<TraceEvent>, capacity: usize, dropped: u64) -> Self {
+        let mut events = events;
+        events.truncate(capacity);
+        events.reserve(capacity.min(1 << 16).saturating_sub(events.len()));
+        Self {
+            events,
+            capacity,
+            dropped,
+        }
+    }
+
     /// Appends an event (or counts it dropped past capacity).
     pub fn record(&mut self, time: Seconds, kind: TraceEventKind) {
         if self.events.len() < self.capacity {
@@ -208,6 +242,12 @@ impl Trace {
         self.dropped
     }
 
+    /// The retention bound this trace was created with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Events involving one cart, in order.
     #[must_use]
     pub fn for_cart(&self, cart: CartId) -> Vec<TraceEvent> {
@@ -224,7 +264,9 @@ impl Trace {
                 | TraceEventKind::PayloadVerified { cart: c, .. }
                 | TraceEventKind::PayloadCorrupted { cart: c, .. }
                 | TraceEventKind::ShardsReconstructed { cart: c, .. }
-                | TraceEventKind::CartStalled { cart: c, .. } => c == cart,
+                | TraceEventKind::CartStalled { cart: c, .. }
+                | TraceEventKind::DockControllerCrashed { cart: c, .. }
+                | TraceEventKind::DockControllerRecovered { cart: c, .. } => c == cart,
                 TraceEventKind::TrackRestored { .. } => false,
             })
             .copied()
@@ -262,6 +304,10 @@ impl Trace {
                 | (0, TraceEventKind::ShardsReconstructed { .. }) => 0,
                 // A stall happens (and is repaired) inside the tube.
                 (2, TraceEventKind::CartStalled { .. }) => 2,
+                // A dock-controller crash stalls (and later resumes) the
+                // docking phase: the cart stays at the dock throughout.
+                (3, TraceEventKind::DockControllerCrashed { .. })
+                | (3, TraceEventKind::DockControllerRecovered { .. }) => 3,
                 _ => return false,
             };
             expected_launch = phase == 0;
@@ -664,6 +710,115 @@ mod tests {
             },
         );
         assert!(!t.integrity_lifecycle_is_well_formed(0));
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_trace_exactly() {
+        let mut original = Trace::with_capacity(2);
+        original.record(Seconds::new(1.0), TraceEventKind::EnterTube { cart: 0 });
+        original.record(Seconds::new(2.0), TraceEventKind::BeginDock { cart: 0 });
+        original.record(
+            Seconds::new(3.0),
+            TraceEventKind::ProcessingDone { cart: 0 },
+        );
+        assert_eq!(original.dropped(), 1);
+        let mut restored = Trace::from_parts(
+            original.events().to_vec(),
+            original.capacity,
+            original.dropped(),
+        );
+        assert_eq!(restored, original);
+        // Recording continues identically past the restore point.
+        original.record(Seconds::new(4.0), TraceEventKind::EnterTube { cart: 1 });
+        restored.record(Seconds::new(4.0), TraceEventKind::EnterTube { cart: 1 });
+        assert_eq!(restored, original);
+        assert_eq!(restored.dropped(), 2);
+    }
+
+    #[test]
+    fn from_parts_clamps_events_to_capacity() {
+        let events = vec![
+            TraceEvent {
+                time: Seconds::new(1.0),
+                kind: TraceEventKind::EnterTube { cart: 0 },
+            };
+            5
+        ];
+        let t = Trace::from_parts(events, 3, 0);
+        assert_eq!(t.events().len(), 3);
+    }
+
+    #[test]
+    fn dock_controller_crash_events_fit_the_lifecycle() {
+        let mut trace = Trace::with_capacity(100);
+        let seq = [
+            ev(
+                0.0,
+                TraceEventKind::Launch {
+                    cart: 0,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            ev(3.0, TraceEventKind::EnterTube { cart: 0 }),
+            ev(5.6, TraceEventKind::BeginDock { cart: 0 }),
+            ev(
+                5.6,
+                TraceEventKind::DockControllerCrashed {
+                    cart: 0,
+                    endpoint: 1,
+                },
+            ),
+            ev(
+                35.6,
+                TraceEventKind::DockControllerRecovered {
+                    cart: 0,
+                    endpoint: 1,
+                    downtime: Seconds::new(30.0),
+                },
+            ),
+            ev(
+                38.6,
+                TraceEventKind::Docked {
+                    cart: 0,
+                    endpoint: 1,
+                },
+            ),
+        ];
+        for (t, k) in seq {
+            trace.record(t, k);
+        }
+        // The crash stalls docking; Docked closes the cycle back to idle.
+        assert!(trace.lifecycle_is_well_formed(0));
+        trace.record(
+            Seconds::new(39.0),
+            TraceEventKind::Launch {
+                cart: 0,
+                from: 1,
+                to: 0,
+            },
+        );
+        trace.record(Seconds::new(42.0), TraceEventKind::EnterTube { cart: 0 });
+        trace.record(Seconds::new(44.6), TraceEventKind::BeginDock { cart: 0 });
+        trace.record(
+            Seconds::new(47.6),
+            TraceEventKind::Docked {
+                cart: 0,
+                endpoint: 0,
+            },
+        );
+        assert!(trace.lifecycle_is_well_formed(0));
+
+        // A crash outside the docking phase is malformed.
+        let mut bad = Trace::with_capacity(10);
+        bad.record(
+            Seconds::new(0.0),
+            TraceEventKind::DockControllerCrashed {
+                cart: 0,
+                endpoint: 1,
+            },
+        );
+        assert!(!bad.lifecycle_is_well_formed(0));
     }
 
     #[test]

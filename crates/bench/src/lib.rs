@@ -580,6 +580,139 @@ pub fn all_reports() -> Vec<(&'static str, ReportFn)> {
     ]
 }
 
+/// Runs the engine event-throughput family: the `sim/events_per_sec`
+/// prefix the CI throughput gate filters on.
+///
+/// Three workload shapes:
+///
+/// - **queue churn** — a classic hold model (constant events in flight,
+///   every operation pops the head and schedules a replacement) on the
+///   calendar [`dhl_sim::engine::EventQueue`], isolating the queue from
+///   the rest of the simulator. The identical workload also runs on the
+///   retired `BinaryHeap`-backed [`dhl_sim::engine::ReferenceQueue`], so
+///   the speedup is measured live on every run rather than claimed from a
+///   historical baseline;
+/// - **steady state** — a full 2 PB bulk-transfer mission;
+/// - **checkpoint heavy** — the same mission interrupted every 60
+///   simulated seconds by a checkpoint → JSON → parse → resume round trip.
+///
+/// The derived events/sec rates are printed to stderr alongside the
+/// recorded ns/iter cases.
+#[must_use]
+pub fn events_per_sec_cases() -> Vec<report_file::BenchCase> {
+    use dhl_sim::engine::{EventQueue, ReferenceQueue};
+    use dhl_units::Seconds;
+    use report_file::BenchCase;
+
+    // Held-in-flight event count for the churn cases: deep enough that
+    // the reference heap's O(log n) sift chases dependent loads through
+    // cache- and TLB-missing levels — the regime the calendar queue's
+    // O(1) buckets are built for. Fast mode holds a shallower backlog so
+    // CI smoke runs spend their time measuring, not seeding.
+    let pending: u32 = if harness::fast_mode() {
+        1_048_576
+    } else {
+        12_582_912
+    };
+
+    fn lcg_delay(x: &mut u64) -> f64 {
+        *x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((*x >> 11) as f64) / (1u64 << 53) as f64 // uniform [0, 1)
+    }
+
+    let mut cases = Vec::new();
+
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..pending {
+        q.schedule(Seconds::new(lcg_delay(&mut seed)), i);
+    }
+    let churn = harness::bench_function("sim/events_per_sec/queue_churn", || {
+        let (_, id) = q.pop().expect("hold model never drains");
+        q.schedule(Seconds::new(lcg_delay(&mut seed)), id);
+        id
+    });
+    cases.push(BenchCase {
+        result: churn.clone(),
+        metrics: None,
+    });
+
+    let mut r: ReferenceQueue<u32> = ReferenceQueue::new();
+    let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..pending {
+        r.schedule(Seconds::new(lcg_delay(&mut seed)), i);
+    }
+    let reference = harness::bench_function("sim/events_per_sec/queue_churn_reference", || {
+        let (_, id) = r.pop().expect("hold model never drains");
+        r.schedule(Seconds::new(lcg_delay(&mut seed)), id);
+        id
+    });
+    cases.push(BenchCase {
+        result: reference.clone(),
+        metrics: None,
+    });
+    eprintln!(
+        "sim/events_per_sec: calendar queue {:.1} ns/event ({:.2}M ev/s) vs reference heap {:.1} ns/event — {:.2}x on queue churn",
+        churn.mean_ns,
+        1e3 / churn.mean_ns,
+        reference.mean_ns,
+        reference.mean_ns / churn.mean_ns
+    );
+
+    let steady_events = DhlSystem::new(SimConfig::paper_default())
+        .expect("valid paper config")
+        .run_bulk_transfer(Bytes::from_petabytes(2.0))
+        .expect("converges")
+        .events_processed;
+    let steady = harness::bench_function("sim/events_per_sec/steady_state", || {
+        DhlSystem::new(SimConfig::paper_default())
+            .expect("valid paper config")
+            .run_bulk_transfer(Bytes::from_petabytes(2.0))
+            .expect("converges")
+            .events_processed
+    });
+    eprintln!(
+        "sim/events_per_sec: steady state {} events per mission, {:.2}M ev/s end to end",
+        steady_events,
+        f64::from(u32::try_from(steady_events).unwrap_or(u32::MAX)) * 1e3 / steady.mean_ns
+    );
+    cases.push(BenchCase {
+        result: steady,
+        metrics: None,
+    });
+
+    let checkpoint_cfg = SimConfig::paper_default();
+    let heavy = harness::bench_function("sim/events_per_sec/checkpoint_heavy", || {
+        let mut sys = DhlSystem::new(checkpoint_cfg.clone()).expect("valid paper config");
+        sys.begin_bulk_transfer(Bytes::from_petabytes(2.0))
+            .expect("mission accepted");
+        let mut horizon = 60.0;
+        loop {
+            let drained = sys.run_until(Seconds::new(horizon)).expect("runs");
+            if drained {
+                break;
+            }
+            let json = sys.checkpoint().to_json();
+            let restored = Checkpoint::from_json(&json).expect("own output parses");
+            sys = DhlSystem::resume(checkpoint_cfg.clone(), &restored)
+                .expect("same configuration fingerprint");
+            horizon += 60.0;
+        }
+        sys.finish().events_processed
+    });
+    eprintln!(
+        "sim/events_per_sec: checkpoint-heavy mission {:.2}M ev/s including serialise/resume every 60 sim-seconds",
+        f64::from(u32::try_from(steady_events).unwrap_or(u32::MAX)) * 1e3 / heavy.mean_ns
+    );
+    cases.push(BenchCase {
+        result: heavy,
+        metrics: None,
+    });
+    cases
+}
+
 /// Runs the full machine-readable benchmark suite: every renderer timed
 /// under [`harness::bench_function`], plus simulator- and scheduler-backed
 /// cases that attach their [`dhl_obs`] metrics snapshots.
@@ -587,149 +720,184 @@ pub fn all_reports() -> Vec<(&'static str, ReportFn)> {
 /// Honours `DHL_BENCH_FAST` (see [`harness::fast_mode`]) for CI smoke runs.
 #[must_use]
 pub fn run_bench_suite() -> Vec<report_file::BenchCase> {
+    run_bench_suite_filtered(None)
+}
+
+/// [`run_bench_suite`] restricted to case families matching a name prefix
+/// (e.g. `sim/events_per_sec`): non-matching families are skipped
+/// entirely, not run-and-discarded, so a focused CI gate pays only for
+/// the cases it checks. `None` runs everything.
+#[must_use]
+pub fn run_bench_suite_filtered(prefix: Option<&str>) -> Vec<report_file::BenchCase> {
     use dhl_sched::placement::Placement;
     use dhl_sched::scheduler::{Priority, Scheduler, TransferRequest};
     use dhl_storage::datasets;
     use dhl_units::Seconds;
     use report_file::BenchCase;
 
+    // A family runs when the filter and the family name agree on their
+    // common prefix: `--filter sim` selects every `sim/…` family, and
+    // `--filter sim/events_per_sec/queue_churn` still runs the (whole)
+    // events-per-sec family that contains that case.
+    let want = |family: &str| prefix.is_none_or(|p| family.starts_with(p) || p.starts_with(family));
+
     let mut cases = Vec::new();
     for (name, render) in all_reports() {
+        let case_name = format!("render/{name}");
+        if !want(&case_name) {
+            continue;
+        }
         cases.push(BenchCase {
-            result: harness::bench_function(&format!("render/{name}"), render),
+            result: harness::bench_function(&case_name, render),
             metrics: None,
         });
     }
 
     // DES-backed case: a 2 PB bulk transfer, with the simulator's own
     // observability snapshot attached.
-    let sim_run = || {
-        DhlSystem::new(SimConfig::paper_default())
-            .expect("valid paper config")
-            .run_bulk_transfer(Bytes::from_petabytes(2.0))
-            .expect("converges")
-    };
-    let result = harness::bench_function("sim/bulk_transfer_2pb", || sim_run().movements);
-    cases.push(BenchCase {
-        result,
-        metrics: Some(sim_run().metrics),
-    });
+    if want("sim/bulk_transfer_2pb") {
+        let sim_run = || {
+            DhlSystem::new(SimConfig::paper_default())
+                .expect("valid paper config")
+                .run_bulk_transfer(Bytes::from_petabytes(2.0))
+                .expect("converges")
+        };
+        let result = harness::bench_function("sim/bulk_transfer_2pb", || sim_run().movements);
+        cases.push(BenchCase {
+            result,
+            metrics: Some(sim_run().metrics),
+        });
+    }
 
     // The same transfer with verify-on-dock enabled (clean corruption
     // model): measures the delivery state machine's scrub overhead.
-    let verify_run = || {
-        let mut cfg = SimConfig::paper_default();
-        cfg.integrity = Some(IntegritySpec::verification_only());
-        DhlSystem::new(cfg)
-            .expect("valid paper config")
-            .run_bulk_transfer(Bytes::from_petabytes(2.0))
-            .expect("converges")
-    };
-    let result = harness::bench_function("sim/verify_on_dock_2pb", || {
-        verify_run().integrity.shards_scanned
-    });
-    cases.push(BenchCase {
-        result,
-        metrics: Some(verify_run().metrics),
-    });
+    if want("sim/verify_on_dock_2pb") {
+        let verify_run = || {
+            let mut cfg = SimConfig::paper_default();
+            cfg.integrity = Some(IntegritySpec::verification_only());
+            DhlSystem::new(cfg)
+                .expect("valid paper config")
+                .run_bulk_transfer(Bytes::from_petabytes(2.0))
+                .expect("converges")
+        };
+        let result = harness::bench_function("sim/verify_on_dock_2pb", || {
+            verify_run().integrity.shards_scanned
+        });
+        cases.push(BenchCase {
+            result,
+            metrics: Some(verify_run().metrics),
+        });
+    }
 
-    // Checkpoint/restore case: capture a mid-run checkpoint, serialise it
-    // to JSON, parse it back, and resume a fresh simulator from it — the
-    // full crash-recovery round trip, measured end to end. The attached
-    // metrics come from draining the resumed run, so they equal the
-    // uninterrupted run's metrics by the bit-identity guarantee.
-    let roundtrip_cfg = {
-        let mut cfg = SimConfig::paper_default();
-        cfg.reliability = Some(ReliabilitySpec::typical());
-        cfg
-    };
-    let mut mid_run = DhlSystem::new(roundtrip_cfg.clone()).expect("valid paper config");
-    mid_run
-        .begin_bulk_transfer(Bytes::from_petabytes(2.0))
-        .expect("mission accepted");
-    mid_run
-        .run_until(dhl_units::Seconds::new(30.0))
-        .expect("runs to the capture point");
-    let result = harness::bench_function("sim/checkpoint_roundtrip", || {
-        let json = mid_run.checkpoint().to_json();
-        let restored = Checkpoint::from_json(&json).expect("own output parses");
-        let resumed = DhlSystem::resume(roundtrip_cfg.clone(), &restored)
-            .expect("same configuration fingerprint");
-        resumed.now().seconds() as u64
-    });
-    let resumed_metrics = {
-        let checkpoint = mid_run.checkpoint();
-        let mut sys = DhlSystem::resume(roundtrip_cfg.clone(), &checkpoint)
-            .expect("same configuration fingerprint");
-        sys.run_until(dhl_units::Seconds::new(f64::INFINITY))
-            .expect("drains");
-        sys.finish().metrics
-    };
-    cases.push(BenchCase {
-        result,
-        metrics: Some(resumed_metrics),
-    });
+    if want("sim/checkpoint_roundtrip") {
+        // Checkpoint/restore case: capture a mid-run checkpoint, serialise it
+        // to JSON, parse it back, and resume a fresh simulator from it — the
+        // full crash-recovery round trip, measured end to end. The attached
+        // metrics come from draining the resumed run, so they equal the
+        // uninterrupted run's metrics by the bit-identity guarantee.
+        let roundtrip_cfg = {
+            let mut cfg = SimConfig::paper_default();
+            cfg.reliability = Some(ReliabilitySpec::typical());
+            cfg
+        };
+        let mut mid_run = DhlSystem::new(roundtrip_cfg.clone()).expect("valid paper config");
+        mid_run
+            .begin_bulk_transfer(Bytes::from_petabytes(2.0))
+            .expect("mission accepted");
+        mid_run
+            .run_until(dhl_units::Seconds::new(30.0))
+            .expect("runs to the capture point");
+        let result = harness::bench_function("sim/checkpoint_roundtrip", || {
+            let json = mid_run.checkpoint().to_json();
+            let restored = Checkpoint::from_json(&json).expect("own output parses");
+            let resumed = DhlSystem::resume(roundtrip_cfg.clone(), &restored)
+                .expect("same configuration fingerprint");
+            resumed.now().seconds() as u64
+        });
+        let resumed_metrics = {
+            let checkpoint = mid_run.checkpoint();
+            let mut sys = DhlSystem::resume(roundtrip_cfg.clone(), &checkpoint)
+                .expect("same configuration fingerprint");
+            sys.run_until(dhl_units::Seconds::new(f64::INFINITY))
+                .expect("drains");
+            sys.finish().metrics
+        };
+        cases.push(BenchCase {
+            result,
+            metrics: Some(resumed_metrics),
+        });
+    }
 
-    // Replica-driver cases: the same seeded Monte-Carlo set run serially
-    // and on the parallel driver. The merged report is bit-identical
-    // between the two by construction (pinned by tests/parallel_replicas.rs);
-    // only wall time may differ, and the delta is printed below.
-    let replica_cfg = {
-        let mut cfg = SimConfig::paper_default();
-        cfg.reliability = Some(ReliabilitySpec::typical());
-        cfg
-    };
-    let (replicas, replica_dataset) = (8, Bytes::from_terabytes(512.0));
-    let serial_result = harness::bench_function("sim/replicas_serial", || {
-        run_replicas(&replica_cfg, replica_dataset, replicas, 1)
-            .expect("replicas converge")
-            .replica_count()
-    });
-    let threads = default_threads();
-    let parallel_result = harness::bench_function("sim/replicas_parallel", || {
-        run_replicas(&replica_cfg, replica_dataset, replicas, threads)
-            .expect("replicas converge")
-            .replica_count()
-    });
-    eprintln!(
-        "sim/replicas: serial {:.0} ns vs parallel {:.0} ns on {} thread(s) — {:.2}x",
-        serial_result.mean_ns,
-        parallel_result.mean_ns,
-        threads,
-        serial_result.mean_ns / parallel_result.mean_ns
-    );
-    let merged =
-        run_replicas(&replica_cfg, replica_dataset, replicas, threads).expect("replicas converge");
-    cases.push(BenchCase {
-        result: serial_result,
-        metrics: Some(merged.metrics.clone()),
-    });
-    cases.push(BenchCase {
-        result: parallel_result,
-        metrics: Some(merged.metrics),
-    });
+    if want("sim/replicas_serial") || want("sim/replicas_parallel") {
+        // Replica-driver cases: the same seeded Monte-Carlo set run serially
+        // and on the parallel driver. The merged report is bit-identical
+        // between the two by construction (pinned by tests/parallel_replicas.rs);
+        // only wall time may differ, and the delta is printed below.
+        let replica_cfg = {
+            let mut cfg = SimConfig::paper_default();
+            cfg.reliability = Some(ReliabilitySpec::typical());
+            cfg
+        };
+        let (replicas, replica_dataset) = (8, Bytes::from_terabytes(512.0));
+        let serial_result = harness::bench_function("sim/replicas_serial", || {
+            run_replicas(&replica_cfg, replica_dataset, replicas, 1)
+                .expect("replicas converge")
+                .replica_count()
+        });
+        let threads = default_threads();
+        let parallel_result = harness::bench_function("sim/replicas_parallel", || {
+            run_replicas(&replica_cfg, replica_dataset, replicas, threads)
+                .expect("replicas converge")
+                .replica_count()
+        });
+        eprintln!(
+            "sim/replicas: serial {:.0} ns vs parallel {:.0} ns on {} thread(s) — {:.2}x",
+            serial_result.mean_ns,
+            parallel_result.mean_ns,
+            threads,
+            serial_result.mean_ns / parallel_result.mean_ns
+        );
+        let merged = run_replicas(&replica_cfg, replica_dataset, replicas, threads)
+            .expect("replicas converge");
+        cases.push(BenchCase {
+            result: serial_result,
+            metrics: Some(merged.metrics.clone()),
+        });
+        cases.push(BenchCase {
+            result: parallel_result,
+            metrics: Some(merged.metrics),
+        });
+    }
 
-    // Scheduler-backed case: a small multi-tenant mix.
-    let sched_run = || {
-        let mut p = Placement::new(Bytes::from_terabytes(256.0));
-        let a = p.store(datasets::laion_5b());
-        let b = p.store(datasets::common_crawl());
-        let mut sched = Scheduler::new(SimConfig::paper_default(), p).expect("valid");
-        sched.submit(TransferRequest::new(b, 1, Priority::Normal, Seconds::ZERO));
-        sched.submit(TransferRequest::new(
-            a,
-            1,
-            Priority::Urgent,
-            Seconds::new(5.0),
-        ));
-        sched.run()
-    };
-    let result =
-        harness::bench_function("sched/multi_tenant_mix", || sched_run().makespan.seconds());
-    cases.push(BenchCase {
-        result,
-        metrics: Some(sched_run().metrics),
-    });
+    if want("sched/multi_tenant_mix") {
+        // Scheduler-backed case: a small multi-tenant mix.
+        let sched_run = || {
+            let mut p = Placement::new(Bytes::from_terabytes(256.0));
+            let a = p.store(datasets::laion_5b());
+            let b = p.store(datasets::common_crawl());
+            let mut sched = Scheduler::new(SimConfig::paper_default(), p).expect("valid");
+            sched.submit(TransferRequest::new(b, 1, Priority::Normal, Seconds::ZERO));
+            sched.submit(TransferRequest::new(
+                a,
+                1,
+                Priority::Urgent,
+                Seconds::new(5.0),
+            ));
+            sched.run()
+        };
+        let result =
+            harness::bench_function("sched/multi_tenant_mix", || sched_run().makespan.seconds());
+        cases.push(BenchCase {
+            result,
+            metrics: Some(sched_run().metrics),
+        });
+    }
+
+    // Engine event-throughput family — the `sim/events_per_sec` prefix the
+    // CI throughput gate filters on.
+    if want("sim/events_per_sec") {
+        cases.extend(events_per_sec_cases());
+    }
     cases
 }
 

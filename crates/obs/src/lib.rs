@@ -375,6 +375,17 @@ impl MetricsSnapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// Engine event throughput: the `engine.events_processed` counter over
+    /// the `sim.wall_time_s` wall-clock gauge. `None` until both metrics
+    /// exist and the wall time is positive — throughput over a zero-length
+    /// or unrecorded run is meaningless, not infinite.
+    #[must_use]
+    pub fn events_per_sec(&self) -> Option<f64> {
+        let events = self.counter("engine.events_processed")?;
+        let wall = self.gauge("sim.wall_time_s")?;
+        (wall > 0.0).then(|| events as f64 / wall)
+    }
+
     /// Merges another snapshot into this one, preserving name-sorted order:
     ///
     /// - **counters** sum;
@@ -623,6 +634,26 @@ mod tests {
             assert!(v.get("metric").is_some());
             assert!(v.get("type").is_some());
         }
+    }
+
+    #[test]
+    fn events_per_sec_derives_from_counter_and_wall_gauge() {
+        let mut reg = MetricsRegistry::enabled();
+        assert_eq!(reg.snapshot().events_per_sec(), None);
+        reg.set_counter("engine.events_processed", 1_000);
+        assert_eq!(
+            reg.snapshot().events_per_sec(),
+            None,
+            "no wall gauge yet — no rate"
+        );
+        reg.set_gauge("sim.wall_time_s", 0.0);
+        assert_eq!(
+            reg.snapshot().events_per_sec(),
+            None,
+            "zero wall time must not divide"
+        );
+        reg.set_gauge("sim.wall_time_s", 0.25);
+        assert_eq!(reg.snapshot().events_per_sec(), Some(4_000.0));
     }
 
     #[test]

@@ -34,13 +34,13 @@ use crate::config::SimConfig;
 use crate::engine::EventQueue;
 use crate::movement::MovementCost;
 use crate::system::{
-    ActiveMovement, CartLocation, CartSim, DhlSystem, Direction, EndpointId, Ev, Mission, Movement,
+    ActiveMovement, CartLocation, DhlSystem, Direction, EndpointId, Ev, Mission, Movement,
     PendingVerify, RackDemand, SimError, TrackState,
 };
 use crate::trace::{Trace, TraceEvent, TraceEventKind, TraceSink};
 
 /// Serialization format version; bumped when the JSON layout changes.
-const FORMAT_VERSION: u64 = 1;
+const FORMAT_VERSION: u64 = 2;
 
 /// Every metric name the simulator records, so restoring a serialized
 /// checkpoint can hand the registry the `&'static str` keys it requires
@@ -71,6 +71,8 @@ const METRIC_NAMES: &[&str] = &[
     "sim.shards_reconstructed",
     "sim.reconstruction_s",
     "sim.deliveries_reshipped",
+    "sim.events_clamped",
+    "engine.events_processed",
 ];
 
 fn intern_metric(name: &str) -> &'static str {
@@ -170,6 +172,7 @@ pub struct Checkpoint {
     now: f64,
     next_seq: u64,
     events_processed: u64,
+    events_clamped: u64,
     events_at_mission_start: u64,
     queue: Vec<(f64, u64, Ev)>,
     carts: Vec<CartState>,
@@ -226,6 +229,7 @@ impl DhlSystem {
             now: self.queue.now().seconds(),
             next_seq: self.queue.next_seq(),
             events_processed: self.queue.events_processed(),
+            events_clamped: self.queue.clamped(),
             events_at_mission_start: self.events_at_mission_start,
             queue: self
                 .queue
@@ -233,17 +237,17 @@ impl DhlSystem {
                 .into_iter()
                 .map(|(t, s, e)| (t.seconds(), s, *e))
                 .collect(),
-            carts: self
-                .carts
-                .iter()
-                .map(|c| CartState {
-                    location: c.location,
-                    movement: c.movement,
-                    trips: c.trips,
-                    connector_cycles: c.connector.as_ref().map(DockingConnector::cycles_used),
-                    wear_written: c.wear.as_ref().map(|w| w.written().as_u64()),
-                    matings: c.matings,
-                    verify: c.verify,
+            carts: (0..self.carts.len())
+                .map(|i| CartState {
+                    location: self.carts.locations[i],
+                    movement: self.carts.movements[i],
+                    trips: self.carts.trips[i],
+                    connector_cycles: self.carts.connectors[i]
+                        .as_ref()
+                        .map(DockingConnector::cycles_used),
+                    wear_written: self.carts.wear[i].as_ref().map(|w| w.written().as_u64()),
+                    matings: self.carts.matings[i],
+                    verify: self.carts.verify[i],
                 })
                 .collect(),
             dock_used: self.dock_used.clone(),
@@ -346,6 +350,7 @@ impl DhlSystem {
             cp.events_processed,
             cp.queue.iter().map(|&(t, s, e)| (Seconds::new(t), s, e)),
         );
+        sys.queue.set_clamped(cp.events_clamped);
         let connector_kind = sys
             .cfg
             .faults
@@ -354,35 +359,30 @@ impl DhlSystem {
             .map(|c| c.kind);
         let endurance = sys.cfg.integrity.as_ref().map(|i| i.endurance.clone());
         let cart_capacity = sys.cfg.cart_capacity;
-        sys.carts = cp
-            .carts
-            .iter()
-            .map(|c| CartSim {
-                location: c.location,
-                movement: c.movement,
-                trips: c.trips,
-                connector: match (connector_kind, c.connector_cycles) {
-                    (Some(kind), Some(cycles)) => {
-                        let mut conn = DockingConnector::new(kind);
-                        for _ in 0..cycles {
-                            let _ = conn.mate();
-                        }
-                        Some(conn)
+        let generation = sys.carts.begin_rebuild();
+        for c in &cp.carts {
+            let connector = match (connector_kind, c.connector_cycles) {
+                (Some(kind), Some(cycles)) => {
+                    let mut conn = DockingConnector::new(kind);
+                    for _ in 0..cycles {
+                        let _ = conn.mate();
                     }
-                    _ => None,
-                },
-                wear: match (&endurance, c.wear_written) {
-                    (Some(endurance), Some(written)) => {
-                        let mut wear = CartWear::new(endurance.clone(), cart_capacity);
-                        wear.record_write(Bytes::new(written));
-                        Some(wear)
-                    }
-                    _ => None,
-                },
-                matings: c.matings,
-                verify: c.verify,
-            })
-            .collect();
+                    Some(conn)
+                }
+                _ => None,
+            };
+            let wear = match (&endurance, c.wear_written) {
+                (Some(endurance), Some(written)) => {
+                    let mut wear = CartWear::new(endurance.clone(), cart_capacity);
+                    wear.record_write(Bytes::new(written));
+                    Some(wear)
+                }
+                _ => None,
+            };
+            sys.carts.push_cart(
+                generation, c.location, c.movement, c.trips, connector, wear, c.matings, c.verify,
+            );
+        }
         sys.dock_used = cp.dock_used.clone();
         sys.tracks = cp.tracks.clone();
         sys.pending = cp.pending.iter().copied().collect();
@@ -850,6 +850,7 @@ impl Checkpoint {
             ("now", num(self.now)),
             ("next_seq", uint(self.next_seq)),
             ("events_processed", uint(self.events_processed)),
+            ("events_clamped", uint(self.events_clamped)),
             (
                 "events_at_mission_start",
                 uint(self.events_at_mission_start),
@@ -980,6 +981,7 @@ impl Checkpoint {
             now: req_f64(&root, "now")?,
             next_seq: req_u64(&root, "next_seq")?,
             events_processed: req_u64(&root, "events_processed")?,
+            events_clamped: req_u64(&root, "events_clamped")?,
             events_at_mission_start: req_u64(&root, "events_at_mission_start")?,
             queue: req_array(&root, "queue")?
                 .iter()
@@ -1614,6 +1616,60 @@ mod tests {
         for t in [9.9, 500.0] {
             assert_resume_equivalent(&cfg, Bytes::from_petabytes(PB2), t);
         }
+    }
+
+    #[test]
+    fn mid_bucket_checkpoint_resumes_bit_identical() {
+        // Capture instants chosen to fall strictly *between* event times of
+        // the paper-default run (movements complete every 8.6 s), so the
+        // calendar queue is caught mid-bucket: cursor advanced, current
+        // bucket partially drained, later buckets still populated. The
+        // serialized view must be the logical (time, seq) order, not the
+        // bucket layout, for the resumed run to replay bit-identically.
+        let cfg = SimConfig::paper_default();
+        for t in [8.61, 17.3, 43.05, 300.2] {
+            assert_resume_equivalent(&cfg, Bytes::from_petabytes(PB2), t);
+        }
+    }
+
+    #[test]
+    fn far_future_overflow_events_survive_checkpoint() {
+        // An event far beyond the calendar window lives in the queue's
+        // unsorted overflow tier. It must serialize, JSON round-trip, and
+        // restore losslessly alongside the bucketed near-term events.
+        let cfg = SimConfig::paper_default();
+        let mut sys = DhlSystem::new(cfg.clone()).expect("valid config");
+        sys.begin_bulk_transfer(Bytes::from_petabytes(PB2))
+            .expect("begin");
+        let _ = sys.run_until(Seconds::new(60.0)).expect("run");
+        // A stray wakeup in the deep future (a no-op when nothing is
+        // pending) — 1e9 s is ~11 500 days past any bucket window.
+        sys.queue.schedule_at(Seconds::new(1e9), Ev::TryLaunch);
+        let cp = sys.checkpoint();
+        let decoded = Checkpoint::from_json(&cp.to_json()).expect("JSON roundtrip");
+        assert_eq!(decoded, cp);
+        let resumed = DhlSystem::resume(cfg.clone(), &decoded).expect("resume");
+        assert_eq!(resumed.checkpoint(), cp);
+        // The far-future event is still there and still pops last.
+        let mut drained = DhlSystem::resume(cfg, &decoded).expect("resume");
+        let _ = drained.run_until(Seconds::new(f64::INFINITY)).expect("run");
+        assert!(drained.queue.is_empty());
+        assert_eq!(drained.now(), Seconds::new(1e9));
+    }
+
+    #[test]
+    fn clamp_counter_survives_checkpoint_and_json() {
+        let cfg = SimConfig::paper_default();
+        let mut sys = DhlSystem::new(cfg.clone()).expect("valid config");
+        sys.begin_bulk_transfer(Bytes::from_petabytes(PB2))
+            .expect("begin");
+        let _ = sys.run_until(Seconds::new(30.0)).expect("run");
+        sys.queue.set_clamped(5);
+        let cp = sys.checkpoint();
+        let decoded = Checkpoint::from_json(&cp.to_json()).expect("JSON roundtrip");
+        let resumed = DhlSystem::resume(cfg, &decoded).expect("resume");
+        assert_eq!(resumed.queue.clamped(), 5);
+        assert_eq!(resumed.checkpoint(), cp);
     }
 
     #[test]

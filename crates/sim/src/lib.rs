@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod arena;
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
@@ -45,6 +46,7 @@ pub mod report;
 pub mod system;
 pub mod trace;
 
+pub use arena::CartHandle;
 pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointError};
 pub use config::{
     CartStallSpec, ConfigError, ConnectorFaultSpec, DockControllerFaultSpec, DockRecoveryPolicy,

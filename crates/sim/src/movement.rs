@@ -80,6 +80,121 @@ impl MovementCost {
     }
 }
 
+impl MovementCost {
+    /// Batch-evaluates the trapezoidal kinematics for a set of hop
+    /// distances under one speed cap, computing each *distinct* trapezoid
+    /// exactly once and fanning the result out. Bit-identical to calling
+    /// [`MovementCost::for_distance_limited`] per element — the batching
+    /// only amortizes the evaluation, it never changes the arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// As [`MovementCost::for_distance_limited`], per element.
+    #[must_use]
+    pub fn for_distances_limited(
+        cfg: &SimConfig,
+        distances: &[Metres],
+        speed_cap: MetresPerSecond,
+    ) -> Vec<Self> {
+        let mut distinct: Vec<(f64, Self)> = Vec::new();
+        distances
+            .iter()
+            .map(|&d| {
+                match distinct
+                    .iter()
+                    .find(|(seen, _)| *seen == d.value())
+                    .map(|&(_, cost)| cost)
+                {
+                    Some(cost) => cost,
+                    None => {
+                        let cost = Self::for_distance_limited(cfg, d, speed_cap);
+                        distinct.push((d.value(), cost));
+                        cost
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Precomputed per-hop movement costs for every ordered endpoint pair —
+/// the batched-kinematics table the simulator's hot path reads instead of
+/// re-running the trapezoid per event.
+///
+/// Two tiers mirror the two speeds a launch can happen at: `full` (the
+/// configured maximum) and `degraded` (the repressurisation cap, present
+/// only when that fault is configured). Both are evaluated in one batched
+/// pass at construction via [`MovementCost::for_distances_limited`], so
+/// enabling the table cannot perturb a single bit of the physics.
+#[derive(Clone, Debug)]
+pub(crate) struct MovementTable {
+    /// Endpoint count; costs are indexed `from * n + to`.
+    n: usize,
+    /// Full-speed costs; `None` on the diagonal (a zero-length hop is a
+    /// scheduling bug, never a physical movement).
+    full: Vec<Option<MovementCost>>,
+    /// Speed-capped costs for launches during a repressurisation window.
+    degraded: Option<Vec<Option<MovementCost>>>,
+}
+
+impl MovementTable {
+    /// Builds the table for `cfg`'s endpoints, with a degraded tier when a
+    /// repressurisation `speed_cap` applies.
+    #[must_use]
+    pub(crate) fn build(cfg: &SimConfig, degraded_cap: Option<MetresPerSecond>) -> Self {
+        let n = cfg.endpoints.len();
+        let mut pairs = Vec::with_capacity(n * n - n);
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    pairs.push((cfg.endpoints[to].position - cfg.endpoints[from].position).abs());
+                }
+            }
+        }
+        let fan_out = |costs: Vec<MovementCost>| {
+            let mut table = Vec::with_capacity(n * n);
+            let mut it = costs.into_iter();
+            for from in 0..n {
+                for to in 0..n {
+                    table.push((from != to).then(|| it.next().expect("one cost per pair")));
+                }
+            }
+            table
+        };
+        let full = fan_out(MovementCost::for_distances_limited(
+            cfg,
+            &pairs,
+            cfg.max_speed,
+        ));
+        let degraded =
+            degraded_cap.map(|cap| fan_out(MovementCost::for_distances_limited(cfg, &pairs, cap)));
+        Self { n, full, degraded }
+    }
+
+    /// Full-speed cost of the `from → to` hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either index is out of range.
+    #[must_use]
+    pub(crate) fn cost(&self, from: usize, to: usize) -> MovementCost {
+        self.full[from * self.n + to].expect("movement between distinct endpoints")
+    }
+
+    /// Speed-capped cost of the `from → to` hop while the tube is
+    /// repressurised; falls back to the full-speed cost when no degraded
+    /// tier is configured (mirroring the simulator's cap fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either index is out of range.
+    #[must_use]
+    pub(crate) fn degraded_cost(&self, from: usize, to: usize) -> MovementCost {
+        self.degraded.as_ref().unwrap_or(&self.full)[from * self.n + to]
+            .expect("movement between distinct endpoints")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +271,61 @@ mod tests {
             Metres::new(500.0),
             MetresPerSecond::ZERO,
         );
+    }
+
+    #[test]
+    fn batched_evaluation_is_bit_identical_to_per_call() {
+        let cfg = SimConfig::paper_default();
+        let distances = [
+            Metres::new(500.0),
+            Metres::new(10.0),
+            Metres::new(500.0), // duplicate: served from the distinct set
+            Metres::new(1234.5),
+        ];
+        let batched = MovementCost::for_distances_limited(&cfg, &distances, cfg.max_speed);
+        for (d, cost) in distances.iter().zip(&batched) {
+            assert_eq!(*cost, MovementCost::for_distance(&cfg, *d));
+        }
+    }
+
+    #[test]
+    fn movement_table_matches_direct_evaluation() {
+        use crate::config::{EndpointKind, EndpointSpec};
+        let mut cfg = SimConfig::paper_default();
+        cfg.endpoints = vec![
+            EndpointSpec {
+                position: Metres::ZERO,
+                docks: cfg.num_carts,
+                kind: EndpointKind::Library,
+            },
+            EndpointSpec {
+                position: Metres::new(250.0),
+                docks: 4,
+                kind: EndpointKind::Rack,
+            },
+            EndpointSpec {
+                position: Metres::new(500.0),
+                docks: 4,
+                kind: EndpointKind::Rack,
+            },
+        ];
+        let cap = MetresPerSecond::new(50.0);
+        let table = MovementTable::build(&cfg, Some(cap));
+        for from in 0..3 {
+            for to in 0..3 {
+                if from == to {
+                    continue;
+                }
+                let d = (cfg.endpoints[to].position - cfg.endpoints[from].position).abs();
+                assert_eq!(table.cost(from, to), MovementCost::for_distance(&cfg, d));
+                assert_eq!(
+                    table.degraded_cost(from, to),
+                    MovementCost::for_distance_limited(&cfg, d, cap)
+                );
+            }
+        }
+        // Without a degraded tier the capped lookup falls back to full.
+        let flat = MovementTable::build(&cfg, None);
+        assert_eq!(flat.degraded_cost(0, 2), flat.cost(0, 2));
     }
 }

@@ -2,9 +2,10 @@
 //! scheduling of a multi-tenant request mix.
 
 use dhl_bench::harness::bench_function;
+use dhl_sched::admission::{AdmissionSpec, OverloadPolicy, TenantId};
 use dhl_sched::placement::Placement;
 use dhl_sched::scheduler::{FaultAwareness, Priority, Scheduler, TransferRequest};
-use dhl_sim::SimConfig;
+use dhl_sim::{ArrivalGenerator, ArrivalSpec, SimConfig};
 use dhl_storage::datasets;
 use dhl_units::{Bytes, Seconds};
 
@@ -56,5 +57,47 @@ fn main() {
             Seconds::new(5.0),
         ));
         sched.run().makespan.seconds()
+    });
+
+    // Open-loop overload sweep: 96 Poisson arrivals at 4x the track's
+    // saturation rate, pushed through admission control (bounded queues,
+    // shed-lowest-priority, budgeted retries with backoff).
+    bench_function("sched/overload_sweep", || {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let a = p.store(datasets::laion_5b());
+        let bb = p.store(datasets::genomics_17pb());
+        let ids = [a, bb];
+        let arrival_spec = ArrivalSpec::poisson(4.0 / 17.2, Seconds::new(1e12), 7).with_tenants(2);
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p)
+            .unwrap()
+            .with_admission(AdmissionSpec {
+                max_pending_global: 16,
+                max_pending_per_tenant: 12,
+                policy: OverloadPolicy::ShedLowestPriority,
+                ..AdmissionSpec::default()
+            })
+            .with_faults(FaultAwareness {
+                loss_probability: 0.05,
+                max_attempts: 8,
+                seed: 42,
+                downtime: Vec::new(),
+            });
+        for arrival in ArrivalGenerator::new(&arrival_spec).take(96) {
+            sched.submit(
+                TransferRequest::new(
+                    ids[arrival.tenant as usize % 2],
+                    1,
+                    if arrival.tenant == 0 {
+                        Priority::Urgent
+                    } else {
+                        Priority::Normal
+                    },
+                    Seconds::new(arrival.at.seconds()),
+                )
+                .with_tenant(TenantId(arrival.tenant)),
+            );
+        }
+        let out = sched.run();
+        out.admission.expect("open loop").goodput_bytes_per_s
     });
 }

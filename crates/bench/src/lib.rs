@@ -893,6 +893,62 @@ pub fn run_bench_suite_filtered(prefix: Option<&str>) -> Vec<report_file::BenchC
         });
     }
 
+    if want("sched/overload_sweep") {
+        // Open-loop overload case: 96 Poisson arrivals at 4x the track's
+        // saturation rate pushed through admission control (bounded queues,
+        // shed-lowest-priority, budgeted retries with backoff).
+        use dhl_sched::admission::{AdmissionSpec, OverloadPolicy, TenantId};
+        use dhl_sim::{ArrivalGenerator, ArrivalSpec};
+        let overload_run = || {
+            let mut p = Placement::new(Bytes::from_terabytes(256.0));
+            let a = p.store(datasets::laion_5b());
+            let b = p.store(datasets::genomics_17pb());
+            let ids = [a, b];
+            let arrival_spec =
+                ArrivalSpec::poisson(4.0 / 17.2, Seconds::new(1e12), 7).with_tenants(2);
+            let mut sched = Scheduler::new(SimConfig::paper_default(), p)
+                .expect("valid")
+                .with_admission(AdmissionSpec {
+                    max_pending_global: 16,
+                    max_pending_per_tenant: 12,
+                    policy: OverloadPolicy::ShedLowestPriority,
+                    ..AdmissionSpec::default()
+                })
+                .with_faults(dhl_sched::scheduler::FaultAwareness {
+                    loss_probability: 0.05,
+                    max_attempts: 8,
+                    seed: 42,
+                    downtime: Vec::new(),
+                });
+            for arrival in ArrivalGenerator::new(&arrival_spec).take(96) {
+                sched.submit(
+                    TransferRequest::new(
+                        ids[arrival.tenant as usize % 2],
+                        1,
+                        if arrival.tenant == 0 {
+                            Priority::Urgent
+                        } else {
+                            Priority::Normal
+                        },
+                        Seconds::new(arrival.at.seconds()),
+                    )
+                    .with_tenant(TenantId(arrival.tenant)),
+                );
+            }
+            sched.run()
+        };
+        let result = harness::bench_function("sched/overload_sweep", || {
+            overload_run()
+                .admission
+                .expect("open loop")
+                .goodput_bytes_per_s
+        });
+        cases.push(BenchCase {
+            result,
+            metrics: Some(overload_run().metrics),
+        });
+    }
+
     // Engine event-throughput family — the `sim/events_per_sec` prefix the
     // CI throughput gate filters on.
     if want("sim/events_per_sec") {

@@ -335,6 +335,64 @@ impl HistogramSummary {
     }
 }
 
+/// Tail-latency view of a distribution for SLO accounting: p50/p95/p99
+/// plus mean and max.
+///
+/// [`HistogramSummary`] (and the snapshot JSON schema built on it) stops at
+/// p95; overload experiments are judged on the p99 tail, so this type
+/// re-reads the same log₂ buckets one quantile deeper without touching the
+/// snapshot export format.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct SloSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Mean of finite observations (0 when empty).
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Largest finite observation.
+    pub max: f64,
+}
+
+impl SloSummary {
+    /// Summarises a live histogram (all zeros when it is empty).
+    #[must_use]
+    pub fn of(h: &Histogram) -> Self {
+        if h.count() == 0 {
+            return Self::default();
+        }
+        Self {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        }
+    }
+
+    /// Summarises a snapshot-time [`HistogramSummary`], re-estimating the
+    /// p99 from its carried buckets.
+    #[must_use]
+    pub fn of_summary(s: &HistogramSummary) -> Self {
+        if s.count == 0 {
+            return Self::default();
+        }
+        Self {
+            count: s.count,
+            mean: s.mean,
+            p50: s.p50,
+            p95: s.p95,
+            p99: Histogram::quantile_from_buckets(&s.buckets, s.count, s.min, s.max, 0.99),
+            max: s.max,
+        }
+    }
+}
+
 /// A plain-data, deterministic view of a registry: sorted by metric name,
 /// comparable across runs, exportable as JSON or NDJSON.
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -814,5 +872,28 @@ mod tests {
         assert!(reg.is_enabled());
         reg.inc("a", 1);
         assert_eq!(reg.snapshot().counter("a"), Some(1));
+    }
+
+    #[test]
+    fn slo_summary_reads_the_p99_tail() {
+        let mut h = Histogram::new();
+        for i in 0..1000 {
+            h.record(f64::from(i));
+        }
+        let slo = SloSummary::of(&h);
+        assert_eq!(slo.count, 1000);
+        assert_eq!(slo.max, 999.0);
+        assert!(slo.p50 <= slo.p95 && slo.p95 <= slo.p99 && slo.p99 <= slo.max);
+        // p99 must land in the tail, beyond the p95 estimate's bucket floor.
+        assert!(slo.p99 >= 512.0, "{}", slo.p99);
+        // The summary-of-summary path agrees with the live-histogram path.
+        let via_summary = SloSummary::of_summary(&HistogramSummary::of("h", &h));
+        assert_eq!(slo, via_summary);
+        // Empty distributions summarise to zeros.
+        assert_eq!(SloSummary::of(&Histogram::new()), SloSummary::default());
+        assert_eq!(
+            SloSummary::of_summary(&HistogramSummary::of("e", &Histogram::new())),
+            SloSummary::default()
+        );
     }
 }

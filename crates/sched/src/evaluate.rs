@@ -10,6 +10,7 @@
 
 use dhl_sim::{default_threads, parallel_map, SimConfig};
 
+use crate::admission::AdmissionSpec;
 use crate::placement::Placement;
 use crate::scheduler::{
     DockRecoveryAwareness, FaultAwareness, IntegrityAwareness, Policy, ScheduleOutcome, Scheduler,
@@ -30,6 +31,9 @@ pub struct Scenario {
     /// Optional dock-recovery awareness (controller crashes stalling
     /// dockings for the recovery policy's latency).
     pub dock_recovery: Option<DockRecoveryAwareness>,
+    /// Optional open-loop admission control (bounded queues, deadlines,
+    /// backpressure, retry budgets).
+    pub admission: Option<AdmissionSpec>,
 }
 
 impl Scenario {
@@ -42,6 +46,7 @@ impl Scenario {
             faults: None,
             integrity: None,
             dock_recovery: None,
+            admission: None,
         }
     }
 
@@ -65,6 +70,13 @@ impl Scenario {
     #[must_use]
     pub fn with_dock_recovery(mut self, dock_recovery: DockRecoveryAwareness) -> Self {
         self.dock_recovery = Some(dock_recovery);
+        self
+    }
+
+    /// Switches the scenario to open-loop serving under admission control.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionSpec) -> Self {
+        self.admission = Some(admission);
         self
     }
 }
@@ -109,6 +121,9 @@ pub fn evaluate_scenarios(
         }
         if let Some(dock_recovery) = scenario.dock_recovery {
             sched = sched.with_dock_recovery(dock_recovery);
+        }
+        if let Some(admission) = scenario.admission {
+            sched = sched.with_admission(admission);
         }
         for request in requests {
             sched.submit(request.clone());

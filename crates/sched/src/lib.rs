@@ -15,6 +15,10 @@
 //!   in one place at a time needs to be considered";
 //! - [`availability`]: tracking that "data stored on a cart is inaccessible
 //!   during transit";
+//! - [`admission`]: overload robustness for open-loop serving — bounded
+//!   admission queues, deadline-aware rejection, dock-saturation
+//!   backpressure, and per-tenant retry budgets with deterministic
+//!   exponential backoff;
 //! - [`evaluate`]: fanning alternative scheduling disciplines over the same
 //!   workload across threads (via `dhl_sim::parallel_map`) for side-by-side
 //!   comparison.
@@ -23,32 +27,40 @@
 //!
 //! ```rust
 //! use dhl_sched::placement::Placement;
-//! use dhl_sched::scheduler::{Priority, Scheduler, TransferRequest};
+//! use dhl_sched::scheduler::{Priority, Scheduler, SchedulerError, TransferRequest};
 //! use dhl_sim::SimConfig;
 //! use dhl_storage::datasets;
 //! use dhl_units::Seconds;
 //!
+//! # fn main() -> Result<(), SchedulerError> {
 //! let mut placement = Placement::new(dhl_units::Bytes::from_terabytes(256.0));
 //! let laion = placement.store(datasets::laion_5b());
 //!
-//! let mut sched = Scheduler::new(SimConfig::paper_default(), placement).unwrap();
+//! let mut sched = Scheduler::new(SimConfig::paper_default(), placement)?;
 //! sched.submit(TransferRequest::new(laion, 1, Priority::Normal, Seconds::ZERO));
 //! let outcome = sched.run();
 //! assert_eq!(outcome.completed.len(), 1);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod availability;
 pub mod evaluate;
 pub mod placement;
 pub mod scheduler;
 
+pub use admission::{
+    retry_backoff, AdmissionReport, AdmissionSpec, OverloadPolicy, RetryBudgetSpec, TenantId,
+    TenantSlo,
+};
 pub use availability::{AvailabilityTracker, DataState};
 pub use evaluate::{evaluate_scenarios, Scenario, ScenarioOutcome};
 pub use placement::{CartContents, DatasetId, ParityPlan, Placement};
 pub use scheduler::{
     DockRecoveryAwareness, FaultAwareness, IntegrityAwareness, Policy, Priority, RequestId,
-    RequestOutcome, ScheduleOutcome, Scheduler, TransferRequest,
+    RequestOutcome, ScheduleOutcome, Scheduler, SchedulerError, TransferRequest,
 };

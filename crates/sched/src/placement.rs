@@ -109,7 +109,11 @@ impl Placement {
         match self.datasets.remove(&id) {
             Some(stored) => {
                 for cart in stored.cart_ids {
-                    self.carts[cart] = None;
+                    // A stored dataset only ever references carts it was
+                    // assigned; tolerate (rather than panic on) a stale id.
+                    if let Some(slot) = self.carts.get_mut(cart) {
+                        *slot = None;
+                    }
                 }
                 true
             }

@@ -7,9 +7,9 @@
 //! analytical model's accounting) with docking-station limits at the
 //! destination, and every cart returns to the library after its dwell.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use dhl_obs::{MetricsRegistry, MetricsSnapshot, Stopwatch};
+use dhl_obs::{Histogram, MetricsRegistry, MetricsSnapshot, SloSummary, Stopwatch};
 use dhl_rng::{DeterministicRng, Rng};
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +18,9 @@ use dhl_sim::{
 };
 use dhl_units::{Bytes, Joules, Seconds};
 
+use crate::admission::{
+    retry_backoff, AdmissionReport, AdmissionSpec, OverloadPolicy, TenantId, TenantSlo,
+};
 use crate::availability::AvailabilityTracker;
 use crate::placement::{DatasetId, Placement};
 
@@ -61,6 +64,13 @@ pub struct TransferRequest {
     pub arrival: Seconds,
     /// How long each cart dwells docked before returning (read time).
     pub dwell: Seconds,
+    /// Owning tenant, for admission-control accounting and fairness bounds
+    /// (defaults to tenant 0; ignored without an [`AdmissionSpec`]).
+    pub tenant: TenantId,
+    /// Absolute delivery deadline. Only consulted by deadline-aware
+    /// admission ([`AdmissionSpec::deadline_aware`]); `None` means best
+    /// effort.
+    pub deadline: Option<Seconds>,
 }
 
 impl TransferRequest {
@@ -78,6 +88,8 @@ impl TransferRequest {
             priority,
             arrival,
             dwell: Seconds::ZERO,
+            tenant: TenantId(0),
+            deadline: None,
         }
     }
 
@@ -85,6 +97,20 @@ impl TransferRequest {
     #[must_use]
     pub fn with_dwell(mut self, dwell: Seconds) -> Self {
         self.dwell = dwell;
+        self
+    }
+
+    /// Attributes the request to a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets an absolute delivery deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Seconds) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -243,6 +269,9 @@ pub struct ScheduleOutcome {
     pub total_energy: Joules,
     /// Fraction of the makespan the track spent occupied.
     pub track_utilisation: f64,
+    /// Admission/SLO accounting: present only when the scheduler ran in
+    /// open-loop mode (an [`AdmissionSpec`] was installed).
+    pub admission: Option<AdmissionReport>,
     /// Observability snapshot: placement-latency histogram, retry and
     /// downtime accounting, wall-clock run time.
     pub metrics: MetricsSnapshot,
@@ -254,6 +283,7 @@ impl PartialEq for ScheduleOutcome {
             && self.makespan == other.makespan
             && self.total_energy == other.total_energy
             && self.track_utilisation == other.track_utilisation
+            && self.admission == other.admission
     }
 }
 
@@ -267,6 +297,10 @@ pub enum SchedulerError {
     UnknownDataset(DatasetId),
     /// A request targeted a non-rack endpoint.
     InvalidDestination(usize),
+    /// The placement lost track of a dataset (or one of its carts) between
+    /// validation and scheduling — a corrupt data map, surfaced as a typed
+    /// error instead of a panic.
+    CorruptPlacement(DatasetId),
 }
 
 impl core::fmt::Display for SchedulerError {
@@ -276,6 +310,12 @@ impl core::fmt::Display for SchedulerError {
             Self::UnknownDataset(id) => write!(f, "unknown dataset {id:?}"),
             Self::InvalidDestination(ep) => {
                 write!(f, "endpoint {ep} is not a rack endpoint")
+            }
+            Self::CorruptPlacement(id) => {
+                write!(
+                    f,
+                    "placement lost dataset {id:?} mid-schedule (corrupt data map)"
+                )
             }
         }
     }
@@ -300,6 +340,7 @@ pub struct Scheduler {
     faults: Option<FaultAwareness>,
     integrity: Option<IntegrityAwareness>,
     dock_recovery: Option<DockRecoveryAwareness>,
+    admission: Option<AdmissionSpec>,
     metrics: MetricsRegistry,
 }
 
@@ -322,6 +363,7 @@ impl Scheduler {
             faults: None,
             integrity: None,
             dock_recovery: None,
+            admission: None,
             metrics: MetricsRegistry::enabled(),
         })
     }
@@ -370,6 +412,24 @@ impl Scheduler {
     pub fn with_dock_recovery(mut self, dock_recovery: DockRecoveryAwareness) -> Self {
         self.dock_recovery = Some(dock_recovery);
         self
+    }
+
+    /// Enables open-loop admission control: bounded pending queues,
+    /// deadline-aware admission, dock-saturation backpressure, and
+    /// token-bucket retry budgets with deterministic backoff. The spec is
+    /// sanitised on installation ([`AdmissionSpec::sanitised`]). Without
+    /// this call the scheduler's closed-loop behaviour is bit-identical to
+    /// what it was before the admission layer existed.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionSpec) -> Self {
+        self.admission = Some(admission.sanitised());
+        self
+    }
+
+    /// The admission spec in effect, if open-loop serving is enabled.
+    #[must_use]
+    pub fn admission(&self) -> Option<&AdmissionSpec> {
+        self.admission.as_ref()
     }
 
     /// The ordering discipline in effect.
@@ -430,6 +490,9 @@ impl Scheduler {
     ///
     /// See [`Scheduler::run`].
     pub fn try_run(&mut self) -> Result<ScheduleOutcome, SchedulerError> {
+        if let Some(spec) = self.admission.clone() {
+            return self.try_run_open_loop(&spec);
+        }
         for (_, req) in &self.queue {
             self.check(req)?;
         }
@@ -489,10 +552,12 @@ impl Scheduler {
 
         for idx in order {
             let (id, req) = self.queue[idx].clone();
+            // Requests were validated above, so a miss here means the data
+            // map itself is corrupt — surface it, don't panic.
             let carts = self
                 .placement
                 .carts_of(req.dataset)
-                .expect("validated")
+                .ok_or(SchedulerError::CorruptPlacement(req.dataset))?
                 .to_vec();
             let distance =
                 self.cfg.endpoints[req.destination].position - self.cfg.endpoints[0].position;
@@ -686,6 +751,563 @@ impl Scheduler {
             completed: outcomes,
             makespan,
             total_energy,
+            admission: None,
+            metrics: self.metrics.snapshot(),
+        })
+    }
+
+    /// Open-loop serving under an [`AdmissionSpec`]: arrivals are admitted
+    /// in arrival order against bounded queues (with deadline-feasibility
+    /// checks and dock-saturation backpressure at the door), the track
+    /// serves the best admitted request whenever it frees up, and retries
+    /// draw on per-tenant token buckets with deterministic exponential
+    /// backoff + jitter. Requests that are rejected or shed never run and
+    /// produce no [`RequestOutcome`]; they are accounted on the
+    /// [`AdmissionReport`].
+    ///
+    /// In this mode the retry budget comes from the spec's
+    /// [`RetryBudgetSpec`](crate::admission::RetryBudgetSpec) — the
+    /// `max_attempts` fields of any installed fault/integrity awareness
+    /// only drive the loss/reshipment *sampling*, not the attempt cap.
+    fn try_run_open_loop(
+        &mut self,
+        spec: &AdmissionSpec,
+    ) -> Result<ScheduleOutcome, SchedulerError> {
+        struct Pending {
+            id: RequestId,
+            req: TransferRequest,
+            carts: usize,
+            service_s: f64,
+        }
+
+        /// Victim for shed-lowest-priority: the lowest-priority pending
+        /// entry, latest-arrived (then highest id) among equals — only if
+        /// it is strictly lower-priority than the arrival it makes room
+        /// for.
+        fn shed_victim(pending: &mut Vec<Pending>, incoming: Priority) -> Option<Pending> {
+            let mut best: Option<usize> = None;
+            for (i, p) in pending.iter().enumerate() {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let q = &pending[b];
+                        match p.req.priority.cmp(&q.req.priority) {
+                            core::cmp::Ordering::Less => true,
+                            core::cmp::Ordering::Greater => false,
+                            core::cmp::Ordering::Equal => {
+                                match p.req.arrival.partial_cmp(&q.req.arrival).expect("finite") {
+                                    core::cmp::Ordering::Greater => true,
+                                    core::cmp::Ordering::Less => false,
+                                    core::cmp::Ordering::Equal => p.id > q.id,
+                                }
+                            }
+                        }
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            let b = best?;
+            if pending[b].req.priority < incoming {
+                Some(pending.remove(b))
+            } else {
+                None
+            }
+        }
+
+        /// Next entry to serve: highest priority; within a class the
+        /// policy's ordering (FIFO by arrival, or fewest carts); lowest id
+        /// breaks remaining ties.
+        fn pick_next(pending: &[Pending], policy: Policy) -> usize {
+            let mut best = 0usize;
+            for i in 1..pending.len() {
+                let (p, q) = (&pending[i], &pending[best]);
+                let class = p.req.priority.cmp(&q.req.priority).reverse();
+                let within = match policy {
+                    Policy::PriorityFifo => {
+                        p.req.arrival.partial_cmp(&q.req.arrival).expect("finite")
+                    }
+                    Policy::ShortestJobFirst => p.carts.cmp(&q.carts),
+                };
+                if class.then(within).then(p.id.cmp(&q.id)) == core::cmp::Ordering::Less {
+                    best = i;
+                }
+            }
+            best
+        }
+
+        for (_, req) in &self.queue {
+            self.check(req)?;
+        }
+        // Open loop: arrivals are considered strictly in arrival order
+        // (submission order breaks ties), not priority order — priority
+        // instead decides who is served next among the admitted.
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (_, ra) = &self.queue[a];
+            let (_, rb) = &self.queue[b];
+            ra.arrival
+                .partial_cmp(&rb.arrival)
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+
+        if let Some(faults) = &self.faults {
+            for &(from, to) in &faults.downtime {
+                self.availability.record_track_downtime(from, to);
+            }
+        }
+        let mut loss_rng = self
+            .faults
+            .as_ref()
+            .map(|f| DeterministicRng::seed_from_u64(f.seed));
+        let mut reship_rng = self
+            .integrity
+            .as_ref()
+            .map(|i| DeterministicRng::seed_from_u64(i.seed));
+        let mut dock_rng = self
+            .dock_recovery
+            .as_ref()
+            .map(|d| DeterministicRng::seed_from_u64(d.seed));
+        let verify_s = self
+            .integrity
+            .as_ref()
+            .map_or(0.0, |i| i.verify_time.seconds());
+
+        let watch = Stopwatch::start();
+        let mut track_free = 0.0f64;
+        let mut track_busy = 0.0f64;
+        let mut dock_free: HashMap<usize, Vec<f64>> = HashMap::new();
+        let mut outcomes = Vec::new();
+        let mut total_energy = Joules::ZERO;
+
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut report = AdmissionReport::default();
+        // Tenant → (SLO accumulator, latency histogram, retry tokens left).
+        let mut tenants: BTreeMap<u32, (TenantSlo, Histogram, u32)> = BTreeMap::new();
+        let policy = self.policy;
+        let max_attempts = spec.retry.max_attempts_per_request.max(1);
+        let mut cursor = 0usize;
+
+        while cursor < order.len() || !pending.is_empty() {
+            // The serving frontier: when work is pending, the track's next
+            // free instant; when idle, jump to the next arrival.
+            let mut now = track_free;
+            if pending.is_empty() {
+                now = now.max(self.queue[order[cursor]].1.arrival.seconds());
+            }
+
+            // Admission: every arrival at or before the frontier faces the
+            // controller, in arrival order, against the queue state its
+            // predecessors left behind.
+            while cursor < order.len() {
+                let idx = order[cursor];
+                if self.queue[idx].1.arrival.seconds() > now {
+                    break;
+                }
+                cursor += 1;
+                let (id, mut req) = self.queue[idx].clone();
+                let arrival_s = req.arrival.seconds();
+                let slot = tenants.entry(req.tenant.0).or_insert_with(|| {
+                    (
+                        TenantSlo::new(req.tenant),
+                        Histogram::new(),
+                        spec.retry.tokens_per_tenant,
+                    )
+                });
+                slot.0.offered += 1;
+                report.offered += 1;
+                self.metrics.inc("sched.offered", 1);
+                report.offered_bytes += self
+                    .placement
+                    .size_of(req.dataset)
+                    .map_or(0.0, |b| b.as_f64());
+                let carts_len = self
+                    .placement
+                    .carts_of(req.dataset)
+                    .ok_or(SchedulerError::CorruptPlacement(req.dataset))?
+                    .len();
+
+                let mut degrade = false;
+                // Deadline feasibility at the door: earliest estimated
+                // delivery = wait for the track + serve the whole backlog +
+                // this request's own carts up to the last one docking.
+                if spec.deadline_aware {
+                    if let Some(deadline) = req.deadline {
+                        let trip = {
+                            let distance = self.cfg.endpoints[req.destination].position
+                                - self.cfg.endpoints[0].position;
+                            MovementCost::for_distance(&self.cfg, distance)
+                                .total_time
+                                .seconds()
+                        };
+                        let backlog: f64 = pending.iter().map(|p| p.service_s).sum();
+                        let per_cart = 2.0 * trip + verify_s + req.dwell.seconds();
+                        let deliver_est = arrival_s.max(track_free)
+                            + backlog
+                            + carts_len.saturating_sub(1) as f64 * per_cart
+                            + trip
+                            + verify_s;
+                        if deliver_est > deadline.seconds() {
+                            match spec.policy {
+                                OverloadPolicy::DegradeToBestEffort => degrade = true,
+                                _ => {
+                                    report.rejected_deadline += 1;
+                                    report.rejected_ids.push(id);
+                                    slot.0.rejected += 1;
+                                    self.metrics.inc("sched.rejected_deadline", 1);
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Hard queue bounds, then dock-saturation backpressure.
+                let tenant_pending = pending
+                    .iter()
+                    .filter(|p| p.req.tenant == req.tenant)
+                    .count();
+                let queue_full = pending.len() >= spec.max_pending_global
+                    || tenant_pending >= spec.max_pending_per_tenant;
+                let dock_saturated = !queue_full
+                    && spec.dock_busy_watermark < 1.0
+                    && match dock_free.get(&req.destination) {
+                        Some(docks) if !docks.is_empty() => {
+                            let busy = docks.iter().filter(|&&f| f > arrival_s).count();
+                            busy as f64 / docks.len() as f64 >= spec.dock_busy_watermark
+                        }
+                        _ => false,
+                    };
+                if queue_full || dock_saturated {
+                    let admitted_via_shed = if spec.policy == OverloadPolicy::ShedLowestPriority {
+                        if let Some(victim) = shed_victim(&mut pending, req.priority) {
+                            report.shed += 1;
+                            report.shed_ids.push(victim.id);
+                            self.metrics.inc("sched.shed", 1);
+                            if let Some((slo, _, _)) = tenants.get_mut(&victim.req.tenant.0) {
+                                slo.shed += 1;
+                            }
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        false
+                    };
+                    let degrade_through =
+                        !queue_full && spec.policy == OverloadPolicy::DegradeToBestEffort;
+                    if !admitted_via_shed && !degrade_through {
+                        let slot = tenants.get_mut(&req.tenant.0).expect("inserted above");
+                        slot.0.rejected += 1;
+                        report.rejected_ids.push(id);
+                        if queue_full {
+                            report.rejected_queue_full += 1;
+                            self.metrics.inc("sched.rejected_queue_full", 1);
+                        } else {
+                            report.rejected_backpressure += 1;
+                            self.metrics.inc("sched.rejected_backpressure", 1);
+                        }
+                        continue;
+                    }
+                    if degrade_through {
+                        degrade = true;
+                    }
+                }
+
+                if degrade {
+                    req.priority = Priority::Background;
+                    req.deadline = None;
+                    report.degraded += 1;
+                    self.metrics.inc("sched.degraded", 1);
+                }
+                let slot = tenants.get_mut(&req.tenant.0).expect("inserted above");
+                slot.0.admitted += 1;
+                if degrade {
+                    slot.0.degraded += 1;
+                }
+                report.admitted += 1;
+                self.metrics.inc("sched.admitted", 1);
+                let trip = {
+                    let distance = self.cfg.endpoints[req.destination].position
+                        - self.cfg.endpoints[0].position;
+                    MovementCost::for_distance(&self.cfg, distance)
+                        .total_time
+                        .seconds()
+                };
+                let service_s = carts_len as f64 * (2.0 * trip + verify_s + req.dwell.seconds());
+                pending.push(Pending {
+                    id,
+                    req,
+                    carts: carts_len,
+                    service_s,
+                });
+            }
+
+            if pending.is_empty() {
+                continue;
+            }
+
+            // Service: run the best admitted request's carts, with
+            // budgeted, backed-off retries.
+            let entry = pending.remove(pick_next(&pending, policy));
+            let (id, req) = (entry.id, entry.req);
+            let carts = self
+                .placement
+                .carts_of(req.dataset)
+                .ok_or(SchedulerError::CorruptPlacement(req.dataset))?
+                .to_vec();
+            let distance =
+                self.cfg.endpoints[req.destination].position - self.cfg.endpoints[0].position;
+            let cost = MovementCost::for_distance(&self.cfg, distance);
+            let docks = dock_free
+                .entry(req.destination)
+                .or_insert_with(|| vec![0.0; self.cfg.endpoints[req.destination].docks as usize]);
+
+            let mut started = f64::INFINITY;
+            let mut delivered = 0.0f64;
+            let mut completed = 0.0f64;
+            let mut energy = Joules::ZERO;
+            let mut deliveries = 0u64;
+            let mut redeliveries = 0u64;
+            let mut reshipments = 0u64;
+            let mut abandoned = 0u64;
+            let mut dock_crashes = 0u64;
+            let mut delivered_bytes = 0.0f64;
+
+            for &cart in &carts {
+                let mut attempt = 1u32;
+                // A retried cart may not depart again before its backoff
+                // expires.
+                let mut not_before = 0.0f64;
+                loop {
+                    let dock = docks
+                        .iter_mut()
+                        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                        .expect("rack has docks");
+                    let mut depart = req
+                        .arrival
+                        .seconds()
+                        .max(track_free)
+                        .max(*dock)
+                        .max(not_before);
+                    depart = self
+                        .availability
+                        .next_track_up(Seconds::new(depart))
+                        .seconds();
+                    let arrive = depart + cost.total_time.seconds();
+                    started = started.min(depart);
+                    track_free = arrive;
+                    track_busy += cost.total_time.seconds();
+
+                    let lost = match (&self.faults, loss_rng.as_mut()) {
+                        (Some(f), Some(rng)) => rng.random_bool(f.loss_probability.clamp(0.0, 1.0)),
+                        _ => false,
+                    };
+                    let mut recovery_s = 0.0;
+                    if !lost {
+                        if let (Some(d), Some(rng)) = (&self.dock_recovery, dock_rng.as_mut()) {
+                            if rng.random_bool(d.crash_probability_per_docking.clamp(0.0, 1.0)) {
+                                dock_crashes += 1;
+                                recovery_s = d.recovery_time.seconds().max(0.0);
+                                self.availability.record_dock_downtime(
+                                    req.destination,
+                                    Seconds::new(arrive),
+                                    Seconds::new(arrive + recovery_s),
+                                );
+                            }
+                        }
+                    }
+                    let reshipped = if lost {
+                        false
+                    } else {
+                        match (&self.integrity, reship_rng.as_mut()) {
+                            (Some(i), Some(rng)) => {
+                                rng.random_bool(i.reshipment_probability.clamp(0.0, 1.0))
+                            }
+                            _ => false,
+                        }
+                    };
+
+                    let ready_back = if lost {
+                        arrive
+                    } else if reshipped {
+                        arrive + recovery_s + verify_s
+                    } else {
+                        arrive + recovery_s + verify_s + req.dwell.seconds()
+                    };
+                    let mut back_depart = ready_back.max(track_free);
+                    back_depart = self
+                        .availability
+                        .next_track_up(Seconds::new(back_depart))
+                        .seconds();
+                    let home = back_depart + cost.total_time.seconds();
+                    track_free = home;
+                    track_busy += cost.total_time.seconds();
+                    *dock = back_depart + self.cfg.undock_time.seconds();
+                    completed = completed.max(home);
+
+                    energy += cost.energy + cost.energy;
+                    self.availability.record_transit(
+                        req.dataset,
+                        Seconds::new(depart),
+                        Seconds::new(arrive),
+                    );
+                    self.availability.record_transit(
+                        req.dataset,
+                        Seconds::new(back_depart),
+                        Seconds::new(home),
+                    );
+
+                    if !lost && !reshipped {
+                        deliveries += 1;
+                        delivered = delivered.max(arrive + recovery_s + verify_s);
+                        delivered_bytes += self
+                            .placement
+                            .contents_of(cart)
+                            .ok_or(SchedulerError::CorruptPlacement(req.dataset))?
+                            .bytes
+                            .as_f64();
+                        break;
+                    }
+                    // Failed attempt: retry only inside the attempt budget
+                    // AND while the tenant still holds retry tokens —
+                    // graceful degradation, not a retry storm.
+                    if attempt >= max_attempts {
+                        abandoned += 1;
+                        break;
+                    }
+                    let tokens = &mut tenants
+                        .get_mut(&req.tenant.0)
+                        .expect("tenant registered at admission")
+                        .2;
+                    if *tokens == 0 {
+                        abandoned += 1;
+                        report.retry_tokens_exhausted += 1;
+                        self.metrics.inc("sched.retry_tokens_exhausted", 1);
+                        break;
+                    }
+                    *tokens -= 1;
+                    attempt += 1;
+                    if lost {
+                        redeliveries += 1;
+                    } else {
+                        reshipments += 1;
+                    }
+                    report.retries += 1;
+                    self.metrics.inc("sched.retries", 1);
+                    let backoff = retry_backoff(&spec.retry, spec.seed, id, attempt);
+                    self.metrics
+                        .observe("sched.retry_backoff_s", backoff.seconds());
+                    not_before = home + backoff.seconds();
+                    if let Some((slo, _, _)) = tenants.get_mut(&req.tenant.0) {
+                        slo.retries += 1;
+                    }
+                }
+            }
+
+            total_energy += energy;
+            self.metrics.inc("sched.requests", 1);
+            self.metrics.inc("sched.deliveries", deliveries);
+            self.metrics.inc("sched.redeliveries", redeliveries);
+            self.metrics.inc("sched.reshipments", reshipments);
+            self.metrics.inc("sched.abandoned", abandoned);
+            self.metrics.inc("sched.dock_crashes", dock_crashes);
+            self.metrics
+                .observe("sched.placement_latency_s", started - req.arrival.seconds());
+            if deliveries > 0 {
+                self.metrics.observe(
+                    "sched.delivery_latency_s",
+                    delivered - req.arrival.seconds(),
+                );
+            }
+
+            report.served += 1;
+            report.abandoned_shards += abandoned;
+            report.delivered_bytes += delivered_bytes;
+            let fully_delivered = deliveries as usize == carts.len();
+            let slot = tenants
+                .get_mut(&req.tenant.0)
+                .expect("tenant registered at admission");
+            slot.0.served += 1;
+            slot.0.abandoned_shards += abandoned;
+            slot.0.delivered_bytes += delivered_bytes;
+            if deliveries > 0 {
+                slot.1.record(delivered - req.arrival.seconds());
+            }
+            if let Some(deadline) = req.deadline {
+                if fully_delivered && delivered <= deadline.seconds() {
+                    slot.0.deadline_hits += 1;
+                    report.deadline_hits += 1;
+                    self.metrics.inc("sched.deadline_hits", 1);
+                } else {
+                    slot.0.deadline_misses += 1;
+                    report.deadline_misses += 1;
+                    self.metrics.inc("sched.deadline_misses", 1);
+                }
+            }
+
+            outcomes.push(RequestOutcome {
+                id,
+                started: Seconds::new(started),
+                delivered: Seconds::new(delivered),
+                completed: Seconds::new(completed),
+                deliveries,
+                energy,
+                redeliveries,
+                reshipments,
+                abandoned,
+                dock_crashes,
+            });
+        }
+
+        self.queue.clear();
+        outcomes.sort_by(|a, b| a.completed.partial_cmp(&b.completed).expect("finite"));
+        let makespan = outcomes
+            .last()
+            .map(|o| o.completed)
+            .unwrap_or(Seconds::ZERO);
+        let track_utilisation = if makespan.seconds() > 0.0 {
+            track_busy / makespan.seconds()
+        } else {
+            0.0
+        };
+        report.goodput_bytes_per_s = if makespan.seconds() > 0.0 {
+            report.delivered_bytes / makespan.seconds()
+        } else {
+            0.0
+        };
+        report.tenants = tenants
+            .into_values()
+            .map(|(mut slo, latency, _)| {
+                slo.latency = SloSummary::of(&latency);
+                slo
+            })
+            .collect();
+        self.metrics
+            .set_gauge("sched.makespan_s", makespan.seconds());
+        self.metrics
+            .set_gauge("sched.track_utilisation", track_utilisation);
+        self.metrics
+            .set_gauge("sched.goodput_bytes_per_s", report.goodput_bytes_per_s);
+        self.metrics.set_gauge(
+            "sched.track_downtime_s",
+            self.availability.total_track_downtime().seconds(),
+        );
+        let dock_downtime_s: f64 = (0..self.cfg.endpoints.len())
+            .map(|ep| self.availability.total_dock_downtime(ep).seconds())
+            .sum();
+        self.metrics
+            .set_gauge("sched.dock_downtime_s", dock_downtime_s);
+        self.metrics
+            .set_gauge("sched.wall_time_s", watch.elapsed_secs());
+        Ok(ScheduleOutcome {
+            track_utilisation,
+            completed: outcomes,
+            makespan,
+            total_energy,
+            admission: Some(report),
             metrics: self.metrics.snapshot(),
         })
     }
@@ -1489,5 +2111,230 @@ mod policy_tests {
         let p = Placement::new(Bytes::from_terabytes(256.0));
         let sched = Scheduler::new(SimConfig::paper_default(), p).unwrap();
         assert_eq!(sched.policy(), Policy::PriorityFifo);
+    }
+}
+
+#[cfg(test)]
+mod admission_tests {
+    use super::*;
+    use crate::admission::{AdmissionSpec, OverloadPolicy, TenantId};
+    use dhl_storage::datasets;
+    use dhl_units::Bytes;
+
+    fn setup() -> (Scheduler, DatasetId, DatasetId) {
+        let mut placement = Placement::new(Bytes::from_terabytes(256.0));
+        let small = placement.store(datasets::laion_5b()); // 1 cart
+        let big = placement.store(datasets::common_crawl()); // 36 carts
+        let sched = Scheduler::new(SimConfig::paper_default(), placement).unwrap();
+        (sched, small, big)
+    }
+
+    fn roomy_spec() -> AdmissionSpec {
+        AdmissionSpec {
+            max_pending_global: 1024,
+            max_pending_per_tenant: 1024,
+            ..AdmissionSpec::default()
+        }
+    }
+
+    #[test]
+    fn open_loop_serves_everything_under_light_load() {
+        let (sched, small, _) = setup();
+        let mut sched = sched.with_admission(roomy_spec());
+        for i in 0..4 {
+            sched.submit(
+                TransferRequest::new(small, 1, Priority::Normal, Seconds::new(i as f64 * 100.0))
+                    .with_tenant(TenantId(i % 2)),
+            );
+        }
+        let out = sched.run();
+        let report = out.admission.as_ref().expect("open-loop report");
+        assert_eq!(report.offered, 4);
+        assert_eq!(report.admitted, 4);
+        assert_eq!(report.served, 4);
+        assert_eq!(report.rejected(), 0);
+        assert_eq!(out.completed.len(), 4);
+        assert!(report.goodput_bytes_per_s > 0.0);
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.tenants[0].tenant, TenantId(0));
+        assert!(report.tenants[0].latency.p99 >= report.tenants[0].latency.p50);
+    }
+
+    #[test]
+    fn queue_bound_rejects_overflow() {
+        let (sched, small, _) = setup();
+        let mut sched = sched.with_admission(AdmissionSpec {
+            max_pending_global: 2,
+            max_pending_per_tenant: 2,
+            ..AdmissionSpec::default()
+        });
+        for _ in 0..6 {
+            sched.submit(TransferRequest::new(
+                small,
+                1,
+                Priority::Normal,
+                Seconds::ZERO,
+            ));
+        }
+        let out = sched.run();
+        let report = out.admission.as_ref().unwrap();
+        assert_eq!(report.offered, 6);
+        assert_eq!(report.rejected_queue_full, 4);
+        assert_eq!(report.admitted, 2);
+        assert_eq!(out.completed.len(), 2);
+        assert_eq!(report.rejected_ids.len(), 4);
+    }
+
+    #[test]
+    fn shed_policy_evicts_lowest_priority_for_urgent_arrivals() {
+        let (sched, small, _) = setup();
+        let mut sched = sched.with_admission(AdmissionSpec {
+            max_pending_global: 1,
+            max_pending_per_tenant: 1,
+            policy: OverloadPolicy::ShedLowestPriority,
+            ..AdmissionSpec::default()
+        });
+        let bg = sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Background,
+            Seconds::ZERO,
+        ));
+        let urgent = sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Urgent,
+            Seconds::ZERO,
+        ));
+        let out = sched.run();
+        let report = out.admission.as_ref().unwrap();
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.shed_ids, vec![bg]);
+        assert_eq!(out.completed.len(), 1);
+        assert_eq!(out.completed[0].id, urgent);
+    }
+
+    #[test]
+    fn deadline_aware_admission_rejects_the_infeasible() {
+        let (sched, small, _) = setup();
+        let mut sched = sched.with_admission(AdmissionSpec {
+            deadline_aware: true,
+            ..roomy_spec()
+        });
+        // One-way trip alone is 8.6 s; a 1 s deadline can never be met.
+        sched.submit(
+            TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO)
+                .with_deadline(Seconds::new(1.0)),
+        );
+        let feasible = sched.submit(
+            TransferRequest::new(small, 1, Priority::Normal, Seconds::ZERO)
+                .with_deadline(Seconds::new(60.0)),
+        );
+        let out = sched.run();
+        let report = out.admission.as_ref().unwrap();
+        assert_eq!(report.rejected_deadline, 1);
+        assert_eq!(report.admitted, 1);
+        assert_eq!(report.deadline_hits, 1);
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(out.completed.len(), 1);
+        assert_eq!(out.completed[0].id, feasible);
+        assert!((report.deadline_hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrade_policy_keeps_infeasible_work_as_best_effort() {
+        let (sched, small, _) = setup();
+        let mut sched = sched.with_admission(AdmissionSpec {
+            deadline_aware: true,
+            policy: OverloadPolicy::DegradeToBestEffort,
+            ..roomy_spec()
+        });
+        sched.submit(
+            TransferRequest::new(small, 1, Priority::Urgent, Seconds::ZERO)
+                .with_deadline(Seconds::new(1.0)),
+        );
+        let out = sched.run();
+        let report = out.admission.as_ref().unwrap();
+        assert_eq!(report.rejected_deadline, 0);
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.admitted, 1);
+        // The degraded request runs without its (unmeetable) deadline.
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(out.completed.len(), 1);
+    }
+
+    #[test]
+    fn retry_budget_caps_attempts_and_tokens() {
+        let (sched, small, _) = setup();
+        let mut spec = roomy_spec();
+        spec.retry.max_attempts_per_request = 3;
+        spec.retry.tokens_per_tenant = 1;
+        let mut sched = sched.with_admission(spec).with_faults(FaultAwareness {
+            loss_probability: 1.0,
+            max_attempts: 99, // ignored in open-loop mode: the spec's budget rules
+            seed: 7,
+            downtime: Vec::new(),
+        });
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
+        let out = sched.run();
+        let report = out.admission.as_ref().unwrap();
+        // Every attempt is lost; the single tenant held one retry token, so
+        // exactly one retry fires in total and every shard is abandoned. The
+        // second request and the first's second failure both find the bucket
+        // empty.
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.retry_tokens_exhausted, 2);
+        assert_eq!(report.abandoned_shards, 2);
+        assert_eq!(out.completed.iter().map(|o| o.deliveries).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn retry_backoff_delays_the_redelivery() {
+        let (sched, small, _) = setup();
+        let mut spec = roomy_spec();
+        spec.retry.backoff_base = Seconds::new(50.0);
+        spec.retry.jitter_fraction = 0.0;
+        let mut sched = sched.with_admission(spec).with_faults(FaultAwareness {
+            loss_probability: 1.0,
+            max_attempts: 4,
+            seed: 7,
+            downtime: Vec::new(),
+        });
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
+        let out = sched.run();
+        let r = &out.completed[0];
+        // Attempt 1 is home at 17.2 s; the retry may not depart before
+        // 17.2 s + the 50 s backoff, so it can't be home before 84.4 s.
+        assert!(r.completed.seconds() >= 17.2 + 50.0 + 17.2 - 1e-9);
+        assert_eq!(r.redeliveries, 2);
+    }
+
+    #[test]
+    fn disabled_admission_reports_none() {
+        let (mut sched, small, _) = setup();
+        sched.submit(TransferRequest::new(
+            small,
+            1,
+            Priority::Normal,
+            Seconds::ZERO,
+        ));
+        let out = sched.run();
+        assert!(out.admission.is_none());
     }
 }

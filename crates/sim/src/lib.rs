@@ -37,6 +37,7 @@
 
 pub mod api;
 pub mod arena;
+pub mod arrivals;
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
@@ -47,6 +48,7 @@ pub mod system;
 pub mod trace;
 
 pub use arena::CartHandle;
+pub use arrivals::{Arrival, ArrivalGenerator, ArrivalProcess, ArrivalSpec, ArrivalState};
 pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointError};
 pub use config::{
     CartStallSpec, ConfigError, ConnectorFaultSpec, DockControllerFaultSpec, DockRecoveryPolicy,

@@ -1,0 +1,10 @@
+//! Scheduler serving-throughput benches: service-queue churn against the
+//! pinned reference scan (the ≥5× gate) and end-to-end open-loop sweeps
+//! (Poisson mix, high tenant count, retry-heavy, shortest-job-first). The
+//! same cases run inside `report --json`, where the CI gate checks them
+//! under the `sched/requests_per_sec` prefix.
+
+fn main() {
+    let cases = dhl_bench::requests_per_sec_cases();
+    assert!(cases.iter().all(|c| c.result.mean_ns > 0.0));
+}

@@ -713,6 +713,350 @@ pub fn events_per_sec_cases() -> Vec<report_file::BenchCase> {
     cases
 }
 
+/// Runs the scheduler serving-throughput family: the `sched/requests_per_sec`
+/// prefix the CI scheduler gate filters on.
+///
+/// Two kinds of case:
+///
+/// - **service churn** — a hold model on the indexed
+///   [`dhl_sched::service_queue::ServiceQueue`] (constant pending set;
+///   every operation serves the best entry and admits a replacement with a
+///   later arrival), isolating the service structure from the rest of the
+///   scheduler. The identical operation stream also runs on the retired
+///   O(n)-scan [`dhl_sched::reference_service::ReferenceServiceQueue`], so
+///   the speedup is measured live on every run — and asserted ≥5× — rather
+///   than claimed from a historical number;
+/// - **end-to-end open-loop runs** — full `Scheduler::try_run` sweeps under
+///   admission control: a saturating Poisson mix (1 M arrivals, 100 k in
+///   fast mode), a high-tenant-count variant, a retry-heavy variant with
+///   in-transit losses, and a shortest-job-first variant over mixed cart
+///   counts.
+///
+/// The derived requests/sec rates are printed to stderr alongside the
+/// recorded ns/iter cases.
+///
+/// # Panics
+///
+/// Panics if the indexed structure fails to beat the reference pin by ≥5×
+/// on the churn case — the regression this family exists to catch.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn requests_per_sec_cases() -> Vec<report_file::BenchCase> {
+    use dhl_sched::admission::{AdmissionSpec, OverloadPolicy, RetryBudgetSpec, TenantId};
+    use dhl_sched::placement::{DatasetId, Placement};
+    use dhl_sched::reference_service::{ReferencePending, ReferenceServiceQueue};
+    use dhl_sched::scheduler::{
+        FaultAwareness, Policy, Priority, RequestId, ScheduleOutcome, Scheduler, TransferRequest,
+    };
+    use dhl_sched::service_queue::{ServiceEntry, ServiceQueue};
+    use dhl_sim::{ArrivalGenerator, ArrivalSpec};
+    use dhl_storage::datasets;
+    use dhl_units::Seconds;
+    use report_file::BenchCase;
+
+    fn lcg(x: &mut u64) -> u64 {
+        *x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        *x >> 11
+    }
+
+    /// The next admitted entry for the hold model: arrivals advance
+    /// monotonically (the open-loop admission invariant), priorities and
+    /// cart counts mix across classes.
+    fn churn_entry(id: u64, rng: &mut u64, arrival: &mut f64) -> ServiceEntry {
+        *arrival += (lcg(rng) % 1000) as f64 * 0.017;
+        let priority = match lcg(rng) % 3 {
+            0 => Priority::Background,
+            1 => Priority::Normal,
+            _ => Priority::Urgent,
+        };
+        let carts = 1 + (lcg(rng) % 36) as usize;
+        let service_s = carts as f64 * 17.2;
+        ServiceEntry {
+            id: RequestId(id),
+            req: TransferRequest {
+                dataset: DatasetId(lcg(rng) % 3),
+                destination: 1,
+                priority,
+                arrival: Seconds::new(*arrival),
+                dwell: Seconds::ZERO,
+                tenant: TenantId((lcg(rng) % 64) as u32),
+                deadline: None,
+            },
+            carts,
+            service_s,
+        }
+    }
+
+    let mut cases = Vec::new();
+
+    // Held-pending size for the churn pair: deep enough that the retired
+    // scan's O(n) walk per service decision (and the Vec::remove shift
+    // behind it) dominates — the regime the per-class rings and B-trees
+    // are built for. Fast mode holds a shallower backlog for CI smoke.
+    let held: u64 = if harness::fast_mode() {
+        131_072
+    } else {
+        1_048_576
+    };
+
+    let mut q = ServiceQueue::new(Policy::PriorityFifo);
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut arrival = 0.0f64;
+    let mut next_id = 0u64;
+    for _ in 0..held {
+        q.push(churn_entry(next_id, &mut rng, &mut arrival));
+        next_id += 1;
+    }
+    let churn = harness::bench_function("sched/requests_per_sec/service_churn", || {
+        let served = q.pop_next().expect("hold model never drains");
+        q.push(churn_entry(next_id, &mut rng, &mut arrival));
+        next_id += 1;
+        served.id.0
+    });
+    cases.push(BenchCase {
+        result: churn.clone(),
+        metrics: None,
+    });
+
+    let mut r = ReferenceServiceQueue::new();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut arrival = 0.0f64;
+    let mut next_id = 0u64;
+    for _ in 0..held {
+        let e = churn_entry(next_id, &mut rng, &mut arrival);
+        r.push(ReferencePending {
+            id: e.id,
+            req: e.req,
+            carts: e.carts,
+            service_s: e.service_s,
+        });
+        next_id += 1;
+    }
+    let reference =
+        harness::bench_function("sched/requests_per_sec/service_churn_reference", || {
+            let served = r
+                .pop_next(Policy::PriorityFifo)
+                .expect("hold model never drains");
+            let e = churn_entry(next_id, &mut rng, &mut arrival);
+            r.push(ReferencePending {
+                id: e.id,
+                req: e.req,
+                carts: e.carts,
+                service_s: e.service_s,
+            });
+            next_id += 1;
+            served.id.0
+        });
+    cases.push(BenchCase {
+        result: reference.clone(),
+        metrics: None,
+    });
+    let ratio = reference.mean_ns / churn.mean_ns;
+    eprintln!(
+        "sched/requests_per_sec: indexed service queue {:.1} ns/op ({:.2}M req/s) vs reference scan {:.1} ns/op — {:.2}x on service churn ({held} pending)",
+        churn.mean_ns,
+        1e3 / churn.mean_ns,
+        reference.mean_ns,
+        ratio
+    );
+    assert!(
+        ratio >= 5.0,
+        "indexed service queue must beat the reference pin by ≥5x on churn \
+         (measured {ratio:.2}x at {held} pending)"
+    );
+
+    // End-to-end open-loop sweeps: saturating Poisson arrival streams
+    // pushed through the full admission controller and serving loop.
+    let open_loop_run = |policy: Policy,
+                         arrivals: usize,
+                         tenants: u32,
+                         spec: AdmissionSpec,
+                         faults: Option<FaultAwareness>,
+                         mixed_sizes: bool|
+     -> ScheduleOutcome {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let small = p.store(datasets::laion_5b()); // 1 cart
+        let big = p.store(datasets::common_crawl()); // 36 carts
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p)
+            .expect("valid")
+            .with_policy(policy)
+            .with_admission(spec);
+        if let Some(f) = faults {
+            sched = sched.with_faults(f);
+        }
+        // Metrics off for the timed runs: the family measures the serving
+        // path, not the observability registry's hash maps.
+        sched.set_metrics_enabled(false);
+        let arrival_spec =
+            ArrivalSpec::poisson(4.0 / 17.2, Seconds::new(1e15), 11).with_tenants(tenants);
+        for (i, arrival) in ArrivalGenerator::new(&arrival_spec)
+            .take(arrivals)
+            .enumerate()
+        {
+            let dataset = if mixed_sizes && i % 7 == 0 {
+                big
+            } else {
+                small
+            };
+            let priority = match i % 3 {
+                0 => Priority::Background,
+                1 => Priority::Normal,
+                _ => Priority::Urgent,
+            };
+            sched.submit(
+                TransferRequest::new(dataset, 1, priority, Seconds::new(arrival.at.seconds()))
+                    .with_tenant(TenantId(arrival.tenant)),
+            );
+        }
+        sched.run()
+    };
+    let report_rate = |case: &harness::CaseResult, arrivals: usize| {
+        eprintln!(
+            "sched/requests_per_sec: {} admits+serves {:.2}M arrivals/s end to end",
+            case.name,
+            arrivals as f64 * 1e3 / case.mean_ns
+        );
+    };
+
+    // Saturating Poisson mix: a deep pending queue (the churn regime) with
+    // rejection at the rim.
+    let arrivals = if harness::fast_mode() {
+        100_000
+    } else {
+        1_000_000
+    };
+    let poisson = harness::bench_function("sched/requests_per_sec/poisson_mix", || {
+        open_loop_run(
+            Policy::PriorityFifo,
+            arrivals,
+            64,
+            AdmissionSpec {
+                max_pending_global: 1 << 16,
+                max_pending_per_tenant: 1 << 16,
+                policy: OverloadPolicy::Reject,
+                ..AdmissionSpec::default()
+            },
+            None,
+            false,
+        )
+        .admission
+        .expect("open loop")
+        .served
+    });
+    report_rate(&poisson, arrivals);
+    cases.push(BenchCase {
+        result: poisson,
+        metrics: None,
+    });
+
+    // High tenant count: thousands of per-tenant pending counters and
+    // small per-tenant caps, the regime the O(n) filter count collapsed in.
+    let tenant_arrivals = if harness::fast_mode() {
+        32_768
+    } else {
+        262_144
+    };
+    let high_tenant = harness::bench_function("sched/requests_per_sec/high_tenant_mix", || {
+        open_loop_run(
+            Policy::PriorityFifo,
+            tenant_arrivals,
+            4_096,
+            AdmissionSpec {
+                max_pending_global: 16_384,
+                max_pending_per_tenant: 8,
+                policy: OverloadPolicy::ShedLowestPriority,
+                ..AdmissionSpec::default()
+            },
+            None,
+            false,
+        )
+        .admission
+        .expect("open loop")
+        .served
+    });
+    report_rate(&high_tenant, tenant_arrivals);
+    cases.push(BenchCase {
+        result: high_tenant,
+        metrics: None,
+    });
+
+    // Retry heavy: in-transit losses burn budgeted, backed-off retries on
+    // every serviced request.
+    let retry_arrivals = if harness::fast_mode() {
+        16_384
+    } else {
+        131_072
+    };
+    let retry_heavy = harness::bench_function("sched/requests_per_sec/retry_heavy", || {
+        open_loop_run(
+            Policy::PriorityFifo,
+            retry_arrivals,
+            64,
+            AdmissionSpec {
+                max_pending_global: 8_192,
+                max_pending_per_tenant: 1_024,
+                policy: OverloadPolicy::Reject,
+                retry: RetryBudgetSpec {
+                    tokens_per_tenant: 1 << 20,
+                    max_attempts_per_request: 6,
+                    ..RetryBudgetSpec::default()
+                },
+                ..AdmissionSpec::default()
+            },
+            Some(FaultAwareness {
+                loss_probability: 0.3,
+                max_attempts: 6,
+                seed: 42,
+                downtime: Vec::new(),
+            }),
+            false,
+        )
+        .admission
+        .expect("open loop")
+        .retries
+    });
+    report_rate(&retry_heavy, retry_arrivals);
+    cases.push(BenchCase {
+        result: retry_heavy,
+        metrics: None,
+    });
+
+    // Shortest-job-first over mixed cart counts: exercises the (carts, id)
+    // B-tree index instead of the FIFO rings.
+    let sjf_arrivals = if harness::fast_mode() {
+        32_768
+    } else {
+        262_144
+    };
+    let sjf = harness::bench_function("sched/requests_per_sec/sjf_mix", || {
+        open_loop_run(
+            Policy::ShortestJobFirst,
+            sjf_arrivals,
+            64,
+            AdmissionSpec {
+                max_pending_global: 1 << 15,
+                max_pending_per_tenant: 1 << 15,
+                policy: OverloadPolicy::Reject,
+                ..AdmissionSpec::default()
+            },
+            None,
+            true,
+        )
+        .admission
+        .expect("open loop")
+        .served
+    });
+    report_rate(&sjf, sjf_arrivals);
+    cases.push(BenchCase {
+        result: sjf,
+        metrics: None,
+    });
+
+    cases
+}
+
 /// Runs the full machine-readable benchmark suite: every renderer timed
 /// under [`harness::bench_function`], plus simulator- and scheduler-backed
 /// cases that attach their [`dhl_obs`] metrics snapshots.
@@ -953,6 +1297,12 @@ pub fn run_bench_suite_filtered(prefix: Option<&str>) -> Vec<report_file::BenchC
     // CI throughput gate filters on.
     if want("sim/events_per_sec") {
         cases.extend(events_per_sec_cases());
+    }
+
+    // Scheduler serving-throughput family — the `sched/requests_per_sec`
+    // prefix the CI scheduler gate filters on.
+    if want("sched/requests_per_sec") {
+        cases.extend(requests_per_sec_cases());
     }
     cases
 }

@@ -35,7 +35,9 @@ pub struct AvailabilityTracker {
 /// Total covered time across possibly-overlapping `[from, to)` windows.
 fn merged_total(windows: &[(f64, f64)]) -> Seconds {
     let mut sorted = windows.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // `total_cmp` keeps the same order for the finite times recorded here
+    // but cannot panic if a NaN ever slips in.
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
     let mut total = 0.0;
     let mut cur: Option<(f64, f64)> = None;
     for (a, b) in sorted {

@@ -126,7 +126,7 @@ pub fn evaluate_scenarios(
             sched = sched.with_admission(admission);
         }
         for request in requests {
-            sched.submit(request.clone());
+            sched.submit(*request);
         }
         Ok(ScenarioOutcome {
             label: scenario.label,

@@ -23,6 +23,11 @@
 //!   workload across threads (via `dhl_sim::parallel_map`) for side-by-side
 //!   comparison.
 //!
+//! Two further modules back the serving hot path: [`service_queue`] (the
+//! indexed, arena-backed pending structure the open-loop scheduler serves
+//! from) and [`reference_service`] (the retired O(n) scan, pinned verbatim
+//! for differential tests and benchmarks).
+//!
 //! # Example
 //!
 //! ```rust
@@ -51,7 +56,9 @@ pub mod admission;
 pub mod availability;
 pub mod evaluate;
 pub mod placement;
+pub mod reference_service;
 pub mod scheduler;
+pub mod service_queue;
 
 pub use admission::{
     retry_backoff, AdmissionReport, AdmissionSpec, OverloadPolicy, RetryBudgetSpec, TenantId,
@@ -60,7 +67,9 @@ pub use admission::{
 pub use availability::{AvailabilityTracker, DataState};
 pub use evaluate::{evaluate_scenarios, Scenario, ScenarioOutcome};
 pub use placement::{CartContents, DatasetId, ParityPlan, Placement};
+pub use reference_service::{ReferencePending, ReferenceServiceQueue};
 pub use scheduler::{
     DockRecoveryAwareness, FaultAwareness, IntegrityAwareness, Policy, Priority, RequestId,
     RequestOutcome, ScheduleOutcome, Scheduler, SchedulerError, TransferRequest,
 };
+pub use service_queue::{DockBank, PendingArena, PendingSlot, ServiceEntry, ServiceQueue};

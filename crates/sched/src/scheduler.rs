@@ -7,15 +7,13 @@
 //! analytical model's accounting) with docking-station limits at the
 //! destination, and every cart returns to the library after its dwell.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use dhl_obs::{Histogram, MetricsRegistry, MetricsSnapshot, SloSummary, Stopwatch};
 use dhl_rng::{DeterministicRng, Rng};
 use serde::{Deserialize, Serialize};
 
-use dhl_sim::{
-    ConfigError, DockControllerFaultSpec, DockRecoveryPolicy, EndpointKind, MovementCost, SimConfig,
-};
+use dhl_sim::{ConfigError, DockControllerFaultSpec, DockRecoveryPolicy, EndpointKind, SimConfig};
 use dhl_units::{Bytes, Joules, Seconds};
 
 use crate::admission::{
@@ -23,6 +21,7 @@ use crate::admission::{
 };
 use crate::availability::AvailabilityTracker;
 use crate::placement::{DatasetId, Placement};
+use crate::service_queue::{DockBank, ServiceEntry, ServiceQueue, TripCache};
 
 /// Request priority classes.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
@@ -52,7 +51,11 @@ pub enum Policy {
 pub struct RequestId(pub u64);
 
 /// A client's request to materialise a dataset at a rack endpoint.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+///
+/// All fields are plain values, so the request is `Copy`: the serving path
+/// moves requests through its queues by bitwise copy instead of `clone()`
+/// calls that used to allocate per admission.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct TransferRequest {
     /// The dataset to move.
     pub dataset: DatasetId,
@@ -329,11 +332,35 @@ impl From<ConfigError> for SchedulerError {
     }
 }
 
+/// A submitted request with its placement-derived stats precomputed at
+/// submit time, so neither sort comparators nor per-arrival admission pay a
+/// placement `HashMap` lookup.
+#[derive(Copy, Clone, Debug)]
+struct Queued {
+    id: RequestId,
+    req: TransferRequest,
+    /// Cart count of the dataset (`usize::MAX` when unknown at submit; the
+    /// pre-run validation pass rejects such requests before it matters).
+    carts: usize,
+    /// Dataset size in bytes (0.0 when unknown).
+    bytes: f64,
+}
+
+/// The deterministic per-run fault-sampling streams and verify cost, built
+/// once per run by [`Scheduler::fault_streams`] so the closed- and
+/// open-loop paths cannot drift in how they seed them.
+struct FaultStreams {
+    loss_rng: Option<DeterministicRng>,
+    reship_rng: Option<DeterministicRng>,
+    dock_rng: Option<DeterministicRng>,
+    verify_s: f64,
+}
+
 /// The conservative list scheduler over one DHL.
 pub struct Scheduler {
     cfg: SimConfig,
     placement: Placement,
-    queue: Vec<(RequestId, TransferRequest)>,
+    queue: Vec<Queued>,
     next_id: u64,
     availability: AvailabilityTracker,
     policy: Policy,
@@ -451,11 +478,59 @@ impl Scheduler {
     }
 
     /// Enqueues a request and returns its handle.
+    ///
+    /// Placement-derived stats (cart count, dataset bytes) are resolved
+    /// here, once, so the serving paths never do a placement lookup per
+    /// comparison or per admission decision.
     pub fn submit(&mut self, request: TransferRequest) -> RequestId {
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.queue.push((id, request));
+        let carts = self
+            .placement
+            .carts_of(request.dataset)
+            .map_or(usize::MAX, <[usize]>::len);
+        let bytes = self
+            .placement
+            .size_of(request.dataset)
+            .map_or(0.0, |b| b.as_f64());
+        self.queue.push(Queued {
+            id,
+            req: request,
+            carts,
+            bytes,
+        });
         id
+    }
+
+    /// Registers known track downtime windows and builds the deterministic
+    /// fault/integrity/dock-crash sampling streams — the setup both serving
+    /// paths share (deduplicated so they cannot drift).
+    fn fault_streams(&mut self) -> FaultStreams {
+        // Register known downtime windows so departures (and clients asking
+        // the tracker) can route around them.
+        if let Some(faults) = &self.faults {
+            for &(from, to) in &faults.downtime {
+                self.availability.record_track_downtime(from, to);
+            }
+        }
+        FaultStreams {
+            loss_rng: self
+                .faults
+                .as_ref()
+                .map(|f| DeterministicRng::seed_from_u64(f.seed)),
+            reship_rng: self
+                .integrity
+                .as_ref()
+                .map(|i| DeterministicRng::seed_from_u64(i.seed)),
+            dock_rng: self
+                .dock_recovery
+                .as_ref()
+                .map(|d| DeterministicRng::seed_from_u64(d.seed)),
+            verify_s: self
+                .integrity
+                .as_ref()
+                .map_or(0.0, |i| i.verify_time.seconds()),
+        }
     }
 
     /// Validates a request against the placement and topology.
@@ -493,78 +568,57 @@ impl Scheduler {
         if let Some(spec) = self.admission.clone() {
             return self.try_run_open_loop(&spec);
         }
-        for (_, req) in &self.queue {
-            self.check(req)?;
+        for q in &self.queue {
+            self.check(&q.req)?;
         }
         // Priority first; within a class, FIFO by arrival or shortest job
-        // (fewest carts) depending on the policy; submission order breaks
-        // remaining ties (stable sort).
-        let job_size = |req: &TransferRequest| {
-            self.placement
-                .carts_of(req.dataset)
-                .map(<[usize]>::len)
-                .unwrap_or(usize::MAX)
-        };
+        // (fewest carts, precomputed at submit) depending on the policy;
+        // submission order breaks remaining ties (stable sort).
         let policy = self.policy;
         let mut order: Vec<usize> = (0..self.queue.len()).collect();
         order.sort_by(|&a, &b| {
-            let (_, ra) = &self.queue[a];
-            let (_, rb) = &self.queue[b];
-            let class = rb.priority.cmp(&ra.priority);
+            let (qa, qb) = (&self.queue[a], &self.queue[b]);
+            let class = qb.req.priority.cmp(&qa.req.priority);
             let within = match policy {
-                Policy::PriorityFifo => ra.arrival.partial_cmp(&rb.arrival).expect("finite"),
-                Policy::ShortestJobFirst => job_size(ra).cmp(&job_size(rb)),
+                Policy::PriorityFifo => {
+                    qa.req.arrival.partial_cmp(&qb.req.arrival).expect("finite")
+                }
+                Policy::ShortestJobFirst => qa.carts.cmp(&qb.carts),
             };
             class.then(within)
         });
 
-        // Register known downtime windows so departures (and clients asking
-        // the tracker) can route around them.
-        if let Some(faults) = &self.faults {
-            for &(from, to) in &faults.downtime {
-                self.availability.record_track_downtime(from, to);
-            }
-        }
-        let mut loss_rng = self
-            .faults
-            .as_ref()
-            .map(|f| DeterministicRng::seed_from_u64(f.seed));
-        let mut reship_rng = self
-            .integrity
-            .as_ref()
-            .map(|i| DeterministicRng::seed_from_u64(i.seed));
-        let mut dock_rng = self
-            .dock_recovery
-            .as_ref()
-            .map(|d| DeterministicRng::seed_from_u64(d.seed));
-        let verify_s = self
-            .integrity
-            .as_ref()
-            .map_or(0.0, |i| i.verify_time.seconds());
+        let mut streams = self.fault_streams();
+        let Self {
+            cfg,
+            placement: _,
+            queue,
+            availability,
+            faults,
+            integrity,
+            dock_recovery,
+            metrics,
+            ..
+        } = &mut *self;
 
         let watch = Stopwatch::start();
         let mut track_free = 0.0f64;
         let mut track_busy = 0.0f64;
-        // Destination docks: earliest-free times per endpoint.
-        let mut dock_free: HashMap<usize, Vec<f64>> = HashMap::new();
+        // Destination docks: earliest-free times per endpoint, flat.
+        let mut dock_free = DockBank::new(cfg);
+        let mut trips = TripCache::new(cfg);
         let mut outcomes = Vec::new();
         let mut total_energy = Joules::ZERO;
 
         for idx in order {
-            let (id, req) = self.queue[idx].clone();
-            // Requests were validated above, so a miss here means the data
-            // map itself is corrupt — surface it, don't panic.
-            let carts = self
-                .placement
-                .carts_of(req.dataset)
-                .ok_or(SchedulerError::CorruptPlacement(req.dataset))?
-                .to_vec();
-            let distance =
-                self.cfg.endpoints[req.destination].position - self.cfg.endpoints[0].position;
-            let cost = MovementCost::for_distance(&self.cfg, distance);
-            let docks = dock_free
-                .entry(req.destination)
-                .or_insert_with(|| vec![0.0; self.cfg.endpoints[req.destination].docks as usize]);
+            let Queued { id, req, carts, .. } = queue[idx];
+            // Requests were validated above, so an unknown cart count here
+            // means the data map itself is corrupt — surface it, don't
+            // panic.
+            if carts == usize::MAX {
+                return Err(SchedulerError::CorruptPlacement(req.dataset));
+            }
+            let cost = trips.cost(cfg, req.destination);
 
             let mut started = f64::INFINITY;
             let mut delivered = 0.0f64;
@@ -576,28 +630,22 @@ impl Scheduler {
             let mut abandoned = 0u64;
             let mut dock_crashes = 0u64;
 
-            for _cart in &carts {
+            for _ in 0..carts {
                 // Lost carts re-enter at the head of *this* request (same
                 // priority slot), retrying until the attempt budget runs dry.
                 let mut attempt = 1u32;
                 loop {
                     // Outbound: wait for arrival, track, a destination dock,
                     // and any track downtime window to clear.
-                    let dock = docks
-                        .iter_mut()
-                        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-                        .expect("rack has docks");
+                    let dock = dock_free.earliest_mut(req.destination);
                     let mut depart = req.arrival.seconds().max(track_free).max(*dock);
-                    depart = self
-                        .availability
-                        .next_track_up(Seconds::new(depart))
-                        .seconds();
+                    depart = availability.next_track_up(Seconds::new(depart)).seconds();
                     let arrive = depart + cost.total_time.seconds();
                     started = started.min(depart);
                     track_free = arrive;
                     track_busy += cost.total_time.seconds();
 
-                    let lost = match (&self.faults, loss_rng.as_mut()) {
+                    let lost = match (&*faults, streams.loss_rng.as_mut()) {
                         (Some(f), Some(rng)) => rng.random_bool(f.loss_probability.clamp(0.0, 1.0)),
                         _ => false,
                     };
@@ -606,11 +654,11 @@ impl Scheduler {
                     // recovery latency and the dock is down for the window.
                     let mut recovery_s = 0.0;
                     if !lost {
-                        if let (Some(d), Some(rng)) = (&self.dock_recovery, dock_rng.as_mut()) {
+                        if let (Some(d), Some(rng)) = (&*dock_recovery, streams.dock_rng.as_mut()) {
                             if rng.random_bool(d.crash_probability_per_docking.clamp(0.0, 1.0)) {
                                 dock_crashes += 1;
                                 recovery_s = d.recovery_time.seconds().max(0.0);
-                                self.availability.record_dock_downtime(
+                                availability.record_dock_downtime(
                                     req.destination,
                                     Seconds::new(arrive),
                                     Seconds::new(arrive + recovery_s),
@@ -624,7 +672,7 @@ impl Scheduler {
                     let reshipped = if lost {
                         false
                     } else {
-                        match (&self.integrity, reship_rng.as_mut()) {
+                        match (&*integrity, streams.reship_rng.as_mut()) {
                             (Some(i), Some(rng)) => {
                                 rng.random_bool(i.reshipment_probability.clamp(0.0, 1.0))
                             }
@@ -637,28 +685,27 @@ impl Scheduler {
                     let ready_back = if lost {
                         arrive
                     } else if reshipped {
-                        arrive + recovery_s + verify_s
+                        arrive + recovery_s + streams.verify_s
                     } else {
-                        arrive + recovery_s + verify_s + req.dwell.seconds()
+                        arrive + recovery_s + streams.verify_s + req.dwell.seconds()
                     };
                     let mut back_depart = ready_back.max(track_free);
-                    back_depart = self
-                        .availability
+                    back_depart = availability
                         .next_track_up(Seconds::new(back_depart))
                         .seconds();
                     let home = back_depart + cost.total_time.seconds();
                     track_free = home;
                     track_busy += cost.total_time.seconds();
-                    *dock = back_depart + self.cfg.undock_time.seconds();
+                    *dock = back_depart + cfg.undock_time.seconds();
                     completed = completed.max(home);
 
                     energy += cost.energy + cost.energy;
-                    self.availability.record_transit(
+                    availability.record_transit(
                         req.dataset,
                         Seconds::new(depart),
                         Seconds::new(arrive),
                     );
-                    self.availability.record_transit(
+                    availability.record_transit(
                         req.dataset,
                         Seconds::new(back_depart),
                         Seconds::new(home),
@@ -668,13 +715,13 @@ impl Scheduler {
                         deliveries += 1;
                         // A delivery counts once its recovery (if any) and
                         // scrub have passed.
-                        delivered = delivered.max(arrive + recovery_s + verify_s);
+                        delivered = delivered.max(arrive + recovery_s + streams.verify_s);
                         break;
                     }
                     let budget = if lost {
-                        self.faults.as_ref().map_or(1, |f| f.max_attempts.max(1))
+                        faults.as_ref().map_or(1, |f| f.max_attempts.max(1))
                     } else {
-                        self.integrity.as_ref().map_or(1, |i| i.max_attempts.max(1))
+                        integrity.as_ref().map_or(1, |i| i.max_attempts.max(1))
                     };
                     if attempt >= budget {
                         abandoned += 1;
@@ -690,18 +737,17 @@ impl Scheduler {
             }
 
             total_energy += energy;
-            self.metrics.inc("sched.requests", 1);
-            self.metrics.inc("sched.deliveries", deliveries);
-            self.metrics.inc("sched.redeliveries", redeliveries);
-            self.metrics.inc("sched.reshipments", reshipments);
-            self.metrics.inc("sched.abandoned", abandoned);
-            self.metrics.inc("sched.dock_crashes", dock_crashes);
+            metrics.inc("sched.requests", 1);
+            metrics.inc("sched.deliveries", deliveries);
+            metrics.inc("sched.redeliveries", redeliveries);
+            metrics.inc("sched.reshipments", reshipments);
+            metrics.inc("sched.abandoned", abandoned);
+            metrics.inc("sched.dock_crashes", dock_crashes);
             // Queueing latency until the first cart could depart: the
             // placement-latency figure a client of the scheduler feels.
-            self.metrics
-                .observe("sched.placement_latency_s", started - req.arrival.seconds());
+            metrics.observe("sched.placement_latency_s", started - req.arrival.seconds());
             if deliveries > 0 {
-                self.metrics.observe(
+                metrics.observe(
                     "sched.delivery_latency_s",
                     delivered - req.arrival.seconds(),
                 );
@@ -720,8 +766,11 @@ impl Scheduler {
             });
         }
 
-        self.queue.clear();
-        outcomes.sort_by(|a, b| a.completed.partial_cmp(&b.completed).expect("finite"));
+        queue.clear();
+        // `total_cmp` instead of `partial_cmp(..).expect("finite")`: the
+        // times are finite by construction, so the order is unchanged, but
+        // a NaN can no longer panic the sort.
+        outcomes.sort_by(|a, b| a.completed.seconds().total_cmp(&b.completed.seconds()));
         let makespan = outcomes
             .last()
             .map(|o| o.completed)
@@ -731,28 +780,24 @@ impl Scheduler {
         } else {
             0.0
         };
-        self.metrics
-            .set_gauge("sched.makespan_s", makespan.seconds());
-        self.metrics
-            .set_gauge("sched.track_utilisation", track_utilisation);
-        self.metrics.set_gauge(
+        metrics.set_gauge("sched.makespan_s", makespan.seconds());
+        metrics.set_gauge("sched.track_utilisation", track_utilisation);
+        metrics.set_gauge(
             "sched.track_downtime_s",
-            self.availability.total_track_downtime().seconds(),
+            availability.total_track_downtime().seconds(),
         );
-        let dock_downtime_s: f64 = (0..self.cfg.endpoints.len())
-            .map(|ep| self.availability.total_dock_downtime(ep).seconds())
+        let dock_downtime_s: f64 = (0..cfg.endpoints.len())
+            .map(|ep| availability.total_dock_downtime(ep).seconds())
             .sum();
-        self.metrics
-            .set_gauge("sched.dock_downtime_s", dock_downtime_s);
-        self.metrics
-            .set_gauge("sched.wall_time_s", watch.elapsed_secs());
+        metrics.set_gauge("sched.dock_downtime_s", dock_downtime_s);
+        metrics.set_gauge("sched.wall_time_s", watch.elapsed_secs());
         Ok(ScheduleOutcome {
             track_utilisation,
             completed: outcomes,
             makespan,
             total_energy,
             admission: None,
-            metrics: self.metrics.snapshot(),
+            metrics: metrics.snapshot(),
         })
     }
 
@@ -773,120 +818,49 @@ impl Scheduler {
         &mut self,
         spec: &AdmissionSpec,
     ) -> Result<ScheduleOutcome, SchedulerError> {
-        struct Pending {
-            id: RequestId,
-            req: TransferRequest,
-            carts: usize,
-            service_s: f64,
-        }
-
-        /// Victim for shed-lowest-priority: the lowest-priority pending
-        /// entry, latest-arrived (then highest id) among equals — only if
-        /// it is strictly lower-priority than the arrival it makes room
-        /// for.
-        fn shed_victim(pending: &mut Vec<Pending>, incoming: Priority) -> Option<Pending> {
-            let mut best: Option<usize> = None;
-            for (i, p) in pending.iter().enumerate() {
-                let better = match best {
-                    None => true,
-                    Some(b) => {
-                        let q = &pending[b];
-                        match p.req.priority.cmp(&q.req.priority) {
-                            core::cmp::Ordering::Less => true,
-                            core::cmp::Ordering::Greater => false,
-                            core::cmp::Ordering::Equal => {
-                                match p.req.arrival.partial_cmp(&q.req.arrival).expect("finite") {
-                                    core::cmp::Ordering::Greater => true,
-                                    core::cmp::Ordering::Less => false,
-                                    core::cmp::Ordering::Equal => p.id > q.id,
-                                }
-                            }
-                        }
-                    }
-                };
-                if better {
-                    best = Some(i);
-                }
-            }
-            let b = best?;
-            if pending[b].req.priority < incoming {
-                Some(pending.remove(b))
-            } else {
-                None
-            }
-        }
-
-        /// Next entry to serve: highest priority; within a class the
-        /// policy's ordering (FIFO by arrival, or fewest carts); lowest id
-        /// breaks remaining ties.
-        fn pick_next(pending: &[Pending], policy: Policy) -> usize {
-            let mut best = 0usize;
-            for i in 1..pending.len() {
-                let (p, q) = (&pending[i], &pending[best]);
-                let class = p.req.priority.cmp(&q.req.priority).reverse();
-                let within = match policy {
-                    Policy::PriorityFifo => {
-                        p.req.arrival.partial_cmp(&q.req.arrival).expect("finite")
-                    }
-                    Policy::ShortestJobFirst => p.carts.cmp(&q.carts),
-                };
-                if class.then(within).then(p.id.cmp(&q.id)) == core::cmp::Ordering::Less {
-                    best = i;
-                }
-            }
-            best
-        }
-
-        for (_, req) in &self.queue {
-            self.check(req)?;
+        for q in &self.queue {
+            self.check(&q.req)?;
         }
         // Open loop: arrivals are considered strictly in arrival order
         // (submission order breaks ties), not priority order — priority
-        // instead decides who is served next among the admitted.
+        // instead decides who is served next among the admitted. This is
+        // also what makes the indexed ServiceQueue exact: pushes into it
+        // are monotone in (arrival, id).
         let mut order: Vec<usize> = (0..self.queue.len()).collect();
         order.sort_by(|&a, &b| {
-            let (_, ra) = &self.queue[a];
-            let (_, rb) = &self.queue[b];
+            let (ra, rb) = (&self.queue[a].req, &self.queue[b].req);
             ra.arrival
                 .partial_cmp(&rb.arrival)
                 .expect("finite")
                 .then(a.cmp(&b))
         });
 
-        if let Some(faults) = &self.faults {
-            for &(from, to) in &faults.downtime {
-                self.availability.record_track_downtime(from, to);
-            }
-        }
-        let mut loss_rng = self
-            .faults
-            .as_ref()
-            .map(|f| DeterministicRng::seed_from_u64(f.seed));
-        let mut reship_rng = self
-            .integrity
-            .as_ref()
-            .map(|i| DeterministicRng::seed_from_u64(i.seed));
-        let mut dock_rng = self
-            .dock_recovery
-            .as_ref()
-            .map(|d| DeterministicRng::seed_from_u64(d.seed));
-        let verify_s = self
-            .integrity
-            .as_ref()
-            .map_or(0.0, |i| i.verify_time.seconds());
+        let policy = self.policy;
+        let mut streams = self.fault_streams();
+        let Self {
+            cfg,
+            placement,
+            queue,
+            availability,
+            faults,
+            integrity,
+            dock_recovery,
+            metrics,
+            ..
+        } = &mut *self;
 
         let watch = Stopwatch::start();
         let mut track_free = 0.0f64;
         let mut track_busy = 0.0f64;
-        let mut dock_free: HashMap<usize, Vec<f64>> = HashMap::new();
+        let mut dock_free = DockBank::new(cfg);
+        let mut trips = TripCache::new(cfg);
         let mut outcomes = Vec::new();
         let mut total_energy = Joules::ZERO;
 
-        let mut pending: Vec<Pending> = Vec::new();
+        let mut pending = ServiceQueue::new(policy);
         let mut report = AdmissionReport::default();
         // Tenant → (SLO accumulator, latency histogram, retry tokens left).
         let mut tenants: BTreeMap<u32, (TenantSlo, Histogram, u32)> = BTreeMap::new();
-        let policy = self.policy;
         let max_attempts = spec.retry.max_attempts_per_request.max(1);
         let mut cursor = 0usize;
 
@@ -895,7 +869,7 @@ impl Scheduler {
             // free instant; when idle, jump to the next arrival.
             let mut now = track_free;
             if pending.is_empty() {
-                now = now.max(self.queue[order[cursor]].1.arrival.seconds());
+                now = now.max(queue[order[cursor]].req.arrival.seconds());
             }
 
             // Admission: every arrival at or before the frontier faces the
@@ -903,11 +877,16 @@ impl Scheduler {
             // predecessors left behind.
             while cursor < order.len() {
                 let idx = order[cursor];
-                if self.queue[idx].1.arrival.seconds() > now {
+                if queue[idx].req.arrival.seconds() > now {
                     break;
                 }
                 cursor += 1;
-                let (id, mut req) = self.queue[idx].clone();
+                let Queued {
+                    id,
+                    mut req,
+                    carts: carts_len,
+                    bytes,
+                } = queue[idx];
                 let arrival_s = req.arrival.seconds();
                 let slot = tenants.entry(req.tenant.0).or_insert_with(|| {
                     (
@@ -918,16 +897,11 @@ impl Scheduler {
                 });
                 slot.0.offered += 1;
                 report.offered += 1;
-                self.metrics.inc("sched.offered", 1);
-                report.offered_bytes += self
-                    .placement
-                    .size_of(req.dataset)
-                    .map_or(0.0, |b| b.as_f64());
-                let carts_len = self
-                    .placement
-                    .carts_of(req.dataset)
-                    .ok_or(SchedulerError::CorruptPlacement(req.dataset))?
-                    .len();
+                metrics.inc("sched.offered", 1);
+                report.offered_bytes += bytes;
+                if carts_len == usize::MAX {
+                    return Err(SchedulerError::CorruptPlacement(req.dataset));
+                }
 
                 let mut degrade = false;
                 // Deadline feasibility at the door: earliest estimated
@@ -935,20 +909,14 @@ impl Scheduler {
                 // this request's own carts up to the last one docking.
                 if spec.deadline_aware {
                     if let Some(deadline) = req.deadline {
-                        let trip = {
-                            let distance = self.cfg.endpoints[req.destination].position
-                                - self.cfg.endpoints[0].position;
-                            MovementCost::for_distance(&self.cfg, distance)
-                                .total_time
-                                .seconds()
-                        };
-                        let backlog: f64 = pending.iter().map(|p| p.service_s).sum();
-                        let per_cart = 2.0 * trip + verify_s + req.dwell.seconds();
+                        let trip = trips.cost(cfg, req.destination).total_time.seconds();
+                        let backlog: f64 = pending.backlog_service_s();
+                        let per_cart = 2.0 * trip + streams.verify_s + req.dwell.seconds();
                         let deliver_est = arrival_s.max(track_free)
                             + backlog
                             + carts_len.saturating_sub(1) as f64 * per_cart
                             + trip
-                            + verify_s;
+                            + streams.verify_s;
                         if deliver_est > deadline.seconds() {
                             match spec.policy {
                                 OverloadPolicy::DegradeToBestEffort => degrade = true,
@@ -956,7 +924,7 @@ impl Scheduler {
                                     report.rejected_deadline += 1;
                                     report.rejected_ids.push(id);
                                     slot.0.rejected += 1;
-                                    self.metrics.inc("sched.rejected_deadline", 1);
+                                    metrics.inc("sched.rejected_deadline", 1);
                                     continue;
                                 }
                             }
@@ -965,27 +933,23 @@ impl Scheduler {
                 }
 
                 // Hard queue bounds, then dock-saturation backpressure.
-                let tenant_pending = pending
-                    .iter()
-                    .filter(|p| p.req.tenant == req.tenant)
-                    .count();
+                let tenant_pending = pending.tenant_pending(req.tenant);
                 let queue_full = pending.len() >= spec.max_pending_global
                     || tenant_pending >= spec.max_pending_per_tenant;
                 let dock_saturated = !queue_full
                     && spec.dock_busy_watermark < 1.0
-                    && match dock_free.get(&req.destination) {
-                        Some(docks) if !docks.is_empty() => {
-                            let busy = docks.iter().filter(|&&f| f > arrival_s).count();
-                            busy as f64 / docks.len() as f64 >= spec.dock_busy_watermark
+                    && match dock_free.busy_at(req.destination, arrival_s) {
+                        Some((busy, total)) => {
+                            busy as f64 / total as f64 >= spec.dock_busy_watermark
                         }
-                        _ => false,
+                        None => false,
                     };
                 if queue_full || dock_saturated {
                     let admitted_via_shed = if spec.policy == OverloadPolicy::ShedLowestPriority {
-                        if let Some(victim) = shed_victim(&mut pending, req.priority) {
+                        if let Some(victim) = pending.shed_victim(req.priority) {
                             report.shed += 1;
                             report.shed_ids.push(victim.id);
-                            self.metrics.inc("sched.shed", 1);
+                            metrics.inc("sched.shed", 1);
                             if let Some((slo, _, _)) = tenants.get_mut(&victim.req.tenant.0) {
                                 slo.shed += 1;
                             }
@@ -1004,10 +968,10 @@ impl Scheduler {
                         report.rejected_ids.push(id);
                         if queue_full {
                             report.rejected_queue_full += 1;
-                            self.metrics.inc("sched.rejected_queue_full", 1);
+                            metrics.inc("sched.rejected_queue_full", 1);
                         } else {
                             report.rejected_backpressure += 1;
-                            self.metrics.inc("sched.rejected_backpressure", 1);
+                            metrics.inc("sched.rejected_backpressure", 1);
                         }
                         continue;
                     }
@@ -1020,7 +984,7 @@ impl Scheduler {
                     req.priority = Priority::Background;
                     req.deadline = None;
                     report.degraded += 1;
-                    self.metrics.inc("sched.degraded", 1);
+                    metrics.inc("sched.degraded", 1);
                 }
                 let slot = tenants.get_mut(&req.tenant.0).expect("inserted above");
                 slot.0.admitted += 1;
@@ -1028,16 +992,11 @@ impl Scheduler {
                     slot.0.degraded += 1;
                 }
                 report.admitted += 1;
-                self.metrics.inc("sched.admitted", 1);
-                let trip = {
-                    let distance = self.cfg.endpoints[req.destination].position
-                        - self.cfg.endpoints[0].position;
-                    MovementCost::for_distance(&self.cfg, distance)
-                        .total_time
-                        .seconds()
-                };
-                let service_s = carts_len as f64 * (2.0 * trip + verify_s + req.dwell.seconds());
-                pending.push(Pending {
+                metrics.inc("sched.admitted", 1);
+                let trip = trips.cost(cfg, req.destination).total_time.seconds();
+                let service_s =
+                    carts_len as f64 * (2.0 * trip + streams.verify_s + req.dwell.seconds());
+                pending.push(ServiceEntry {
                     id,
                     req,
                     carts: carts_len,
@@ -1045,25 +1004,16 @@ impl Scheduler {
                 });
             }
 
-            if pending.is_empty() {
-                continue;
-            }
-
             // Service: run the best admitted request's carts, with
             // budgeted, backed-off retries.
-            let entry = pending.remove(pick_next(&pending, policy));
+            let Some(entry) = pending.pop_next() else {
+                continue;
+            };
             let (id, req) = (entry.id, entry.req);
-            let carts = self
-                .placement
+            let carts = placement
                 .carts_of(req.dataset)
-                .ok_or(SchedulerError::CorruptPlacement(req.dataset))?
-                .to_vec();
-            let distance =
-                self.cfg.endpoints[req.destination].position - self.cfg.endpoints[0].position;
-            let cost = MovementCost::for_distance(&self.cfg, distance);
-            let docks = dock_free
-                .entry(req.destination)
-                .or_insert_with(|| vec![0.0; self.cfg.endpoints[req.destination].docks as usize]);
+                .ok_or(SchedulerError::CorruptPlacement(req.dataset))?;
+            let cost = trips.cost(cfg, req.destination);
 
             let mut started = f64::INFINITY;
             let mut delivered = 0.0f64;
@@ -1076,42 +1026,36 @@ impl Scheduler {
             let mut dock_crashes = 0u64;
             let mut delivered_bytes = 0.0f64;
 
-            for &cart in &carts {
+            for &cart in carts {
                 let mut attempt = 1u32;
                 // A retried cart may not depart again before its backoff
                 // expires.
                 let mut not_before = 0.0f64;
                 loop {
-                    let dock = docks
-                        .iter_mut()
-                        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-                        .expect("rack has docks");
+                    let dock = dock_free.earliest_mut(req.destination);
                     let mut depart = req
                         .arrival
                         .seconds()
                         .max(track_free)
                         .max(*dock)
                         .max(not_before);
-                    depart = self
-                        .availability
-                        .next_track_up(Seconds::new(depart))
-                        .seconds();
+                    depart = availability.next_track_up(Seconds::new(depart)).seconds();
                     let arrive = depart + cost.total_time.seconds();
                     started = started.min(depart);
                     track_free = arrive;
                     track_busy += cost.total_time.seconds();
 
-                    let lost = match (&self.faults, loss_rng.as_mut()) {
+                    let lost = match (&*faults, streams.loss_rng.as_mut()) {
                         (Some(f), Some(rng)) => rng.random_bool(f.loss_probability.clamp(0.0, 1.0)),
                         _ => false,
                     };
                     let mut recovery_s = 0.0;
                     if !lost {
-                        if let (Some(d), Some(rng)) = (&self.dock_recovery, dock_rng.as_mut()) {
+                        if let (Some(d), Some(rng)) = (&*dock_recovery, streams.dock_rng.as_mut()) {
                             if rng.random_bool(d.crash_probability_per_docking.clamp(0.0, 1.0)) {
                                 dock_crashes += 1;
                                 recovery_s = d.recovery_time.seconds().max(0.0);
-                                self.availability.record_dock_downtime(
+                                availability.record_dock_downtime(
                                     req.destination,
                                     Seconds::new(arrive),
                                     Seconds::new(arrive + recovery_s),
@@ -1122,7 +1066,7 @@ impl Scheduler {
                     let reshipped = if lost {
                         false
                     } else {
-                        match (&self.integrity, reship_rng.as_mut()) {
+                        match (&*integrity, streams.reship_rng.as_mut()) {
                             (Some(i), Some(rng)) => {
                                 rng.random_bool(i.reshipment_probability.clamp(0.0, 1.0))
                             }
@@ -1133,28 +1077,27 @@ impl Scheduler {
                     let ready_back = if lost {
                         arrive
                     } else if reshipped {
-                        arrive + recovery_s + verify_s
+                        arrive + recovery_s + streams.verify_s
                     } else {
-                        arrive + recovery_s + verify_s + req.dwell.seconds()
+                        arrive + recovery_s + streams.verify_s + req.dwell.seconds()
                     };
                     let mut back_depart = ready_back.max(track_free);
-                    back_depart = self
-                        .availability
+                    back_depart = availability
                         .next_track_up(Seconds::new(back_depart))
                         .seconds();
                     let home = back_depart + cost.total_time.seconds();
                     track_free = home;
                     track_busy += cost.total_time.seconds();
-                    *dock = back_depart + self.cfg.undock_time.seconds();
+                    *dock = back_depart + cfg.undock_time.seconds();
                     completed = completed.max(home);
 
                     energy += cost.energy + cost.energy;
-                    self.availability.record_transit(
+                    availability.record_transit(
                         req.dataset,
                         Seconds::new(depart),
                         Seconds::new(arrive),
                     );
-                    self.availability.record_transit(
+                    availability.record_transit(
                         req.dataset,
                         Seconds::new(back_depart),
                         Seconds::new(home),
@@ -1162,9 +1105,8 @@ impl Scheduler {
 
                     if !lost && !reshipped {
                         deliveries += 1;
-                        delivered = delivered.max(arrive + recovery_s + verify_s);
-                        delivered_bytes += self
-                            .placement
+                        delivered = delivered.max(arrive + recovery_s + streams.verify_s);
+                        delivered_bytes += placement
                             .contents_of(cart)
                             .ok_or(SchedulerError::CorruptPlacement(req.dataset))?
                             .bytes
@@ -1185,7 +1127,7 @@ impl Scheduler {
                     if *tokens == 0 {
                         abandoned += 1;
                         report.retry_tokens_exhausted += 1;
-                        self.metrics.inc("sched.retry_tokens_exhausted", 1);
+                        metrics.inc("sched.retry_tokens_exhausted", 1);
                         break;
                     }
                     *tokens -= 1;
@@ -1196,10 +1138,9 @@ impl Scheduler {
                         reshipments += 1;
                     }
                     report.retries += 1;
-                    self.metrics.inc("sched.retries", 1);
+                    metrics.inc("sched.retries", 1);
                     let backoff = retry_backoff(&spec.retry, spec.seed, id, attempt);
-                    self.metrics
-                        .observe("sched.retry_backoff_s", backoff.seconds());
+                    metrics.observe("sched.retry_backoff_s", backoff.seconds());
                     not_before = home + backoff.seconds();
                     if let Some((slo, _, _)) = tenants.get_mut(&req.tenant.0) {
                         slo.retries += 1;
@@ -1208,16 +1149,15 @@ impl Scheduler {
             }
 
             total_energy += energy;
-            self.metrics.inc("sched.requests", 1);
-            self.metrics.inc("sched.deliveries", deliveries);
-            self.metrics.inc("sched.redeliveries", redeliveries);
-            self.metrics.inc("sched.reshipments", reshipments);
-            self.metrics.inc("sched.abandoned", abandoned);
-            self.metrics.inc("sched.dock_crashes", dock_crashes);
-            self.metrics
-                .observe("sched.placement_latency_s", started - req.arrival.seconds());
+            metrics.inc("sched.requests", 1);
+            metrics.inc("sched.deliveries", deliveries);
+            metrics.inc("sched.redeliveries", redeliveries);
+            metrics.inc("sched.reshipments", reshipments);
+            metrics.inc("sched.abandoned", abandoned);
+            metrics.inc("sched.dock_crashes", dock_crashes);
+            metrics.observe("sched.placement_latency_s", started - req.arrival.seconds());
             if deliveries > 0 {
-                self.metrics.observe(
+                metrics.observe(
                     "sched.delivery_latency_s",
                     delivered - req.arrival.seconds(),
                 );
@@ -1240,11 +1180,11 @@ impl Scheduler {
                 if fully_delivered && delivered <= deadline.seconds() {
                     slot.0.deadline_hits += 1;
                     report.deadline_hits += 1;
-                    self.metrics.inc("sched.deadline_hits", 1);
+                    metrics.inc("sched.deadline_hits", 1);
                 } else {
                     slot.0.deadline_misses += 1;
                     report.deadline_misses += 1;
-                    self.metrics.inc("sched.deadline_misses", 1);
+                    metrics.inc("sched.deadline_misses", 1);
                 }
             }
 
@@ -1262,8 +1202,10 @@ impl Scheduler {
             });
         }
 
-        self.queue.clear();
-        outcomes.sort_by(|a, b| a.completed.partial_cmp(&b.completed).expect("finite"));
+        queue.clear();
+        // `total_cmp` for the same reason as the closed-loop sort: finite
+        // by construction, NaN-proof by choice.
+        outcomes.sort_by(|a, b| a.completed.seconds().total_cmp(&b.completed.seconds()));
         let makespan = outcomes
             .last()
             .map(|o| o.completed)
@@ -1285,30 +1227,25 @@ impl Scheduler {
                 slo
             })
             .collect();
-        self.metrics
-            .set_gauge("sched.makespan_s", makespan.seconds());
-        self.metrics
-            .set_gauge("sched.track_utilisation", track_utilisation);
-        self.metrics
-            .set_gauge("sched.goodput_bytes_per_s", report.goodput_bytes_per_s);
-        self.metrics.set_gauge(
+        metrics.set_gauge("sched.makespan_s", makespan.seconds());
+        metrics.set_gauge("sched.track_utilisation", track_utilisation);
+        metrics.set_gauge("sched.goodput_bytes_per_s", report.goodput_bytes_per_s);
+        metrics.set_gauge(
             "sched.track_downtime_s",
-            self.availability.total_track_downtime().seconds(),
+            availability.total_track_downtime().seconds(),
         );
-        let dock_downtime_s: f64 = (0..self.cfg.endpoints.len())
-            .map(|ep| self.availability.total_dock_downtime(ep).seconds())
+        let dock_downtime_s: f64 = (0..cfg.endpoints.len())
+            .map(|ep| availability.total_dock_downtime(ep).seconds())
             .sum();
-        self.metrics
-            .set_gauge("sched.dock_downtime_s", dock_downtime_s);
-        self.metrics
-            .set_gauge("sched.wall_time_s", watch.elapsed_secs());
+        metrics.set_gauge("sched.dock_downtime_s", dock_downtime_s);
+        metrics.set_gauge("sched.wall_time_s", watch.elapsed_secs());
         Ok(ScheduleOutcome {
             track_utilisation,
             completed: outcomes,
             makespan,
             total_energy,
             admission: Some(report),
-            metrics: self.metrics.snapshot(),
+            metrics: metrics.snapshot(),
         })
     }
 }
@@ -1327,6 +1264,7 @@ mod tests {
     use super::*;
     use dhl_storage::datasets;
     use dhl_units::Bytes;
+    use std::collections::HashMap;
 
     fn setup() -> (Scheduler, DatasetId, DatasetId) {
         let mut placement = Placement::new(Bytes::from_terabytes(256.0));

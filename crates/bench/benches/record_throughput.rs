@@ -1,0 +1,11 @@
+//! Observability recording-throughput benches: counter/gauge/histogram
+//! hot-path ops through pre-interned handles against the pinned map-walk
+//! reference registry (the ≥5× gate), the disabled-registry no-op floor,
+//! and metrics-on vs metrics-off deltas for the engine and scheduler
+//! end-to-end workloads. The same cases run inside `report --json`, where
+//! the CI gate checks them under the `obs/record_throughput` prefix.
+
+fn main() {
+    let cases = dhl_bench::record_throughput_cases();
+    assert!(cases.iter().all(|c| c.result.mean_ns > 0.0));
+}

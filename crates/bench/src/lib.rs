@@ -1057,6 +1057,369 @@ pub fn requests_per_sec_cases() -> Vec<report_file::BenchCase> {
     cases
 }
 
+/// Runs the observability recording-throughput family: the
+/// `obs/record_throughput` prefix the CI observability gate filters on.
+///
+/// Three kinds of case:
+///
+/// - **hot-path record ops** — tight counter/gauge/histogram recording
+///   loops on the dense-slot [`dhl_obs::MetricsRegistry`] through
+///   pre-interned handles, cycling a pool of realistic metric names. The
+///   identical operation stream also runs on the retired map-walk
+///   [`dhl_obs::reference_registry::ReferenceRegistry`], so the speedup is
+///   measured live on every run — and asserted ≥5× for counters and
+///   histograms — rather than claimed from a historical number;
+/// - **disabled no-op** — the same handle ops against a disabled registry,
+///   quantifying the floor a metrics-off run pays per call site;
+/// - **metrics-on vs metrics-off deltas** — the `sim/events_per_sec`
+///   steady-state mission and a `sched/requests_per_sec`-shaped open-loop
+///   sweep, each run with the registry enabled and disabled, with the
+///   measured observability tax printed to stderr.
+///
+/// # Panics
+///
+/// Panics if the handle path fails to beat the reference pin by ≥5× on the
+/// counter or histogram record case — the regression this family exists to
+/// catch.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn record_throughput_cases() -> Vec<report_file::BenchCase> {
+    use dhl_obs::reference_registry::ReferenceRegistry;
+    use dhl_obs::MetricsRegistry;
+    use dhl_sched::admission::{AdmissionSpec, OverloadPolicy, TenantId};
+    use dhl_sched::placement::Placement;
+    use dhl_sched::scheduler::{Priority, Scheduler, TransferRequest};
+    use dhl_sim::{ArrivalGenerator, ArrivalSpec};
+    use dhl_storage::datasets;
+    use dhl_units::Seconds;
+    use report_file::BenchCase;
+
+    // A realistic name pool: the shared `sim.` / `sched.` prefixes are
+    // exactly what the retired registry's per-record string comparisons
+    // paid for on every hot-path call, so the reference side of each pair
+    // walks representative keys, not toy ones.
+    const COUNTERS: [&str; 16] = [
+        "sim.deliveries",
+        "sim.cart_stalls",
+        "sim.carts_launched",
+        "sim.repressurisations",
+        "sim.ssd_failures",
+        "sim.redeliveries",
+        "sim.shards_scanned",
+        "sim.events",
+        "sched.requests",
+        "sched.deliveries",
+        "sched.offered",
+        "sched.admitted",
+        "sched.shed",
+        "sched.retries",
+        "sched.deadline_hits",
+        "sched.deadline_misses",
+    ];
+    const GAUGES: [&str; 16] = [
+        "sim.completion_s",
+        "sim.wall_time_s",
+        "sim.sim_seconds_per_wall_second",
+        "sim.events_per_wall_second",
+        "sched.makespan_s",
+        "sched.track_utilisation",
+        "sched.track_downtime_s",
+        "sched.dock_downtime_s",
+        "sched.wall_time_s",
+        "sched.goodput_bytes_per_s",
+        "net.phase.wake_s",
+        "net.phase.transfer_s",
+        "net.phase.idle_s",
+        "net.phase.wake_j",
+        "net.phase.transfer_j",
+        "net.phase.idle_j",
+    ];
+    const HISTOGRAMS: [&str; 16] = [
+        "sim.transit_s",
+        "sim.queue_depth",
+        "sim.dock_recovery_s",
+        "sim.verify_s",
+        "sim.reconstruction_s",
+        "sched.placement_latency_s",
+        "sched.delivery_latency_s",
+        "sched.retry_backoff_s",
+        "sim.a.transit_s",
+        "sim.b.transit_s",
+        "sim.c.transit_s",
+        "sim.d.transit_s",
+        "sched.a.latency_s",
+        "sched.b.latency_s",
+        "sched.c.latency_s",
+        "sched.d.latency_s",
+    ];
+
+    fn lcg(x: &mut u64) -> u64 {
+        *x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        *x >> 11
+    }
+
+    /// A positive, finite value spanning several histogram buckets.
+    fn lcg_value(x: &mut u64) -> f64 {
+        (lcg(x) % 1_000_000) as f64 * 1e-3 + 1e-3
+    }
+
+    // Value stream for the gauge/histogram pairs, generated outside the
+    // timed loops so each pair measures recording cost, not the RNG.
+    let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+    let values: Vec<f64> = (0..1024).map(|_| lcg_value(&mut seed)).collect();
+
+    let mut cases = Vec::new();
+
+    // Counter pair: handle add vs reference name-walk inc.
+    let mut reg = MetricsRegistry::enabled();
+    let counter_ids: Vec<_> = COUNTERS
+        .into_iter()
+        .map(|name| reg.register_counter(name))
+        .collect();
+    let mut n = 0u64;
+    let counter = harness::bench_function("obs/record_throughput/counter_add", || {
+        let i = (n & 15) as usize;
+        n += 1;
+        reg.add(counter_ids[i], 1);
+        i
+    });
+    cases.push(BenchCase {
+        result: counter.clone(),
+        metrics: None,
+    });
+
+    let mut r = ReferenceRegistry::enabled();
+    let mut n = 0u64;
+    let counter_ref = harness::bench_function("obs/record_throughput/counter_reference", || {
+        let i = (n & 15) as usize;
+        n += 1;
+        r.inc(COUNTERS[i], 1);
+        i
+    });
+    cases.push(BenchCase {
+        result: counter_ref.clone(),
+        metrics: None,
+    });
+    // Ratios come from the median-of-batches, not the mean: a single
+    // preemption spike on a shared runner can multiply a ~2 ns op's mean
+    // several-fold, and the assert below must gate the code, not the
+    // scheduler.
+    let counter_ratio = counter_ref.p50_ns / counter.p50_ns;
+    eprintln!(
+        "obs/record_throughput: counter add {:.1} ns/op ({:.0}M rec/s) vs reference {:.1} ns/op — {:.2}x",
+        counter.p50_ns,
+        1e3 / counter.p50_ns,
+        counter_ref.p50_ns,
+        counter_ratio
+    );
+
+    // Gauge pair: handle set vs reference name-walk set.
+    let mut reg = MetricsRegistry::enabled();
+    let gauge_ids: Vec<_> = GAUGES
+        .into_iter()
+        .map(|name| reg.register_gauge(name))
+        .collect();
+    let mut n = 0u64;
+    let gauge = harness::bench_function("obs/record_throughput/gauge_set", || {
+        let i = (n & 1023) as usize;
+        n += 1;
+        reg.set(gauge_ids[i & 15], values[i]);
+        i
+    });
+    cases.push(BenchCase {
+        result: gauge.clone(),
+        metrics: None,
+    });
+
+    let mut r = ReferenceRegistry::enabled();
+    let mut n = 0u64;
+    let gauge_ref = harness::bench_function("obs/record_throughput/gauge_reference", || {
+        let i = (n & 1023) as usize;
+        n += 1;
+        r.set_gauge(GAUGES[i & 15], values[i]);
+        i
+    });
+    cases.push(BenchCase {
+        result: gauge_ref.clone(),
+        metrics: None,
+    });
+    eprintln!(
+        "obs/record_throughput: gauge set {:.1} ns/op vs reference {:.1} ns/op — {:.2}x",
+        gauge.p50_ns,
+        gauge_ref.p50_ns,
+        gauge_ref.p50_ns / gauge.p50_ns
+    );
+
+    // Histogram pair: handle record (to_bits exponent bucketing) vs
+    // reference name walk plus float-log bucketing.
+    let mut reg = MetricsRegistry::enabled();
+    let histogram_ids: Vec<_> = HISTOGRAMS
+        .into_iter()
+        .map(|name| reg.register_histogram(name))
+        .collect();
+    let mut n = 0u64;
+    let histogram = harness::bench_function("obs/record_throughput/histogram_record", || {
+        let i = (n & 1023) as usize;
+        n += 1;
+        reg.record(histogram_ids[i & 15], values[i]);
+        i
+    });
+    cases.push(BenchCase {
+        result: histogram.clone(),
+        metrics: None,
+    });
+
+    let mut r = ReferenceRegistry::enabled();
+    let mut n = 0u64;
+    let histogram_ref =
+        harness::bench_function("obs/record_throughput/histogram_reference", || {
+            let i = (n & 1023) as usize;
+            n += 1;
+            r.observe(HISTOGRAMS[i & 15], values[i]);
+            i
+        });
+    cases.push(BenchCase {
+        result: histogram_ref.clone(),
+        metrics: None,
+    });
+    let histogram_ratio = histogram_ref.p50_ns / histogram.p50_ns;
+    eprintln!(
+        "obs/record_throughput: histogram record {:.1} ns/op ({:.0}M rec/s) vs reference {:.1} ns/op — {:.2}x",
+        histogram.p50_ns,
+        1e3 / histogram.p50_ns,
+        histogram_ref.p50_ns,
+        histogram_ratio
+    );
+    assert!(
+        counter_ratio >= 5.0,
+        "handle-path counter add must beat the reference pin by ≥5x \
+         (measured {counter_ratio:.2}x)"
+    );
+    assert!(
+        histogram_ratio >= 5.0,
+        "handle-path histogram record must beat the reference pin by ≥5x \
+         (measured {histogram_ratio:.2}x)"
+    );
+
+    // Disabled floor: the same three handle ops against a metrics-off
+    // registry — the cost every instrumented call site pays when
+    // observability is switched off.
+    let mut reg = MetricsRegistry::disabled();
+    let c = reg.register_counter("sim.deliveries");
+    let g = reg.register_gauge("sim.completion_s");
+    let h = reg.register_histogram("sim.transit_s");
+    let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+    let disabled = harness::bench_function("obs/record_throughput/disabled_noop", || {
+        let v = lcg_value(&mut seed);
+        reg.add(c, 1);
+        reg.set(g, v);
+        reg.record(h, v);
+        v
+    });
+    eprintln!(
+        "obs/record_throughput: disabled registry {:.1} ns for a counter+gauge+histogram triple",
+        disabled.mean_ns
+    );
+    cases.push(BenchCase {
+        result: disabled,
+        metrics: None,
+    });
+
+    // Metrics tax on the engine: the `sim/events_per_sec` steady-state
+    // mission with the registry enabled vs disabled.
+    let sim_mission = |metrics_on: bool| {
+        let mut sys = DhlSystem::new(SimConfig::paper_default()).expect("valid paper config");
+        sys.set_metrics_enabled(metrics_on);
+        sys.run_bulk_transfer(Bytes::from_petabytes(2.0))
+            .expect("converges")
+            .events_processed
+    };
+    let sim_on = harness::bench_function("obs/record_throughput/sim_mission_metrics_on", || {
+        sim_mission(true)
+    });
+    let sim_off = harness::bench_function("obs/record_throughput/sim_mission_metrics_off", || {
+        sim_mission(false)
+    });
+    eprintln!(
+        "obs/record_throughput: sim/events_per_sec steady-state mission {:.0} ns with metrics vs {:.0} ns without — {:+.2}% observability tax",
+        sim_on.mean_ns,
+        sim_off.mean_ns,
+        (sim_on.mean_ns / sim_off.mean_ns - 1.0) * 100.0
+    );
+    cases.push(BenchCase {
+        result: sim_on,
+        metrics: None,
+    });
+    cases.push(BenchCase {
+        result: sim_off,
+        metrics: None,
+    });
+
+    // Metrics tax on the scheduler: a `sched/requests_per_sec`-shaped
+    // open-loop Poisson sweep with the registry enabled vs disabled.
+    let sched_arrivals = if harness::fast_mode() {
+        32_768
+    } else {
+        262_144
+    };
+    let open_loop = |metrics_on: bool| {
+        let mut p = Placement::new(Bytes::from_terabytes(256.0));
+        let dataset = p.store(datasets::laion_5b());
+        let mut sched = Scheduler::new(SimConfig::paper_default(), p)
+            .expect("valid")
+            .with_admission(AdmissionSpec {
+                max_pending_global: 1 << 16,
+                max_pending_per_tenant: 1 << 16,
+                policy: OverloadPolicy::Reject,
+                ..AdmissionSpec::default()
+            });
+        sched.set_metrics_enabled(metrics_on);
+        let arrival_spec =
+            ArrivalSpec::poisson(4.0 / 17.2, Seconds::new(1e15), 11).with_tenants(64);
+        for (i, arrival) in ArrivalGenerator::new(&arrival_spec)
+            .take(sched_arrivals)
+            .enumerate()
+        {
+            let priority = match i % 3 {
+                0 => Priority::Background,
+                1 => Priority::Normal,
+                _ => Priority::Urgent,
+            };
+            sched.submit(
+                TransferRequest::new(dataset, 1, priority, Seconds::new(arrival.at.seconds()))
+                    .with_tenant(TenantId(arrival.tenant)),
+            );
+        }
+        sched.run().admission.expect("open loop").served
+    };
+    let sched_on =
+        harness::bench_function("obs/record_throughput/sched_open_loop_metrics_on", || {
+            open_loop(true)
+        });
+    let sched_off =
+        harness::bench_function("obs/record_throughput/sched_open_loop_metrics_off", || {
+            open_loop(false)
+        });
+    eprintln!(
+        "obs/record_throughput: sched/requests_per_sec open-loop sweep ({sched_arrivals} arrivals) {:.0} ns with metrics vs {:.0} ns without — {:+.2}% observability tax",
+        sched_on.mean_ns,
+        sched_off.mean_ns,
+        (sched_on.mean_ns / sched_off.mean_ns - 1.0) * 100.0
+    );
+    cases.push(BenchCase {
+        result: sched_on,
+        metrics: None,
+    });
+    cases.push(BenchCase {
+        result: sched_off,
+        metrics: None,
+    });
+
+    cases
+}
+
 /// Runs the full machine-readable benchmark suite: every renderer timed
 /// under [`harness::bench_function`], plus simulator- and scheduler-backed
 /// cases that attach their [`dhl_obs`] metrics snapshots.
@@ -1303,6 +1666,12 @@ pub fn run_bench_suite_filtered(prefix: Option<&str>) -> Vec<report_file::BenchC
     // prefix the CI scheduler gate filters on.
     if want("sched/requests_per_sec") {
         cases.extend(requests_per_sec_cases());
+    }
+
+    // Observability recording-throughput family — the
+    // `obs/record_throughput` prefix the CI observability gate filters on.
+    if want("obs/record_throughput") {
+        cases.extend(record_throughput_cases());
     }
     cases
 }

@@ -6,7 +6,7 @@
 //! against an *optimistically green* network rather than an always-on one
 //! — the strongest-possible optical baseline.
 
-use dhl_obs::MetricsRegistry;
+use dhl_obs::{GaugeId, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 
 use dhl_units::{Bytes, Joules, Seconds, Watts};
@@ -54,7 +54,49 @@ impl PhaseEnergy {
 
     /// Records the breakdown into an observability registry under
     /// `net.<prefix>.{wake,transfer,idle}_{s,j}` gauges.
+    ///
+    /// Convenience wrapper around [`PhaseGauges::register`] +
+    /// [`PhaseEnergy::record_into`] for callers that record once per window;
+    /// repeated recorders should hold a [`PhaseGauges`] bundle instead.
     pub fn record(&self, metrics: &mut MetricsRegistry, prefix: &'static str) {
+        let gauges = PhaseGauges::register(metrics, prefix);
+        self.record_into(metrics, &gauges);
+    }
+
+    /// Records the breakdown through pre-interned gauge handles — the
+    /// name-lookup-free path.
+    pub fn record_into(&self, metrics: &mut MetricsRegistry, gauges: &PhaseGauges) {
+        metrics.set(gauges.wake_s, self.wake_time.seconds());
+        metrics.set(gauges.transfer_s, self.transfer_time.seconds());
+        metrics.set(gauges.idle_s, self.idle_time.seconds());
+        metrics.set(gauges.wake_j, self.wake_energy.value());
+        metrics.set(gauges.transfer_j, self.transfer_energy.value());
+        metrics.set(gauges.idle_j, self.idle_energy.value());
+    }
+}
+
+/// Pre-interned handles for one baseline's six phase-energy gauges.
+#[derive(Copy, Clone, Debug)]
+pub struct PhaseGauges {
+    /// `net.<prefix>.wake_s`.
+    pub wake_s: GaugeId,
+    /// `net.<prefix>.transfer_s`.
+    pub transfer_s: GaugeId,
+    /// `net.<prefix>.idle_s`.
+    pub idle_s: GaugeId,
+    /// `net.<prefix>.wake_j`.
+    pub wake_j: GaugeId,
+    /// `net.<prefix>.transfer_j`.
+    pub transfer_j: GaugeId,
+    /// `net.<prefix>.idle_j`.
+    pub idle_j: GaugeId,
+}
+
+impl PhaseGauges {
+    /// Interns the `net.<prefix>.{wake,transfer,idle}_{s,j}` gauges for a
+    /// known baseline prefix (`"eee"`, `"on_off"`, or anything else for the
+    /// bare `net.*` family).
+    pub fn register(metrics: &mut MetricsRegistry, prefix: &'static str) -> Self {
         let (ws, ts, is_, wj, tj, ij) = match prefix {
             "eee" => (
                 "net.eee.wake_s",
@@ -81,12 +123,14 @@ impl PhaseEnergy {
                 "net.idle_j",
             ),
         };
-        metrics.set_gauge(ws, self.wake_time.seconds());
-        metrics.set_gauge(ts, self.transfer_time.seconds());
-        metrics.set_gauge(is_, self.idle_time.seconds());
-        metrics.set_gauge(wj, self.wake_energy.value());
-        metrics.set_gauge(tj, self.transfer_energy.value());
-        metrics.set_gauge(ij, self.idle_energy.value());
+        Self {
+            wake_s: metrics.register_gauge(ws),
+            transfer_s: metrics.register_gauge(ts),
+            idle_s: metrics.register_gauge(is_),
+            wake_j: metrics.register_gauge(wj),
+            transfer_j: metrics.register_gauge(tj),
+            idle_j: metrics.register_gauge(ij),
+        }
     }
 }
 

@@ -47,11 +47,17 @@ impl Histogram {
     }
 
     /// Index into `counts` for a value (0 = underflow, BUCKETS+1 = overflow).
+    ///
+    /// For finite non-negative `value` the IEEE-754 biased exponent *is*
+    /// `floor(log2(value))`, so the bucket index comes straight from bit
+    /// extraction — no float log, no rounding. (The retired `log2().floor()`
+    /// path could round a value half an ULP below a power of two up into the
+    /// bucket it doesn't belong to; the exponent bits cannot.) Zero and
+    /// subnormals decode to exponent `-1023`, far below `MIN_EXP`, and land
+    /// in the underflow bucket as before.
+    #[inline]
     fn slot(value: f64) -> usize {
-        if value < Self::bucket_lower_bound(0) {
-            return 0;
-        }
-        let exp = value.log2().floor() as i32;
+        let exp = ((value.to_bits() >> 52) & 0x7ff) as i32 - 1023;
         let idx = exp - MIN_EXP;
         if idx < 0 {
             0
@@ -281,6 +287,24 @@ mod tests {
         assert_eq!(Histogram::slot(1.0), 31);
         assert_eq!(Histogram::slot(1.999), 31);
         assert_eq!(Histogram::slot(2.0), 32);
+    }
+
+    #[test]
+    fn slot_is_exact_at_ulp_boundaries() {
+        // Values half an ULP below a power of two belong to the lower
+        // bucket; a float `log2().floor()` can round them up, the exponent
+        // bits cannot.
+        for exp in [1i32, 2, 5, 10, 33] {
+            let boundary = f64::powi(2.0, MIN_EXP + exp);
+            let below = f64::from_bits(boundary.to_bits() - 1);
+            assert_eq!(Histogram::slot(boundary), exp as usize + 1);
+            assert_eq!(Histogram::slot(below), exp as usize, "2^{exp} - 1 ulp");
+        }
+        // Subnormals and the first-regular-bucket boundary.
+        assert_eq!(Histogram::slot(f64::MIN_POSITIVE / 2.0), 0);
+        let first = Histogram::bucket_lower_bound(0);
+        assert_eq!(Histogram::slot(first), 1);
+        assert_eq!(Histogram::slot(f64::from_bits(first.to_bits() - 1)), 0);
     }
 
     #[test]

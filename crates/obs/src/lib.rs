@@ -4,13 +4,21 @@
 //! network models, and bench harness all record into:
 //!
 //! - [`MetricsRegistry`] — named counters, gauges, and log-bucketed
-//!   [`Histogram`]s behind a single enable flag. When disabled every
-//!   operation is a branch and an immediate return: no allocation, no map
-//!   lookup, no clock read.
+//!   [`Histogram`]s behind a single enable flag. Registration returns
+//!   `Copy` handles ([`CounterId`] / [`GaugeId`] / [`HistogramId`]) that
+//!   index dense slots, so hot-path recording is a bounds-checked array
+//!   write — no map walk, no string compare. The `&'static str` API
+//!   ([`MetricsRegistry::inc`] and friends) is retained as a thin compat
+//!   layer that interns on first use. When disabled every operation is a
+//!   branch and an immediate return: no allocation, no lookup, no clock
+//!   read.
 //! - [`SpanTimer`] / [`Stopwatch`] — RAII and detached wall-clock timers
 //!   that feed histograms.
 //! - [`MetricsSnapshot`] — a deterministic, ordered, plain-data view of a
 //!   registry, exportable as JSON or NDJSON and comparable across runs.
+//!   Slots are recorded in registration order but exported sorted by name,
+//!   so snapshots are byte-identical to the retired BTreeMap registry's
+//!   (pinned by [`reference_registry`] and the differential suite).
 //! - [`json`] — the minimal JSON writer/parser the exporters and the bench
 //!   regression checker share.
 //!
@@ -20,9 +28,13 @@
 //! use dhl_obs::MetricsRegistry;
 //!
 //! let mut reg = MetricsRegistry::enabled();
-//! reg.inc("events", 3);
+//! // Hot path: register once, record through dense Copy handles.
+//! let events = reg.register_counter("events");
+//! let transit = reg.register_histogram("transit_s");
+//! reg.add(events, 3);
+//! reg.record(transit, 8.6);
+//! // Compat path: literal names, interned on first use.
 //! reg.set_gauge("queue_depth", 7.0);
-//! reg.observe("transit_s", 8.6);
 //! {
 //!     let _span = reg.span("setup_s"); // records wall time on drop
 //! }
@@ -36,24 +48,72 @@
 
 pub mod histogram;
 pub mod json;
+pub mod reference_registry;
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::time::Instant;
 
 pub use histogram::Histogram;
+
+/// A pre-interned handle to a counter: a dense slot index, `Copy`, valid
+/// for the registry that issued it (and its clones). Hold these in the
+/// owning struct and record through [`MetricsRegistry::add`] instead of
+/// paying a name lookup per bump.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CounterId(u32);
+
+/// A pre-interned handle to a gauge (see [`CounterId`]).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GaugeId(u32);
+
+/// A pre-interned handle to a histogram (see [`CounterId`]).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HistogramId(u32);
+
+/// One dense counter slot. `touched` gates snapshot visibility: a metric
+/// appears in exports once recorded (even by zero), never merely by being
+/// registered — exactly the entry-creation semantics of the retired
+/// BTreeMap registry.
+#[derive(Clone, Debug)]
+struct CounterCell {
+    value: u64,
+    touched: bool,
+}
+
+#[derive(Clone, Debug)]
+struct GaugeCell {
+    value: f64,
+    touched: bool,
+}
+
+#[derive(Clone, Debug)]
+struct HistogramCell {
+    histogram: Histogram,
+    touched: bool,
+}
 
 /// A registry of named metrics.
 ///
 /// Names are `&'static str` by design: every call site names its metric
 /// with a literal, recording needs no allocation, and snapshots are
-/// deterministic (BTreeMap order). A disabled registry rejects every
-/// operation after a single branch.
+/// deterministic (exports sort by name). Metrics live in dense `Vec` slots
+/// indexed by `Copy` handles; the name-keyed maps are consulted only at
+/// registration (or by the compat layer), never on the record path. A
+/// disabled registry rejects every recording operation after a single
+/// branch — registration still works, so handle-holding structs can be
+/// built unconditionally.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     enabled: bool,
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counter_names: Vec<&'static str>,
+    counters: Vec<CounterCell>,
+    counter_index: HashMap<&'static str, u32>,
+    gauge_names: Vec<&'static str>,
+    gauges: Vec<GaugeCell>,
+    gauge_index: HashMap<&'static str, u32>,
+    histogram_names: Vec<&'static str>,
+    histograms: Vec<HistogramCell>,
+    histogram_index: HashMap<&'static str, u32>,
 }
 
 impl MetricsRegistry {
@@ -78,28 +138,145 @@ impl MetricsRegistry {
         self.enabled
     }
 
-    /// Increments counter `name` by `by`.
+    /// Interns counter `name`, returning its dense-slot handle. Idempotent:
+    /// re-registering a name returns the same handle. Works on disabled
+    /// registries too (registration is not a recording operation).
+    pub fn register_counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(&i) = self.counter_index.get(name) {
+            return CounterId(i);
+        }
+        let i = u32::try_from(self.counters.len()).expect("fewer than 2^32 counters");
+        self.counter_names.push(name);
+        self.counters.push(CounterCell {
+            value: 0,
+            touched: false,
+        });
+        self.counter_index.insert(name, i);
+        CounterId(i)
+    }
+
+    /// Interns gauge `name` (see [`MetricsRegistry::register_counter`]).
+    pub fn register_gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(&i) = self.gauge_index.get(name) {
+            return GaugeId(i);
+        }
+        let i = u32::try_from(self.gauges.len()).expect("fewer than 2^32 gauges");
+        self.gauge_names.push(name);
+        self.gauges.push(GaugeCell {
+            value: 0.0,
+            touched: false,
+        });
+        self.gauge_index.insert(name, i);
+        GaugeId(i)
+    }
+
+    /// Interns histogram `name` (see [`MetricsRegistry::register_counter`]).
+    pub fn register_histogram(&mut self, name: &'static str) -> HistogramId {
+        if let Some(&i) = self.histogram_index.get(name) {
+            return HistogramId(i);
+        }
+        let i = u32::try_from(self.histograms.len()).expect("fewer than 2^32 histograms");
+        self.histogram_names.push(name);
+        self.histograms.push(HistogramCell {
+            histogram: Histogram::new(),
+            touched: false,
+        });
+        self.histogram_index.insert(name, i);
+        HistogramId(i)
+    }
+
+    /// Increments the counter behind `id` by `by` — one branch and one
+    /// bounds-checked slot write.
+    ///
+    /// # Panics
+    ///
+    /// Panics (bounds check) if `id` was issued by a different registry
+    /// with more counters than this one.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        let cell = &mut self.counters[id.0 as usize];
+        cell.value += by;
+        cell.touched = true;
+    }
+
+    /// Overwrites the counter behind `id` with an exact value (checkpoint
+    /// restore). Unlike [`MetricsRegistry::add`] this is not additive.
+    #[inline]
+    pub fn store(&mut self, id: CounterId, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let cell = &mut self.counters[id.0 as usize];
+        cell.value = value;
+        cell.touched = true;
+    }
+
+    /// Sets the gauge behind `id` to `value`. NaN is rejected the way
+    /// [`Histogram::record`] rejects it: a poisoned reading must not break
+    /// snapshot equality (`NaN != NaN`) in the determinism CI diffs.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        if !self.enabled || value.is_nan() {
+            return;
+        }
+        let cell = &mut self.gauges[id.0 as usize];
+        cell.value = value;
+        cell.touched = true;
+    }
+
+    /// Records `value` into the histogram behind `id`.
+    #[inline]
+    pub fn record(&mut self, id: HistogramId, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let cell = &mut self.histograms[id.0 as usize];
+        cell.histogram.record(value);
+        cell.touched = true;
+    }
+
+    /// Installs a fully-reconstructed histogram behind `id` (checkpoint
+    /// restore), replacing whatever was recorded so far. Subsequent
+    /// [`MetricsRegistry::record`] calls continue accumulating into it.
+    pub fn restore(&mut self, id: HistogramId, histogram: Histogram) {
+        if !self.enabled {
+            return;
+        }
+        let cell = &mut self.histograms[id.0 as usize];
+        cell.histogram = histogram;
+        cell.touched = true;
+    }
+
+    /// Increments counter `name` by `by` (compat layer: interns, then
+    /// [`MetricsRegistry::add`]).
     pub fn inc(&mut self, name: &'static str, by: u64) {
         if !self.enabled {
             return;
         }
-        *self.counters.entry(name).or_insert(0) += by;
+        let id = self.register_counter(name);
+        self.add(id, by);
     }
 
-    /// Sets gauge `name` to `value`.
+    /// Sets gauge `name` to `value` (compat layer). NaN is rejected — see
+    /// [`MetricsRegistry::set`].
     pub fn set_gauge(&mut self, name: &'static str, value: f64) {
-        if !self.enabled {
+        if !self.enabled || value.is_nan() {
             return;
         }
-        self.gauges.insert(name, value);
+        let id = self.register_gauge(name);
+        self.set(id, value);
     }
 
-    /// Records `value` into histogram `name`.
+    /// Records `value` into histogram `name` (compat layer).
     pub fn observe(&mut self, name: &'static str, value: f64) {
         if !self.enabled {
             return;
         }
-        self.histograms.entry(name).or_default().record(value);
+        let id = self.register_histogram(name);
+        self.record(id, value);
     }
 
     /// Starts an RAII span: wall-clock seconds from now until the guard
@@ -122,69 +299,119 @@ impl MetricsRegistry {
         secs
     }
 
-    /// A deterministic snapshot of everything recorded so far.
+    /// A deterministic snapshot of everything recorded so far, sorted by
+    /// metric name. Registered-but-never-recorded slots are invisible, so
+    /// the export is byte-identical to the retired map-walk registry's.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .iter()
+            .zip(&self.counter_names)
+            .filter(|(c, _)| c.touched)
+            .map(|(c, name)| ((*name).to_string(), c.value))
+            .collect();
+        counters.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .iter()
+            .zip(&self.gauge_names)
+            .filter(|(g, _)| g.touched)
+            .map(|(g, name)| ((*name).to_string(), g.value))
+            .collect();
+        gauges.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        let mut histograms: Vec<HistogramSummary> = self
+            .histograms
+            .iter()
+            .zip(&self.histogram_names)
+            .filter(|(h, _)| h.touched)
+            .map(|(h, name)| HistogramSummary::of(name, &h.histogram))
+            .collect();
+        histograms.sort_unstable_by(|a, b| a.name.cmp(&b.name));
         MetricsSnapshot {
-            counters: self
-                .counters
-                .iter()
-                .map(|(k, v)| ((*k).to_string(), *v))
-                .collect(),
-            gauges: self
-                .gauges
-                .iter()
-                .map(|(k, v)| ((*k).to_string(), *v))
-                .collect(),
-            histograms: self
-                .histograms
-                .iter()
-                .map(|(k, h)| HistogramSummary::of(k, h))
-                .collect(),
+            counters,
+            gauges,
+            histograms,
         }
     }
 
-    /// Drops everything recorded, keeping the enable flag.
+    /// Drops everything recorded, keeping the enable flag — and every
+    /// registered handle, which stays valid and records into a zeroed slot.
     pub fn reset(&mut self) {
-        self.counters.clear();
-        self.gauges.clear();
-        self.histograms.clear();
+        for cell in &mut self.counters {
+            cell.value = 0;
+            cell.touched = false;
+        }
+        for cell in &mut self.gauges {
+            cell.value = 0.0;
+            cell.touched = false;
+        }
+        for cell in &mut self.histograms {
+            cell.histogram = Histogram::new();
+            cell.touched = false;
+        }
     }
 
-    /// Iterates the live counters in name order (exact `u64` values).
+    /// Iterates the live (recorded) counters in name order (exact `u64`
+    /// values).
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        let mut live: Vec<(&'static str, u64)> = self
+            .counters
+            .iter()
+            .zip(&self.counter_names)
+            .filter(|(c, _)| c.touched)
+            .map(|(c, name)| (*name, c.value))
+            .collect();
+        live.sort_unstable_by_key(|&(name, _)| name);
+        live.into_iter()
     }
 
-    /// Iterates the live gauges in name order.
+    /// Iterates the live (recorded) gauges in name order.
     pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
-        self.gauges.iter().map(|(k, v)| (*k, *v))
+        let mut live: Vec<(&'static str, f64)> = self
+            .gauges
+            .iter()
+            .zip(&self.gauge_names)
+            .filter(|(g, _)| g.touched)
+            .map(|(g, name)| (*name, g.value))
+            .collect();
+        live.sort_unstable_by_key(|&(name, _)| name);
+        live.into_iter()
     }
 
-    /// Iterates the live histograms in name order, exposing their exact
-    /// internal state (use with [`Histogram::raw_min`],
+    /// Iterates the live (recorded) histograms in name order, exposing
+    /// their exact internal state (use with [`Histogram::raw_min`],
     /// [`Histogram::sparse_buckets`], …) for checkpointing.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
-        self.histograms.iter().map(|(k, h)| (*k, h))
+        let mut live: Vec<(&'static str, &Histogram)> = self
+            .histograms
+            .iter()
+            .zip(&self.histogram_names)
+            .filter(|(h, _)| h.touched)
+            .map(|(h, name)| (*name, &h.histogram))
+            .collect();
+        live.sort_unstable_by_key(|&(name, _)| name);
+        live.into_iter()
     }
 
-    /// Overwrites counter `name` with an exact value (checkpoint restore).
-    /// Unlike [`MetricsRegistry::inc`] this is not additive.
+    /// Overwrites counter `name` with an exact value (compat layer for the
+    /// checkpoint-restore path; see [`MetricsRegistry::store`]).
     pub fn set_counter(&mut self, name: &'static str, value: u64) {
         if !self.enabled {
             return;
         }
-        self.counters.insert(name, value);
+        let id = self.register_counter(name);
+        self.store(id, value);
     }
 
-    /// Installs a fully-reconstructed histogram under `name` (checkpoint
-    /// restore), replacing whatever was recorded so far. Subsequent
-    /// [`MetricsRegistry::observe`] calls continue accumulating into it.
+    /// Installs a fully-reconstructed histogram under `name` (compat layer
+    /// for the checkpoint-restore path; see [`MetricsRegistry::restore`]).
     pub fn restore_histogram(&mut self, name: &'static str, histogram: Histogram) {
         if !self.enabled {
             return;
         }
-        self.histograms.insert(name, histogram);
+        let id = self.register_histogram(name);
+        self.restore(id, histogram);
     }
 }
 
@@ -587,6 +814,23 @@ mod tests {
     }
 
     #[test]
+    fn disabled_registry_handle_ops_are_no_ops() {
+        let mut reg = MetricsRegistry::disabled();
+        let c = reg.register_counter("a");
+        let g = reg.register_gauge("b");
+        let h = reg.register_histogram("c");
+        reg.add(c, 5);
+        reg.store(c, 7);
+        reg.set(g, 1.0);
+        reg.record(h, 2.0);
+        reg.restore(h, Histogram::new());
+        assert!(reg.snapshot().is_empty());
+        assert_eq!(reg.counters().count(), 0);
+        assert_eq!(reg.gauges().count(), 0);
+        assert_eq!(reg.histograms().count(), 0);
+    }
+
+    #[test]
     fn disabled_span_never_reads_the_clock() {
         let mut reg = MetricsRegistry::disabled();
         let span = reg.span("x");
@@ -613,6 +857,72 @@ mod tests {
         assert_eq!(snap.counter("missing"), None);
         assert_eq!(snap.gauge("missing"), None);
         assert!(snap.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn handle_and_compat_paths_share_slots() {
+        let mut reg = MetricsRegistry::enabled();
+        let events = reg.register_counter("events");
+        reg.inc("events", 2); // compat resolves to the same slot
+        reg.add(events, 3);
+        let depth = reg.register_gauge("depth");
+        reg.set_gauge("depth", 1.0);
+        reg.set(depth, 7.5);
+        let lat = reg.register_histogram("lat");
+        reg.observe("lat", 0.5);
+        reg.record(lat, 1.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("events"), Some(5));
+        assert_eq!(snap.gauge("depth"), Some(7.5));
+        assert_eq!(snap.histogram("lat").unwrap().count, 2);
+    }
+
+    #[test]
+    fn duplicate_registration_returns_the_same_handle() {
+        let mut reg = MetricsRegistry::enabled();
+        let a = reg.register_counter("n");
+        let b = reg.register_counter("n");
+        assert_eq!(a, b);
+        let g1 = reg.register_gauge("n"); // gauge namespace is independent
+        let g2 = reg.register_gauge("n");
+        assert_eq!(g1, g2);
+        let h1 = reg.register_histogram("n");
+        let h2 = reg.register_histogram("n");
+        assert_eq!(h1, h2);
+        reg.add(a, 1);
+        reg.add(b, 2);
+        assert_eq!(reg.snapshot().counter("n"), Some(3));
+    }
+
+    #[test]
+    fn registration_alone_is_invisible_in_snapshots() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.register_counter("c");
+        reg.register_gauge("g");
+        reg.register_histogram("h");
+        assert!(reg.snapshot().is_empty(), "untouched slots must not export");
+        // Recording zero still creates the entry, as the map registry did.
+        reg.inc("c", 0);
+        assert_eq!(reg.snapshot().counter("c"), Some(0));
+    }
+
+    #[test]
+    fn nan_gauge_sets_are_rejected() {
+        let mut reg = MetricsRegistry::enabled();
+        let g = reg.register_gauge("depth");
+        reg.set(g, f64::NAN);
+        assert!(reg.snapshot().is_empty(), "NaN must not create the gauge");
+        reg.set(g, 2.0);
+        reg.set(g, f64::NAN);
+        assert_eq!(
+            reg.snapshot().gauge("depth"),
+            Some(2.0),
+            "NaN must not overwrite a healthy reading"
+        );
+        reg.set_gauge("depth", f64::NAN); // compat path sanitises too
+        assert_eq!(reg.snapshot().gauge("depth"), Some(2.0));
+        let snap = reg.snapshot();
+        assert_eq!(snap, snap.clone(), "snapshot equality survives");
     }
 
     #[test]
@@ -856,6 +1166,37 @@ mod tests {
     }
 
     #[test]
+    fn restore_through_handles_matches_compat_restore() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.inc("events", 17);
+        reg.observe("lat", 0.125);
+        reg.observe("lat", 8.5);
+
+        let mut by_name = MetricsRegistry::enabled();
+        let mut by_handle = MetricsRegistry::enabled();
+        for (name, v) in reg.counters() {
+            by_name.set_counter(name, v);
+            let id = by_handle.register_counter(name);
+            by_handle.store(id, v);
+        }
+        for (name, h) in reg.histograms() {
+            let parts = Histogram::from_parts(
+                h.count(),
+                h.sum(),
+                h.raw_min(),
+                h.raw_max(),
+                &h.sparse_buckets(),
+            );
+            by_name.restore_histogram(name, parts.clone());
+            let id = by_handle.register_histogram(name);
+            by_handle.restore(id, parts);
+        }
+        assert_eq!(by_name.snapshot(), reg.snapshot());
+        assert_eq!(by_handle.snapshot(), reg.snapshot());
+        assert_eq!(by_name.snapshot().to_json(), by_handle.snapshot().to_json());
+    }
+
+    #[test]
     fn disabled_registry_ignores_restore() {
         let mut reg = MetricsRegistry::disabled();
         reg.set_counter("a", 5);
@@ -872,6 +1213,32 @@ mod tests {
         assert!(reg.is_enabled());
         reg.inc("a", 1);
         assert_eq!(reg.snapshot().counter("a"), Some(1));
+    }
+
+    #[test]
+    fn reset_preserves_registered_handles() {
+        let mut reg = MetricsRegistry::enabled();
+        let c = reg.register_counter("c");
+        let g = reg.register_gauge("g");
+        let h = reg.register_histogram("h");
+        reg.add(c, 41);
+        reg.set(g, 3.5);
+        reg.record(h, 1.0);
+        reg.reset();
+        assert!(reg.snapshot().is_empty(), "reset drops recorded values");
+        // The old handles still point at their (zeroed) slots…
+        reg.add(c, 1);
+        reg.set(g, 2.0);
+        reg.record(h, 4.0);
+        // …and re-registering the same names returns the same ids.
+        assert_eq!(reg.register_counter("c"), c);
+        assert_eq!(reg.register_gauge("g"), g);
+        assert_eq!(reg.register_histogram("h"), h);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), Some(1));
+        assert_eq!(snap.gauge("g"), Some(2.0));
+        let hist = snap.histogram("h").unwrap();
+        assert_eq!((hist.count, hist.min, hist.max), (1, 4.0, 4.0));
     }
 
     #[test]

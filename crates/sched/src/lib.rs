@@ -55,6 +55,7 @@
 pub mod admission;
 pub mod availability;
 pub mod evaluate;
+pub(crate) mod metrics;
 pub mod placement;
 pub mod reference_service;
 pub mod scheduler;

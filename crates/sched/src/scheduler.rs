@@ -20,6 +20,7 @@ use crate::admission::{
     retry_backoff, AdmissionReport, AdmissionSpec, OverloadPolicy, TenantId, TenantSlo,
 };
 use crate::availability::AvailabilityTracker;
+use crate::metrics::SchedMetrics;
 use crate::placement::{DatasetId, Placement};
 use crate::service_queue::{DockBank, ServiceEntry, ServiceQueue, TripCache};
 
@@ -356,6 +357,65 @@ struct FaultStreams {
     verify_s: f64,
 }
 
+/// Per-tenant open-loop accumulator row: SLO counters, the delivery-latency
+/// histogram, and retry tokens remaining.
+type TenantCell = (TenantSlo, Histogram, u32);
+
+/// The per-run tenant-SLO accumulator.
+///
+/// Tenant ids minted by `ArrivalSpec` are dense small integers, so the
+/// common case indexes a `Vec` directly instead of walking a `BTreeMap` per
+/// admission, retry, and service completion. Hand-assigned sparse ids fall
+/// back to the map. Rows drain in ascending tenant id from either backing
+/// store, so `AdmissionReport::tenants` ordering is identical in both.
+enum TenantTable {
+    /// Indexed by tenant id; `None` until the tenant's first offer.
+    Dense(Vec<Option<TenantCell>>),
+    Sparse(BTreeMap<u32, TenantCell>),
+}
+
+impl TenantTable {
+    /// Ids at most this far beyond the request count still count as dense:
+    /// the `Option` slots are cheap relative to per-request map walks.
+    const DENSE_SLACK: usize = 1024;
+
+    /// Picks the backing store by scanning the run's maximum tenant id.
+    fn for_run(queue: &[Queued]) -> Self {
+        let max_id = queue.iter().map(|q| q.req.tenant.0).max();
+        match max_id {
+            Some(max) if (max as usize) < 2 * queue.len() + Self::DENSE_SLACK => {
+                Self::Dense(vec![None; max as usize + 1])
+            }
+            Some(_) => Self::Sparse(BTreeMap::new()),
+            None => Self::Dense(Vec::new()),
+        }
+    }
+
+    /// The row for `id`, created by `init` on first use.
+    fn get_or_insert(&mut self, id: u32, init: impl FnOnce() -> TenantCell) -> &mut TenantCell {
+        match self {
+            Self::Dense(rows) => rows[id as usize].get_or_insert_with(init),
+            Self::Sparse(rows) => rows.entry(id).or_insert_with(init),
+        }
+    }
+
+    /// The row for `id`, if the tenant has been offered work.
+    fn get_mut(&mut self, id: u32) -> Option<&mut TenantCell> {
+        match self {
+            Self::Dense(rows) => rows.get_mut(id as usize).and_then(Option::as_mut),
+            Self::Sparse(rows) => rows.get_mut(&id),
+        }
+    }
+
+    /// Drains the live rows in ascending tenant id.
+    fn into_rows(self) -> Vec<TenantCell> {
+        match self {
+            Self::Dense(rows) => rows.into_iter().flatten().collect(),
+            Self::Sparse(rows) => rows.into_values().collect(),
+        }
+    }
+}
+
 /// The conservative list scheduler over one DHL.
 pub struct Scheduler {
     cfg: SimConfig,
@@ -369,6 +429,9 @@ pub struct Scheduler {
     dock_recovery: Option<DockRecoveryAwareness>,
     admission: Option<AdmissionSpec>,
     metrics: MetricsRegistry,
+    /// Pre-interned handles into `metrics`; re-registered whenever the
+    /// registry is replaced (`set_metrics_enabled`).
+    handles: SchedMetrics,
 }
 
 impl Scheduler {
@@ -380,6 +443,8 @@ impl Scheduler {
     /// [`SchedulerError::Config`] if the configuration is invalid.
     pub fn new(cfg: SimConfig, placement: Placement) -> Result<Self, SchedulerError> {
         cfg.validate()?;
+        let mut metrics = MetricsRegistry::enabled();
+        let handles = SchedMetrics::register(&mut metrics);
         Ok(Self {
             cfg,
             placement,
@@ -391,7 +456,8 @@ impl Scheduler {
             integrity: None,
             dock_recovery: None,
             admission: None,
-            metrics: MetricsRegistry::enabled(),
+            metrics,
+            handles,
         })
     }
 
@@ -408,6 +474,9 @@ impl Scheduler {
         } else {
             MetricsRegistry::disabled()
         };
+        // The fresh registry issued no ids yet: re-intern so every held
+        // handle points at a valid slot again.
+        self.handles = SchedMetrics::register(&mut self.metrics);
     }
 
     /// Sets the within-class ordering discipline.
@@ -598,8 +667,10 @@ impl Scheduler {
             integrity,
             dock_recovery,
             metrics,
+            handles,
             ..
         } = &mut *self;
+        let handles = *handles;
 
         let watch = Stopwatch::start();
         let mut track_free = 0.0f64;
@@ -737,18 +808,18 @@ impl Scheduler {
             }
 
             total_energy += energy;
-            metrics.inc("sched.requests", 1);
-            metrics.inc("sched.deliveries", deliveries);
-            metrics.inc("sched.redeliveries", redeliveries);
-            metrics.inc("sched.reshipments", reshipments);
-            metrics.inc("sched.abandoned", abandoned);
-            metrics.inc("sched.dock_crashes", dock_crashes);
+            metrics.add(handles.requests, 1);
+            metrics.add(handles.deliveries, deliveries);
+            metrics.add(handles.redeliveries, redeliveries);
+            metrics.add(handles.reshipments, reshipments);
+            metrics.add(handles.abandoned, abandoned);
+            metrics.add(handles.dock_crashes, dock_crashes);
             // Queueing latency until the first cart could depart: the
             // placement-latency figure a client of the scheduler feels.
-            metrics.observe("sched.placement_latency_s", started - req.arrival.seconds());
+            metrics.record(handles.placement_latency_s, started - req.arrival.seconds());
             if deliveries > 0 {
-                metrics.observe(
-                    "sched.delivery_latency_s",
+                metrics.record(
+                    handles.delivery_latency_s,
                     delivered - req.arrival.seconds(),
                 );
             }
@@ -780,17 +851,17 @@ impl Scheduler {
         } else {
             0.0
         };
-        metrics.set_gauge("sched.makespan_s", makespan.seconds());
-        metrics.set_gauge("sched.track_utilisation", track_utilisation);
-        metrics.set_gauge(
-            "sched.track_downtime_s",
+        metrics.set(handles.makespan_s, makespan.seconds());
+        metrics.set(handles.track_utilisation, track_utilisation);
+        metrics.set(
+            handles.track_downtime_s,
             availability.total_track_downtime().seconds(),
         );
         let dock_downtime_s: f64 = (0..cfg.endpoints.len())
             .map(|ep| availability.total_dock_downtime(ep).seconds())
             .sum();
-        metrics.set_gauge("sched.dock_downtime_s", dock_downtime_s);
-        metrics.set_gauge("sched.wall_time_s", watch.elapsed_secs());
+        metrics.set(handles.dock_downtime_s, dock_downtime_s);
+        metrics.set(handles.wall_time_s, watch.elapsed_secs());
         Ok(ScheduleOutcome {
             track_utilisation,
             completed: outcomes,
@@ -846,8 +917,10 @@ impl Scheduler {
             integrity,
             dock_recovery,
             metrics,
+            handles,
             ..
         } = &mut *self;
+        let handles = *handles;
 
         let watch = Stopwatch::start();
         let mut track_free = 0.0f64;
@@ -859,8 +932,9 @@ impl Scheduler {
 
         let mut pending = ServiceQueue::new(policy);
         let mut report = AdmissionReport::default();
-        // Tenant → (SLO accumulator, latency histogram, retry tokens left).
-        let mut tenants: BTreeMap<u32, (TenantSlo, Histogram, u32)> = BTreeMap::new();
+        // Tenant → (SLO accumulator, latency histogram, retry tokens left),
+        // dense-indexed by tenant id when the id space allows.
+        let mut tenants = TenantTable::for_run(queue);
         let max_attempts = spec.retry.max_attempts_per_request.max(1);
         let mut cursor = 0usize;
 
@@ -888,7 +962,7 @@ impl Scheduler {
                     bytes,
                 } = queue[idx];
                 let arrival_s = req.arrival.seconds();
-                let slot = tenants.entry(req.tenant.0).or_insert_with(|| {
+                let slot = tenants.get_or_insert(req.tenant.0, || {
                     (
                         TenantSlo::new(req.tenant),
                         Histogram::new(),
@@ -897,7 +971,7 @@ impl Scheduler {
                 });
                 slot.0.offered += 1;
                 report.offered += 1;
-                metrics.inc("sched.offered", 1);
+                metrics.add(handles.offered, 1);
                 report.offered_bytes += bytes;
                 if carts_len == usize::MAX {
                     return Err(SchedulerError::CorruptPlacement(req.dataset));
@@ -924,7 +998,7 @@ impl Scheduler {
                                     report.rejected_deadline += 1;
                                     report.rejected_ids.push(id);
                                     slot.0.rejected += 1;
-                                    metrics.inc("sched.rejected_deadline", 1);
+                                    metrics.add(handles.rejected_deadline, 1);
                                     continue;
                                 }
                             }
@@ -949,8 +1023,8 @@ impl Scheduler {
                         if let Some(victim) = pending.shed_victim(req.priority) {
                             report.shed += 1;
                             report.shed_ids.push(victim.id);
-                            metrics.inc("sched.shed", 1);
-                            if let Some((slo, _, _)) = tenants.get_mut(&victim.req.tenant.0) {
+                            metrics.add(handles.shed, 1);
+                            if let Some((slo, _, _)) = tenants.get_mut(victim.req.tenant.0) {
                                 slo.shed += 1;
                             }
                             true
@@ -963,15 +1037,15 @@ impl Scheduler {
                     let degrade_through =
                         !queue_full && spec.policy == OverloadPolicy::DegradeToBestEffort;
                     if !admitted_via_shed && !degrade_through {
-                        let slot = tenants.get_mut(&req.tenant.0).expect("inserted above");
+                        let slot = tenants.get_mut(req.tenant.0).expect("inserted above");
                         slot.0.rejected += 1;
                         report.rejected_ids.push(id);
                         if queue_full {
                             report.rejected_queue_full += 1;
-                            metrics.inc("sched.rejected_queue_full", 1);
+                            metrics.add(handles.rejected_queue_full, 1);
                         } else {
                             report.rejected_backpressure += 1;
-                            metrics.inc("sched.rejected_backpressure", 1);
+                            metrics.add(handles.rejected_backpressure, 1);
                         }
                         continue;
                     }
@@ -984,15 +1058,15 @@ impl Scheduler {
                     req.priority = Priority::Background;
                     req.deadline = None;
                     report.degraded += 1;
-                    metrics.inc("sched.degraded", 1);
+                    metrics.add(handles.degraded, 1);
                 }
-                let slot = tenants.get_mut(&req.tenant.0).expect("inserted above");
+                let slot = tenants.get_mut(req.tenant.0).expect("inserted above");
                 slot.0.admitted += 1;
                 if degrade {
                     slot.0.degraded += 1;
                 }
                 report.admitted += 1;
-                metrics.inc("sched.admitted", 1);
+                metrics.add(handles.admitted, 1);
                 let trip = trips.cost(cfg, req.destination).total_time.seconds();
                 let service_s =
                     carts_len as f64 * (2.0 * trip + streams.verify_s + req.dwell.seconds());
@@ -1121,13 +1195,13 @@ impl Scheduler {
                         break;
                     }
                     let tokens = &mut tenants
-                        .get_mut(&req.tenant.0)
+                        .get_mut(req.tenant.0)
                         .expect("tenant registered at admission")
                         .2;
                     if *tokens == 0 {
                         abandoned += 1;
                         report.retry_tokens_exhausted += 1;
-                        metrics.inc("sched.retry_tokens_exhausted", 1);
+                        metrics.add(handles.retry_tokens_exhausted, 1);
                         break;
                     }
                     *tokens -= 1;
@@ -1138,27 +1212,27 @@ impl Scheduler {
                         reshipments += 1;
                     }
                     report.retries += 1;
-                    metrics.inc("sched.retries", 1);
+                    metrics.add(handles.retries, 1);
                     let backoff = retry_backoff(&spec.retry, spec.seed, id, attempt);
-                    metrics.observe("sched.retry_backoff_s", backoff.seconds());
+                    metrics.record(handles.retry_backoff_s, backoff.seconds());
                     not_before = home + backoff.seconds();
-                    if let Some((slo, _, _)) = tenants.get_mut(&req.tenant.0) {
+                    if let Some((slo, _, _)) = tenants.get_mut(req.tenant.0) {
                         slo.retries += 1;
                     }
                 }
             }
 
             total_energy += energy;
-            metrics.inc("sched.requests", 1);
-            metrics.inc("sched.deliveries", deliveries);
-            metrics.inc("sched.redeliveries", redeliveries);
-            metrics.inc("sched.reshipments", reshipments);
-            metrics.inc("sched.abandoned", abandoned);
-            metrics.inc("sched.dock_crashes", dock_crashes);
-            metrics.observe("sched.placement_latency_s", started - req.arrival.seconds());
+            metrics.add(handles.requests, 1);
+            metrics.add(handles.deliveries, deliveries);
+            metrics.add(handles.redeliveries, redeliveries);
+            metrics.add(handles.reshipments, reshipments);
+            metrics.add(handles.abandoned, abandoned);
+            metrics.add(handles.dock_crashes, dock_crashes);
+            metrics.record(handles.placement_latency_s, started - req.arrival.seconds());
             if deliveries > 0 {
-                metrics.observe(
-                    "sched.delivery_latency_s",
+                metrics.record(
+                    handles.delivery_latency_s,
                     delivered - req.arrival.seconds(),
                 );
             }
@@ -1168,7 +1242,7 @@ impl Scheduler {
             report.delivered_bytes += delivered_bytes;
             let fully_delivered = deliveries as usize == carts.len();
             let slot = tenants
-                .get_mut(&req.tenant.0)
+                .get_mut(req.tenant.0)
                 .expect("tenant registered at admission");
             slot.0.served += 1;
             slot.0.abandoned_shards += abandoned;
@@ -1180,11 +1254,11 @@ impl Scheduler {
                 if fully_delivered && delivered <= deadline.seconds() {
                     slot.0.deadline_hits += 1;
                     report.deadline_hits += 1;
-                    metrics.inc("sched.deadline_hits", 1);
+                    metrics.add(handles.deadline_hits, 1);
                 } else {
                     slot.0.deadline_misses += 1;
                     report.deadline_misses += 1;
-                    metrics.inc("sched.deadline_misses", 1);
+                    metrics.add(handles.deadline_misses, 1);
                 }
             }
 
@@ -1221,24 +1295,25 @@ impl Scheduler {
             0.0
         };
         report.tenants = tenants
-            .into_values()
+            .into_rows()
+            .into_iter()
             .map(|(mut slo, latency, _)| {
                 slo.latency = SloSummary::of(&latency);
                 slo
             })
             .collect();
-        metrics.set_gauge("sched.makespan_s", makespan.seconds());
-        metrics.set_gauge("sched.track_utilisation", track_utilisation);
-        metrics.set_gauge("sched.goodput_bytes_per_s", report.goodput_bytes_per_s);
-        metrics.set_gauge(
-            "sched.track_downtime_s",
+        metrics.set(handles.makespan_s, makespan.seconds());
+        metrics.set(handles.track_utilisation, track_utilisation);
+        metrics.set(handles.goodput_bytes_per_s, report.goodput_bytes_per_s);
+        metrics.set(
+            handles.track_downtime_s,
             availability.total_track_downtime().seconds(),
         );
         let dock_downtime_s: f64 = (0..cfg.endpoints.len())
             .map(|ep| availability.total_dock_downtime(ep).seconds())
             .sum();
-        metrics.set_gauge("sched.dock_downtime_s", dock_downtime_s);
-        metrics.set_gauge("sched.wall_time_s", watch.elapsed_secs());
+        metrics.set(handles.dock_downtime_s, dock_downtime_s);
+        metrics.set(handles.wall_time_s, watch.elapsed_secs());
         Ok(ScheduleOutcome {
             track_utilisation,
             completed: outcomes,

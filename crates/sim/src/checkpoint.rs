@@ -442,6 +442,9 @@ impl DhlSystem {
                 reg
             }
         };
+        // The restored registry issued no ids: re-intern the handle bundle
+        // so hot-path recording resumes against valid slots.
+        sys.handles = crate::metrics::SimMetrics::register(&mut sys.metrics);
         Ok(sys)
     }
 }

@@ -41,6 +41,7 @@ pub mod arrivals;
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub(crate) mod metrics;
 pub mod movement;
 pub mod parallel;
 pub mod report;

@@ -1,0 +1,106 @@
+//! Pre-interned metric handles for the simulator's hot paths.
+//!
+//! Every metric [`crate::system::DhlSystem`] records is registered once,
+//! up front, into a [`SimMetrics`] bundle of `Copy` ids; hot-path recording
+//! is then a dense-slot write through [`MetricsRegistry::add`] /
+//! [`MetricsRegistry::record`] instead of a name lookup per event. The
+//! bundle must be re-registered whenever the registry itself is replaced
+//! (`set_metrics_enabled`, checkpoint resume) — registration is idempotent,
+//! so ids stay stable across re-registration against the same registry.
+
+use dhl_obs::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+
+/// Handles for every metric the simulator records.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct SimMetrics {
+    // Counters bumped inside the event loop.
+    pub repressurisations: CounterId,
+    pub cart_stalls: CounterId,
+    pub carts_launched: CounterId,
+    pub connector_replacements: CounterId,
+    pub deliveries: CounterId,
+    pub dock_controller_crashes: CounterId,
+    pub ssd_failures: CounterId,
+    pub data_loss_events: CounterId,
+    pub delivery_failures: CounterId,
+    pub redeliveries: CounterId,
+    pub shards_scanned: CounterId,
+    pub deliveries_verified: CounterId,
+    pub shards_corrupted: CounterId,
+    pub shards_reconstructed: CounterId,
+    pub deliveries_reshipped: CounterId,
+    // End-of-run accounting counters.
+    pub events: CounterId,
+    pub events_processed: CounterId,
+    pub events_clamped: CounterId,
+    // Histograms observed inside the event loop.
+    pub transit_s: HistogramId,
+    pub queue_depth: HistogramId,
+    pub dock_recovery_s: HistogramId,
+    pub verify_s: HistogramId,
+    pub reconstruction_s: HistogramId,
+    // End-of-run pacing gauges.
+    pub completion_s: GaugeId,
+    pub wall_time_s: GaugeId,
+    pub sim_seconds_per_wall_second: GaugeId,
+    pub events_per_wall_second: GaugeId,
+}
+
+impl SimMetrics {
+    /// Interns every simulator metric in `registry` and returns the handle
+    /// bundle. Call again after swapping the registry out — handles are
+    /// only valid for the registry (or clones of it) that issued them.
+    pub fn register(registry: &mut MetricsRegistry) -> Self {
+        Self {
+            repressurisations: registry.register_counter("sim.repressurisations"),
+            cart_stalls: registry.register_counter("sim.cart_stalls"),
+            carts_launched: registry.register_counter("sim.carts_launched"),
+            connector_replacements: registry.register_counter("sim.connector_replacements"),
+            deliveries: registry.register_counter("sim.deliveries"),
+            dock_controller_crashes: registry.register_counter("sim.dock_controller_crashes"),
+            ssd_failures: registry.register_counter("sim.ssd_failures"),
+            data_loss_events: registry.register_counter("sim.data_loss_events"),
+            delivery_failures: registry.register_counter("sim.delivery_failures"),
+            redeliveries: registry.register_counter("sim.redeliveries"),
+            shards_scanned: registry.register_counter("sim.shards_scanned"),
+            deliveries_verified: registry.register_counter("sim.deliveries_verified"),
+            shards_corrupted: registry.register_counter("sim.shards_corrupted"),
+            shards_reconstructed: registry.register_counter("sim.shards_reconstructed"),
+            deliveries_reshipped: registry.register_counter("sim.deliveries_reshipped"),
+            events: registry.register_counter("sim.events"),
+            events_processed: registry.register_counter("engine.events_processed"),
+            events_clamped: registry.register_counter("sim.events_clamped"),
+            transit_s: registry.register_histogram("sim.transit_s"),
+            queue_depth: registry.register_histogram("sim.queue_depth"),
+            dock_recovery_s: registry.register_histogram("sim.dock_recovery_s"),
+            verify_s: registry.register_histogram("sim.verify_s"),
+            reconstruction_s: registry.register_histogram("sim.reconstruction_s"),
+            completion_s: registry.register_gauge("sim.completion_s"),
+            wall_time_s: registry.register_gauge("sim.wall_time_s"),
+            sim_seconds_per_wall_second: registry.register_gauge("sim.sim_seconds_per_wall_second"),
+            events_per_wall_second: registry.register_gauge("sim.events_per_wall_second"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_invisible() {
+        let mut reg = MetricsRegistry::enabled();
+        let a = SimMetrics::register(&mut reg);
+        let b = SimMetrics::register(&mut reg);
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.transit_s, b.transit_s);
+        assert_eq!(a.wall_time_s, b.wall_time_s);
+        assert!(
+            reg.snapshot().is_empty(),
+            "registering handles must not create visible metrics"
+        );
+        reg.add(a.deliveries, 2);
+        reg.add(b.deliveries, 1);
+        assert_eq!(reg.snapshot().counter("sim.deliveries"), Some(3));
+    }
+}

@@ -22,6 +22,7 @@ use dhl_units::{Bytes, Joules, Seconds, Watts};
 use crate::arena::{CartArena, CartHandle};
 use crate::config::{ConfigError, DockRecoveryPolicy, EndpointKind, ProcessingModel, SimConfig};
 use crate::engine::EventQueue;
+use crate::metrics::SimMetrics;
 use crate::movement::{MovementCost, MovementTable};
 use crate::report::{BulkTransferReport, IntegrityReport, ReliabilityReport};
 use crate::trace::{Trace, TraceEventKind, TraceSink};
@@ -320,6 +321,10 @@ pub struct DhlSystem {
     /// default; `set_metrics_enabled(false)` turns every recording into a
     /// single branch.
     pub(crate) metrics: MetricsRegistry,
+    /// Pre-interned handles into `metrics`: hot-path recording is a dense
+    /// slot write, never a name lookup. Re-registered whenever `metrics`
+    /// is replaced (`set_metrics_enabled`, checkpoint resume).
+    pub(crate) handles: SimMetrics,
 }
 
 impl DhlSystem {
@@ -366,6 +371,8 @@ impl DhlSystem {
             .map(|i| DeterministicRng::seed_from_u64(i.seed));
         let dock_downtime = vec![0.0; cfg.endpoints.len()];
         let costs = MovementTable::build(&cfg, degraded_cap);
+        let mut metrics = MetricsRegistry::enabled();
+        let handles = SimMetrics::register(&mut metrics);
         Ok(Self {
             cfg,
             queue: EventQueue::new(),
@@ -406,7 +413,8 @@ impl DhlSystem {
             verification_energy: Joules::ZERO,
             events_at_mission_start: 0,
             run_watch: None,
-            metrics: MetricsRegistry::enabled(),
+            metrics,
+            handles,
         })
     }
 
@@ -423,6 +431,9 @@ impl DhlSystem {
         } else {
             MetricsRegistry::disabled()
         };
+        // The fresh registry issued no ids yet: re-intern so every held
+        // handle points at a valid slot again.
+        self.handles = SimMetrics::register(&mut self.metrics);
     }
 
     /// The configuration in effect.
@@ -533,7 +544,7 @@ impl DhlSystem {
         if let Some(rep) = repressurisation {
             if rng.random_bool(rep.probability_per_movement) {
                 self.repressurisations += 1;
-                self.metrics.inc("sim.repressurisations", 1);
+                self.metrics.add(self.handles.repressurisations, 1);
                 let until = now + rep.duration.seconds();
                 let track = &mut self.tracks[idx];
                 track.degraded_until = track.degraded_until.max(until);
@@ -572,7 +583,7 @@ impl DhlSystem {
             // The stalled cart blocks everything behind it on this track
             // from the moment it departs; carts already ahead are unaffected.
             self.cart_stalls += 1;
-            self.metrics.inc("sim.cart_stalls", 1);
+            self.metrics.add(self.handles.cart_stalls, 1);
             track.blocked_by = Some(m.cart);
             track.blocked_since = now;
         }
@@ -580,9 +591,9 @@ impl DhlSystem {
 
         self.total_energy += cost.energy;
         self.movements += 1;
-        self.metrics.inc("sim.carts_launched", 1);
+        self.metrics.add(self.handles.carts_launched, 1);
         self.metrics
-            .observe("sim.transit_s", cost.total_time.seconds());
+            .record(self.handles.transit_s, cost.total_time.seconds());
 
         // A loaded launch from the library is a restage: the payload was
         // written onto the cart's NAND, wearing it.
@@ -621,7 +632,7 @@ impl DhlSystem {
     fn try_launch(&mut self) {
         let now = self.queue.now().seconds();
         self.metrics
-            .observe("sim.queue_depth", self.pending.len() as f64);
+            .record(self.handles.queue_depth, self.pending.len() as f64);
         let mut wakeup: Option<f64> = None;
         loop {
             let mut launched = None;
@@ -754,7 +765,7 @@ impl DhlSystem {
                         conn.replace();
                         let _ = conn.mate();
                         self.connector_replacements += 1;
-                        self.metrics.inc("sim.connector_replacements", 1);
+                        self.metrics.add(self.handles.connector_replacements, 1);
                         dock += replacement;
                     }
                 }
@@ -798,7 +809,7 @@ impl DhlSystem {
                 if self.cfg.endpoints[m.to].kind == EndpointKind::Rack {
                     self.mission.done += 1;
                     self.mission.gross_delivered += m.payload;
-                    self.metrics.inc("sim.deliveries", 1);
+                    self.metrics.add(self.handles.deliveries, 1);
                     if lost && self.cfg.faults.is_some() {
                         self.fail_delivery(cart, m.to, m.payload, m.attempt, m.cost.total_time);
                     } else if self.cfg.integrity.is_some() {
@@ -866,9 +877,9 @@ impl DhlSystem {
         self.dock_recovery_time_s += downtime.seconds();
         self.dock_downtime[m.to] += downtime.seconds();
         self.total_energy += spec.recovery_power * downtime;
-        self.metrics.inc("sim.dock_controller_crashes", 1);
+        self.metrics.add(self.handles.dock_controller_crashes, 1);
         self.metrics
-            .observe("sim.dock_recovery_s", downtime.seconds());
+            .record(self.handles.dock_recovery_s, downtime.seconds());
         Some(downtime)
     }
 
@@ -891,10 +902,11 @@ impl DhlSystem {
         let rng = self.reliability_rng.as_mut().expect("rng exists with spec");
         let failed = failure.sample_failures(rng, ssds_per_cart, exposure);
         self.ssd_failures += u64::from(failed);
-        self.metrics.inc("sim.ssd_failures", u64::from(failed));
+        self.metrics
+            .add(self.handles.ssd_failures, u64::from(failed));
         if !raid.tolerates(failed) {
             self.data_loss_events += 1;
-            self.metrics.inc("sim.data_loss_events", 1);
+            self.metrics.add(self.handles.data_loss_events, 1);
             return true;
         }
         false
@@ -945,11 +957,11 @@ impl DhlSystem {
         });
         // The whole round trip was wasted work.
         self.retry_time_s += 2.0 * trip_time.seconds();
-        self.metrics.inc("sim.delivery_failures", 1);
+        self.metrics.add(self.handles.delivery_failures, 1);
         let requeued = attempt < max_attempts;
         if requeued {
             self.redeliveries += 1;
-            self.metrics.inc("sim.redeliveries", 1);
+            self.metrics.add(self.handles.redeliveries, 1);
             self.mission.total_deliveries += 1;
             self.redelivery_queue.push_back((to, payload, attempt + 1));
         } else {
@@ -1013,8 +1025,9 @@ impl DhlSystem {
         self.verification_energy += energy;
         self.verification_time_s += verify_time.seconds();
         self.shards_scanned += shards;
-        self.metrics.inc("sim.shards_scanned", shards);
-        self.metrics.observe("sim.verify_s", verify_time.seconds());
+        self.metrics.add(self.handles.shards_scanned, shards);
+        self.metrics
+            .record(self.handles.verify_s, verify_time.seconds());
         self.record(TraceEventKind::VerifyStarted {
             cart,
             endpoint: m.to,
@@ -1057,7 +1070,7 @@ impl DhlSystem {
 
         if corrupted == 0 {
             self.deliveries_verified += 1;
-            self.metrics.inc("sim.deliveries_verified", 1);
+            self.metrics.add(self.handles.deliveries_verified, 1);
             self.record(TraceEventKind::PayloadVerified {
                 cart,
                 endpoint: pv.to,
@@ -1068,7 +1081,7 @@ impl DhlSystem {
         }
 
         self.shards_corrupted += corrupted;
-        self.metrics.inc("sim.shards_corrupted", corrupted);
+        self.metrics.add(self.handles.shards_corrupted, corrupted);
         self.record(TraceEventKind::PayloadCorrupted {
             cart,
             endpoint: pv.to,
@@ -1089,10 +1102,11 @@ impl DhlSystem {
             self.shards_reconstructed += corrupted;
             self.reconstruction_time_s += rebuild_time.seconds();
             self.deliveries_verified += 1;
-            self.metrics.inc("sim.shards_reconstructed", corrupted);
-            self.metrics.inc("sim.deliveries_verified", 1);
             self.metrics
-                .observe("sim.reconstruction_s", rebuild_time.seconds());
+                .add(self.handles.shards_reconstructed, corrupted);
+            self.metrics.add(self.handles.deliveries_verified, 1);
+            self.metrics
+                .record(self.handles.reconstruction_s, rebuild_time.seconds());
             self.record(TraceEventKind::ShardsReconstructed {
                 cart,
                 shards: corrupted,
@@ -1102,10 +1116,10 @@ impl DhlSystem {
             // Beyond parity: the payload is unrecoverable at the dock and
             // re-enters the PR-1 bounded-retry machinery.
             self.data_loss_events += 1;
-            self.metrics.inc("sim.data_loss_events", 1);
+            self.metrics.add(self.handles.data_loss_events, 1);
             if self.fail_delivery(cart, pv.to, pv.payload, pv.attempt, pv.trip_time) {
                 self.deliveries_reshipped += 1;
-                self.metrics.inc("sim.deliveries_reshipped", 1);
+                self.metrics.add(self.handles.deliveries_reshipped, 1);
             }
         }
     }
@@ -1303,27 +1317,29 @@ impl DhlSystem {
         let completion = Seconds::new(self.mission.completion_time.unwrap_or(0.0));
         let events_this_run = self.queue.events_processed() - self.events_at_mission_start;
         let wall = self.run_watch.take().map_or(0.0, |w| w.elapsed_secs());
-        self.metrics.inc("sim.events", events_this_run);
+        self.metrics.add(self.handles.events, events_this_run);
         // Engine-level throughput accounting: the lifetime pop count (the
         // counter survives checkpoint/resume with the queue) plus the
         // events/sec the snapshot derives from it — see
         // `MetricsSnapshot::events_per_sec`.
         self.metrics
-            .set_counter("engine.events_processed", self.queue.events_processed());
+            .store(self.handles.events_processed, self.queue.events_processed());
         // Silent NaN/negative-delay coercions, surfaced so release-build
         // clamping (PR 6) is observable instead of invisible.
         self.metrics
-            .set_counter("sim.events_clamped", self.queue.clamped());
+            .store(self.handles.events_clamped, self.queue.clamped());
         self.metrics
-            .set_gauge("sim.completion_s", completion.seconds());
-        self.metrics.set_gauge("sim.wall_time_s", wall);
+            .set(self.handles.completion_s, completion.seconds());
+        self.metrics.set(self.handles.wall_time_s, wall);
         if wall > 0.0 {
-            self.metrics.set_gauge(
-                "sim.sim_seconds_per_wall_second",
+            self.metrics.set(
+                self.handles.sim_seconds_per_wall_second,
                 completion.seconds() / wall,
             );
-            self.metrics
-                .set_gauge("sim.events_per_wall_second", events_this_run as f64 / wall);
+            self.metrics.set(
+                self.handles.events_per_wall_second,
+                events_this_run as f64 / wall,
+            );
         }
         let average_power = if completion.seconds() > 0.0 {
             self.total_energy / completion
